@@ -1,0 +1,28 @@
+//! # gs3-analysis
+//!
+//! Analytics, structure metrics, and experiment drivers for the GS³
+//! reproduction:
+//!
+//! * [`poisson`] — the closed forms behind the paper's Figures 7–8.
+//! * [`metrics`] — structure-quality measurement over a
+//!   [`gs3_core::Snapshot`] (cell radius, head spacing, non-ideal cells,
+//!   gap regions, coverage).
+//! * [`convergence`] — time-to-fixpoint measurement (Theorems 4/7/8).
+//! * [`locality`] — perturbation-impact measurement (§4.3.5.2, Theorem 11).
+//! * [`lifetime`] — energy-drain experiments for the `Ω(n_c)` lifetime
+//!   claim and the sliding-structure behavior.
+//! * [`stats`] / [`report`] — summaries and table rendering for the bench
+//!   binaries.
+//! * [`render`] — ASCII visualization of a configured structure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod lifetime;
+pub mod locality;
+pub mod metrics;
+pub mod poisson;
+pub mod render;
+pub mod report;
+pub mod stats;

@@ -1,0 +1,147 @@
+//! The closed-form analysis of Section 4.3.4: statistically low deviation
+//! from the ideal hexagonal structure.
+//!
+//! With nodes distributed as a Poisson process of density `λ` (expected
+//! nodes per unit-radius disk), the probability that a disk of radius
+//! `R_t` is empty — an *`R_t`-gap* — is `α = e^(−R_t²·λ)`. The paper
+//! derives from this the expected ratio of non-ideal cells (= `α`) and the
+//! expected diameter of an `R_t`-gap perturbed region
+//! (`2αR / (1 − α)²`), plotted in Figures 7 and 8 for `λ = 10`, `R = 100`,
+//! system radius 1000.
+
+/// `α`: probability that a circular area of radius `r_t` contains no node,
+/// for a Poisson field with `lambda` expected nodes per unit-radius disk.
+///
+/// # Panics
+///
+/// Panics if `r_t` or `lambda` is negative or non-finite.
+#[must_use]
+pub fn gap_probability(r_t: f64, lambda: f64) -> f64 {
+    assert!(r_t.is_finite() && r_t >= 0.0, "r_t must be non-negative");
+    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative");
+    (-r_t * r_t * lambda).exp()
+}
+
+/// Expected ratio of non-ideal cells after configuration (Figure 7): the
+/// binomial expectation collapses to `α` itself.
+#[must_use]
+pub fn expected_nonideal_ratio(r_t: f64, lambda: f64) -> f64 {
+    gap_probability(r_t, lambda)
+}
+
+/// Expected diameter of an `R_t`-gap perturbed region (Figure 8):
+/// `2αR / (1 − α)²`, from the geometric series over runs of contiguous
+/// gap-perturbed cells.
+#[must_use]
+pub fn expected_gap_region_diameter(r_t: f64, lambda: f64, r: f64) -> f64 {
+    let alpha = gap_probability(r_t, lambda);
+    if alpha >= 1.0 {
+        return f64::INFINITY;
+    }
+    2.0 * alpha / ((1.0 - alpha) * (1.0 - alpha)) * r
+}
+
+/// One point of a Figure-7/8 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The swept abscissa `R_t / R`.
+    pub rt_over_r: f64,
+    /// Figure 7 ordinate: expected ratio of non-ideal cells.
+    pub nonideal_ratio: f64,
+    /// Figure 8 ordinate: expected gap-region diameter.
+    pub gap_region_diameter: f64,
+}
+
+/// Generates the paper's Figure 7/8 sweep: `R_t/R` from `from` to `to` in
+/// `steps` points, with the given `λ` and `R` (the paper uses λ=10,
+/// R=100, `R_t/R ∈ [0.005, 0.05]`).
+///
+/// # Panics
+///
+/// Panics if `steps < 2` or the range is inverted.
+#[must_use]
+pub fn figure7_8_sweep(from: f64, to: f64, steps: usize, lambda: f64, r: f64) -> Vec<SweepPoint> {
+    assert!(steps >= 2, "need at least two sweep points");
+    assert!(to > from, "sweep range must be increasing");
+    (0..steps)
+        .map(|i| {
+            let frac = i as f64 / (steps - 1) as f64;
+            let rt_over_r = from + frac * (to - from);
+            let r_t = rt_over_r * r;
+            SweepPoint {
+                rt_over_r,
+                nonideal_ratio: expected_nonideal_ratio(r_t, lambda),
+                gap_region_diameter: expected_gap_region_diameter(r_t, lambda, r),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAMBDA: f64 = 10.0;
+    const R: f64 = 100.0;
+
+    #[test]
+    fn alpha_matches_closed_form() {
+        // λ=10, R_t = 0.5 (R_t/R = 0.005): α = e^{-2.5}.
+        let a = gap_probability(0.5, LAMBDA);
+        assert!((a - (-2.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_monotone_decreasing_in_rt() {
+        let mut prev = gap_probability(0.0, LAMBDA);
+        assert_eq!(prev, 1.0);
+        for i in 1..=20 {
+            let a = gap_probability(f64::from(i) * 0.25, LAMBDA);
+            assert!(a < prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn paper_observation_negligible_beyond_0_02() {
+        // "both … are approximately 0 once R_t/R ≥ 0.02" (λ=10, R=100):
+        // R_t = 2 ⇒ α = e^{-40}.
+        let ratio = expected_nonideal_ratio(0.02 * R, LAMBDA);
+        assert!(ratio < 1e-15, "ratio {ratio}");
+        let diam = expected_gap_region_diameter(0.02 * R, LAMBDA, R);
+        assert!(diam < 1e-12, "diameter {diam}");
+    }
+
+    #[test]
+    fn gap_region_diameter_formula() {
+        let r_t = 0.3;
+        let alpha = gap_probability(r_t, LAMBDA);
+        let expect = 2.0 * alpha / ((1.0 - alpha) * (1.0 - alpha)) * R;
+        assert_eq!(expected_gap_region_diameter(r_t, LAMBDA, R), expect);
+    }
+
+    #[test]
+    fn zero_density_degenerates() {
+        assert_eq!(gap_probability(1.0, 0.0), 1.0);
+        assert_eq!(expected_gap_region_diameter(1.0, 0.0, R), f64::INFINITY);
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let sweep = figure7_8_sweep(0.005, 0.05, 10, LAMBDA, R);
+        assert_eq!(sweep.len(), 10);
+        assert!((sweep[0].rt_over_r - 0.005).abs() < 1e-12);
+        assert!((sweep[9].rt_over_r - 0.05).abs() < 1e-12);
+        // Both ordinates decrease along the sweep.
+        for w in sweep.windows(2) {
+            assert!(w[1].nonideal_ratio <= w[0].nonideal_ratio);
+            assert!(w[1].gap_region_diameter <= w[0].gap_region_diameter);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_rt() {
+        let _ = gap_probability(-1.0, 1.0);
+    }
+}

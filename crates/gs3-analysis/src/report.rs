@@ -1,0 +1,117 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple aligned-column table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float compactly for tables (3 significant decimals, or
+/// scientific for very small magnitudes).
+#[must_use]
+pub fn num(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() < 1e-3 {
+        format!("{x:.2e}")
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["a", "bbb"]);
+        t.row(["1", "2"]).row(["333", "4"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a'));
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["x", "y", "z"]);
+        t.row(["1"]);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(0.5), "0.500");
+        assert_eq!(num(1234.7), "1235");
+        assert!(num(1e-6).contains('e'));
+    }
+}

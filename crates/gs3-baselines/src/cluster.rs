@@ -1,0 +1,232 @@
+//! Common clustering types and quality metrics shared by the baselines
+//! and the GS³ comparison harness.
+
+use gs3_geometry::Point;
+
+/// A clustering of a point set: some points are heads, every clustered
+/// point is assigned to one head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Indices (into the point set) of the cluster heads.
+    pub heads: Vec<usize>,
+    /// Per-point assignment: the index *into `heads`* of the point's
+    /// cluster, or `None` when the point is unclustered.
+    pub assignment: Vec<Option<usize>>,
+}
+
+impl Clustering {
+    /// Validates internal consistency (head indices in range, assignments
+    /// referencing existing heads, heads assigned to themselves).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistency — clustering algorithms are expected to
+    /// produce well-formed output.
+    pub fn validate(&self, n_points: usize) {
+        assert_eq!(self.assignment.len(), n_points, "assignment length mismatch");
+        for &h in &self.heads {
+            assert!(h < n_points, "head index out of range");
+        }
+        for a in self.assignment.iter().flatten() {
+            assert!(*a < self.heads.len(), "assignment references missing head");
+        }
+        for (ci, &h) in self.heads.iter().enumerate() {
+            assert_eq!(self.assignment[h], Some(ci), "head not assigned to its own cluster");
+        }
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Fraction of points left unclustered.
+    #[must_use]
+    pub fn unclustered_fraction(&self) -> f64 {
+        if self.assignment.is_empty() {
+            return 0.0;
+        }
+        self.assignment.iter().filter(|a| a.is_none()).count() as f64
+            / self.assignment.len() as f64
+    }
+}
+
+/// Quality metrics of a clustering over a point set — the properties the
+/// GS³ paper's Section 6 contrasts against LEACH \[10\] and hop-based
+/// clustering \[3\].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterQuality {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Mean member-to-head distance.
+    pub mean_radius: f64,
+    /// Largest member-to-head distance (the realized worst-case cluster
+    /// radius — GS³ bounds this by `R + 2R_t/√3`; LEACH does not bound it).
+    pub max_radius: f64,
+    /// Coefficient of variation of per-cluster max radius (placement
+    /// uniformity).
+    pub radius_cv: f64,
+    /// Smallest distance between two heads (GS³ bounds this below by
+    /// `√3R − 2R_t`; LEACH heads can be arbitrarily close).
+    pub min_head_spacing: f64,
+    /// Mean nearest-head spacing.
+    pub mean_head_spacing: f64,
+    /// Fraction of clustered points whose *nearest* head is not their own
+    /// head — the geographic-overlap symptom of geography-unaware
+    /// clustering.
+    pub misassigned_fraction: f64,
+    /// Coefficient of variation of cluster sizes (load balance).
+    pub size_cv: f64,
+    /// Fraction of points unclustered.
+    pub unclustered_fraction: f64,
+}
+
+/// Computes quality metrics.
+///
+/// # Panics
+///
+/// Panics if the clustering is inconsistent with `points`.
+#[must_use]
+pub fn quality(points: &[Point], clustering: &Clustering) -> ClusterQuality {
+    clustering.validate(points.len());
+    let heads = &clustering.heads;
+    let k = heads.len();
+
+    let mut dists = Vec::new();
+    let mut per_cluster_max = vec![0.0f64; k];
+    let mut per_cluster_size = vec![0usize; k];
+    let mut misassigned = 0usize;
+    let mut assigned = 0usize;
+
+    for (i, a) in clustering.assignment.iter().enumerate() {
+        let Some(ci) = a else { continue };
+        assigned += 1;
+        let d = points[i].distance(points[heads[*ci]]);
+        dists.push(d);
+        per_cluster_max[*ci] = per_cluster_max[*ci].max(d);
+        per_cluster_size[*ci] += 1;
+        // Nearest head check.
+        let nearest = heads
+            .iter()
+            .map(|&h| points[i].distance(points[h]))
+            .fold(f64::INFINITY, f64::min);
+        if d > nearest + 1e-9 {
+            misassigned += 1;
+        }
+    }
+
+    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let cv = |v: &[f64]| {
+        let m = mean(v);
+        if m == 0.0 || v.is_empty() {
+            return 0.0;
+        }
+        let var = v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64;
+        var.sqrt() / m
+    };
+
+    // Nearest-head spacing.
+    let mut spacings = Vec::new();
+    for (i, &a) in heads.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        for (j, &b) in heads.iter().enumerate() {
+            if i != j {
+                best = best.min(points[a].distance(points[b]));
+            }
+        }
+        if best.is_finite() {
+            spacings.push(best);
+        }
+    }
+
+    let sizes: Vec<f64> = per_cluster_size.iter().map(|s| *s as f64).collect();
+    ClusterQuality {
+        clusters: k,
+        mean_radius: mean(&dists),
+        max_radius: dists.iter().copied().fold(0.0, f64::max),
+        radius_cv: cv(&per_cluster_max),
+        min_head_spacing: spacings.iter().copied().fold(f64::INFINITY, f64::min),
+        mean_head_spacing: mean(&spacings),
+        misassigned_fraction: if assigned == 0 { 0.0 } else { misassigned as f64 / assigned as f64 },
+        size_cv: cv(&sizes),
+        unclustered_fraction: clustering.unclustered_fraction(),
+    }
+}
+
+/// Assigns every point to its nearest head (the geography-aware join rule
+/// both LEACH and GS³ use for members).
+#[must_use]
+pub fn assign_nearest(points: &[Point], heads: &[usize]) -> Clustering {
+    let assignment = points
+        .iter()
+        .map(|p| {
+            heads
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| p.distance(points[a]).total_cmp(&p.distance(points[b])))
+                .map(|(ci, _)| ci)
+        })
+        .collect();
+    Clustering { heads: heads.to_vec(), assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize, step: f64) -> Vec<Point> {
+        (0..n * n)
+            .map(|i| Point::new((i % n) as f64 * step, (i / n) as f64 * step))
+            .collect()
+    }
+
+    #[test]
+    fn nearest_assignment_is_voronoi() {
+        let pts = grid(4, 10.0);
+        let c = assign_nearest(&pts, &[0, 15]);
+        c.validate(pts.len());
+        let q = quality(&pts, &c);
+        assert_eq!(q.clusters, 2);
+        assert_eq!(q.misassigned_fraction, 0.0);
+        assert_eq!(q.unclustered_fraction, 0.0);
+    }
+
+    #[test]
+    fn misassignment_detected() {
+        let pts = vec![
+            Point::new(0.0, 0.0),   // head 0
+            Point::new(100.0, 0.0), // head 1
+            Point::new(99.0, 0.0),  // sits on head 1 but assigned to 0
+        ];
+        let clustering = Clustering {
+            heads: vec![0, 1],
+            assignment: vec![Some(0), Some(1), Some(0)],
+        };
+        let q = quality(&pts, &clustering);
+        assert!((q.misassigned_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert!((q.max_radius - 99.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn head_spacing_metrics() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(30.0, 0.0), Point::new(100.0, 0.0)];
+        let c = assign_nearest(&pts, &[0, 1, 2]);
+        let q = quality(&pts, &c);
+        assert_eq!(q.min_head_spacing, 30.0);
+        assert!(q.mean_head_spacing > 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "head not assigned")]
+    fn validate_rejects_bad_head_assignment() {
+        let c = Clustering { heads: vec![0], assignment: vec![None, Some(0)] };
+        c.validate(2);
+    }
+
+    #[test]
+    fn unclustered_fraction_counts_none() {
+        let c = Clustering { heads: vec![0], assignment: vec![Some(0), None, None, None] };
+        assert_eq!(c.unclustered_fraction(), 0.75);
+    }
+}

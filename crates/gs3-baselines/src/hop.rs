@@ -1,0 +1,174 @@
+//! A geography-unaware hop-based clustering baseline in the spirit of
+//! Banerjee & Khuller (reference \[3\] of the GS³ paper).
+//!
+//! Clusters are grown breadth-first over the connectivity graph (links =
+//! nodes within radio range): repeatedly pick the lowest-id unclustered
+//! node as a head and claim every unclustered node within `max_hops` hops.
+//! The cluster criterion is the *logical* (hop) radius only — exactly the
+//! design the GS³ paper critiques: geographic radius is unbounded by the
+//! hop bound alone, clusters interleave geographically (members can sit
+//! closer to another cluster's head), and healing requires re-running the
+//! global construction.
+
+use std::collections::VecDeque;
+
+use gs3_geometry::Point;
+
+use crate::cluster::Clustering;
+
+/// Hop-clustering parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopConfig {
+    /// Link radius of the connectivity graph.
+    pub radio_range: f64,
+    /// Maximum hop distance from a head to its members.
+    pub max_hops: u32,
+}
+
+/// Builds the adjacency lists of the unit-disk connectivity graph.
+fn adjacency(points: &[Point], range: f64) -> Vec<Vec<usize>> {
+    // Grid-bucketed neighbor search keeps this O(n · neighbors).
+    use std::collections::HashMap;
+    let cell = range.max(1e-9);
+    let key = |p: Point| ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+    let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        grid.entry(key(*p)).or_default().push(i);
+    }
+    let mut adj = vec![Vec::new(); points.len()];
+    for (i, p) in points.iter().enumerate() {
+        let (cx, cy) = key(*p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = grid.get(&(cx + dx, cy + dy)) {
+                    for &j in bucket {
+                        if j != i && p.distance(points[j]) <= range {
+                            adj[i].push(j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    adj
+}
+
+/// Runs the hop-based clustering over `points` (dead nodes excluded via
+/// `alive`).
+///
+/// # Panics
+///
+/// Panics if `max_hops` is 0 or the masks disagree with `points`.
+#[must_use]
+pub fn cluster(points: &[Point], alive: &[bool], cfg: HopConfig) -> Clustering {
+    assert!(cfg.max_hops >= 1, "max_hops must be at least 1");
+    assert_eq!(points.len(), alive.len(), "alive mask length mismatch");
+    let adj = adjacency(points, cfg.radio_range);
+    let mut assignment: Vec<Option<usize>> = vec![None; points.len()];
+    let mut heads = Vec::new();
+
+    for seed in 0..points.len() {
+        if !alive[seed] || assignment[seed].is_some() {
+            continue;
+        }
+        let ci = heads.len();
+        heads.push(seed);
+        assignment[seed] = Some(ci);
+        // BFS out to max_hops, claiming unclustered alive nodes.
+        let mut depth = vec![u32::MAX; points.len()];
+        depth[seed] = 0;
+        let mut queue = VecDeque::from([seed]);
+        while let Some(cur) = queue.pop_front() {
+            if depth[cur] == cfg.max_hops {
+                continue;
+            }
+            for &nb in &adj[cur] {
+                if alive[nb] && depth[nb] == u32::MAX {
+                    depth[nb] = depth[cur] + 1;
+                    if assignment[nb].is_none() {
+                        assignment[nb] = Some(ci);
+                        queue.push_back(nb);
+                    }
+                }
+            }
+        }
+    }
+    Clustering { heads, assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::quality;
+
+    fn line(n: usize, step: f64) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64 * step, 0.0)).collect()
+    }
+
+    #[test]
+    fn line_network_clusters_by_hops() {
+        // 10 nodes in a line, 1 hop per 50m link, 2-hop clusters → groups
+        // of 5 (head claims 2 each side, then next head claims onward).
+        let pts = line(10, 50.0);
+        let alive = vec![true; 10];
+        let c = cluster(&pts, &alive, HopConfig { radio_range: 55.0, max_hops: 2 });
+        c.validate(10);
+        assert_eq!(c.assignment[0], Some(0));
+        assert_eq!(c.assignment[2], Some(0));
+        assert!(c.cluster_count() >= 2);
+        assert_eq!(c.unclustered_fraction(), 0.0);
+    }
+
+    #[test]
+    fn geographic_radius_unbounded_by_hops() {
+        // A dense chain lets 2 hops span far: the geographic radius grows
+        // with link length while the hop bound stays fixed — the paper's
+        // critique made concrete.
+        let short = line(9, 10.0);
+        let long = line(9, 100.0);
+        let alive = vec![true; 9];
+        let cs = cluster(&short, &alive, HopConfig { radio_range: 11.0, max_hops: 2 });
+        let cl = cluster(&long, &alive, HopConfig { radio_range: 110.0, max_hops: 2 });
+        let qs = quality(&short, &cs);
+        let ql = quality(&long, &cl);
+        assert!(ql.max_radius > 5.0 * qs.max_radius);
+    }
+
+    #[test]
+    fn disconnected_nodes_become_singletons() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)];
+        let alive = vec![true; 2];
+        let c = cluster(&pts, &alive, HopConfig { radio_range: 50.0, max_hops: 3 });
+        assert_eq!(c.cluster_count(), 2);
+    }
+
+    #[test]
+    fn dead_nodes_skipped() {
+        let pts = line(5, 50.0);
+        let alive = vec![true, false, true, true, true];
+        let c = cluster(&pts, &alive, HopConfig { radio_range: 55.0, max_hops: 1 });
+        assert!(c.assignment[1].is_none());
+        // Node 0 is cut off from node 2 by the dead node.
+        assert_ne!(c.assignment[0], c.assignment[2]);
+    }
+
+    #[test]
+    fn misassignment_occurs_in_interleaved_geometry() {
+        // Two rows; BFS from node 0 claims nodes geographically nearer to
+        // the second cluster's head.
+        let mut pts = line(6, 40.0);
+        pts.extend(line(6, 40.0).into_iter().map(|p| Point::new(p.x, 35.0)));
+        let alive = vec![true; pts.len()];
+        let c = cluster(&pts, &alive, HopConfig { radio_range: 60.0, max_hops: 2 });
+        let q = quality(&pts, &c);
+        // Not asserting a specific value — just that the metric is
+        // computable and clusters formed.
+        assert!(q.clusters >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_hops")]
+    fn rejects_zero_hops() {
+        let _ = cluster(&[], &[], HopConfig { radio_range: 1.0, max_hops: 0 });
+    }
+}

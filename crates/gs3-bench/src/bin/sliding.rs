@@ -1,0 +1,86 @@
+//! **SLIDE** — §4.3.5.1 claim 3: when the candidate sets of many cells die
+//! at about the same rate, independent cell shift at each cell makes the
+//! head level structure *slide as a whole* while maintaining consistent
+//! relative locations among cells and heads.
+//!
+//! We drain a uniform-energy field and sample over time: the ⟨ICC, ICP⟩
+//! spiral positions of the cells (they advance together), and the
+//! neighbor-head spacing statistics (they stay near `√3·R` throughout the
+//! slide — the "consistent relative location" part).
+//!
+//! ```text
+//! cargo run --release -p gs3-bench --bin sliding
+//! ```
+
+use gs3_analysis::metrics::measure;
+use gs3_analysis::report::{num, Table};
+use gs3_bench::banner;
+use gs3_core::harness::NetworkBuilder;
+use gs3_core::RoleView;
+use gs3_geometry::spiral::IccIcp;
+use gs3_sim::radio::EnergyModel;
+use gs3_sim::SimDuration;
+
+fn main() {
+    banner("SLIDE", "§4.3.5.1 — the structure slides coherently under uniform depletion");
+
+    let r = 80.0;
+    let mut net = NetworkBuilder::new()
+        .ideal_radius(r)
+        .radius_tolerance(20.0)
+        .area_radius(150.0)
+        .expected_nodes(340)
+        .seed(55)
+        .energy(EnergyModel::normalized(160.0), 500.0)
+        .build()
+        .expect("valid parameters");
+    let _ = net.run_to_fixpoint();
+
+    let mut t = Table::new([
+        "t (s)",
+        "heads",
+        "alive",
+        "cells shifted",
+        "min ⟨ICC,ICP⟩",
+        "max ⟨ICC,ICP⟩",
+        "spacing mean (m)",
+        "spacing sd (m)",
+    ]);
+    for _ in 0..24 {
+        net.run_for(SimDuration::from_secs(60));
+        let snap = net.snapshot();
+        let m = measure(&snap);
+        let spirals: Vec<IccIcp> = snap
+            .heads()
+            .filter_map(|h| match &h.role {
+                RoleView::Head { icc_icp, .. } => Some(*icc_icp),
+                _ => None,
+            })
+            .collect();
+        if spirals.is_empty() {
+            println!("structure exhausted at {}", net.now());
+            break;
+        }
+        let shifted = spirals.iter().filter(|k| **k != IccIcp::ORIGIN).count();
+        let min = spirals.iter().min().copied().unwrap_or(IccIcp::ORIGIN);
+        let max = spirals.iter().max().copied().unwrap_or(IccIcp::ORIGIN);
+        t.row([
+            format!("{:.0}", net.now().as_secs_f64()),
+            format!("{}", m.heads),
+            format!("{}", net.engine().alive_count()),
+            format!("{shifted}/{}", spirals.len()),
+            min.to_string(),
+            max.to_string(),
+            num(m.neighbor_head_distance.mean),
+            num(m.neighbor_head_distance.std_dev),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "expected shape: the shifted-cell count climbs toward all cells while\n\
+         the ⟨ICC,ICP⟩ spread stays narrow (cells advance the same spiral in\n\
+         near lockstep) and the head spacing statistics stay near √3·R = {:.1} m\n\
+         — the structure slides as a whole instead of tearing.",
+        gs3_geometry::SQRT_3 * r
+    );
+}

@@ -1,0 +1,279 @@
+//! **TBL-A1** — Appendix 1 of the paper: the complexity and convergence
+//! properties of GS³, one measured experiment per row.
+//!
+//! | row | paper claim | experiment |
+//! |---|---|---|
+//! | 1 | information per node `θ(log n)` | max/mean ids stored vs network size (flat in n) |
+//! | 2 | lifetime lengthened `Ω(n_c)` | maintained vs unmaintained lifetime vs cell population |
+//! | 3 | convergence under perturbation `O(D_p)` | heal time vs killed-disk diameter (flat in n, growing in `D_p`) |
+//! | 4 | static convergence `θ(D_b)` | diffusion time vs network radius |
+//! | 5 | dynamic convergence from arbitrary state `O(D_d)` | stabilization time vs diameter after mass corruption |
+//!
+//! ```text
+//! cargo run --release -p gs3-bench --bin table_a1
+//! ```
+
+use gs3_analysis::convergence::{max_distance_from_big, measure_configuration};
+use gs3_analysis::lifetime::run_lifetime;
+use gs3_analysis::locality::measure_impact;
+use gs3_analysis::report::{num, Table};
+use gs3_bench::banner;
+use gs3_core::harness::NetworkBuilder;
+use gs3_core::{Mode, RoleView};
+use gs3_geometry::Point;
+use gs3_sim::radio::EnergyModel;
+use gs3_sim::SimDuration;
+
+fn main() {
+    banner("TBL-A1", "Appendix 1 — complexity and convergence properties of GS3");
+    row1_information_per_node();
+    row2_lifetime_factor();
+    row3_perturbation_convergence();
+    row4_static_convergence();
+    row5_arbitrary_state_convergence();
+}
+
+/// Row 1: per-node information is θ(log n) — a *constant number of
+/// identities* regardless of network size (each id being log n bits).
+fn row1_information_per_node() {
+    println!("row 1 — information maintained at each node: θ(log n)\n");
+    let mut t = Table::new(["n (nodes)", "max ids @ associate", "max ids @ head", "mean ids"]);
+    for &n in &[400usize, 800, 1600, 3200] {
+        let area = (n as f64).sqrt() * 8.0;
+        let mut net = NetworkBuilder::new()
+            .ideal_radius(80.0)
+            .radius_tolerance(18.0)
+            .area_radius(area)
+            .expected_nodes(n)
+            .seed(42)
+            .build()
+            .expect("valid parameters");
+        let _ = net.run_to_fixpoint();
+        let snap = net.snapshot();
+        let mut assoc_max = 0usize;
+        let mut head_max = 0usize;
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for v in &snap.nodes {
+            if !v.alive {
+                continue;
+            }
+            match v.role {
+                RoleView::Associate { .. } => assoc_max = assoc_max.max(v.ids_stored),
+                RoleView::Head { .. } => head_max = head_max.max(v.ids_stored),
+                _ => {}
+            }
+            total += v.ids_stored;
+            count += 1;
+        }
+        t.row([
+            format!("{}", snap.nodes.len()),
+            format!("{assoc_max}"),
+            format!("{head_max}"),
+            num(total as f64 / count.max(1) as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "expected shape: id counts do not grow with n — an associate stores its\n\
+         head (+ the advertised candidate list), a head its ≤6 neighbors,\n\
+         parent, and cell members (bounded by density, not by n).\n"
+    );
+}
+
+/// Row 2: intra-/inter-cell maintenance lengthens the structure lifetime
+/// by a factor Ω(n_c).
+fn row2_lifetime_factor() {
+    println!("row 2 — lifetime of the head structure: lengthened Ω(n_c) by maintenance\n");
+    let mut t = Table::new([
+        "n_c (per cell)",
+        "first head death (s)",
+        "maintained life (s)",
+        "factor",
+        "head turnovers",
+        "cell shifts",
+    ]);
+    for &target_nc in &[12usize, 25, 50] {
+        // Fix geometry; scale density to hit the target cell population.
+        let cells = 7.0; // one band
+        let builder = NetworkBuilder::new()
+            .ideal_radius(80.0)
+            .radius_tolerance(20.0)
+            .area_radius(150.0)
+            .expected_nodes((target_nc as f64 * cells) as usize)
+            .seed(7)
+            // The paper's premise: traffic flows from children to parents
+            // along the head graph with in-network aggregation — heads
+            // relay everything, so their dissipation dominates.
+            .traffic(SimDuration::from_secs(1));
+        let energy = EnergyModel { tx_base: 0.02, tx_dist2: 1.2 / (160.0 * 160.0), rx: 0.002 };
+        let res = run_lifetime(
+            builder,
+            energy,
+            400.0,
+            SimDuration::from_secs(12_000),
+            SimDuration::from_secs(15),
+            0.5,
+        );
+        t.row([
+            num(res.mean_cell_population),
+            res.first_head_death.map_or("-".into(), |x| num(x.as_secs_f64())),
+            res.maintained_lifetime.map_or(">6000".into(), |x| num(x.as_secs_f64())),
+            res.lengthening_factor.map_or("-".into(), num),
+            format!("{}", res.head_turnovers),
+            format!("{}", res.cell_shifts),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "expected shape: maintenance lengthens the structure's life by large\n\
+         factors (order 5–20×) via head shift and cell shift. The paper's\n\
+         Ω(n_c) growth assumes members dissipate ≈nothing while not serving;\n\
+         with a realistic workload every member also pays its own reporting\n\
+         cost, capping the factor near the head/member dissipation-rate\n\
+         ratio — factor ≈ min(c·n_c, head_rate/member_rate).\n"
+    );
+}
+
+/// Row 3: convergence under a perturbation is O(D_p) — proportional to the
+/// perturbed diameter, independent of total network size.
+fn row3_perturbation_convergence() {
+    println!("row 3 — convergence under perturbation: O(D_p), independent of n\n");
+    let mut t = Table::new(["n", "D_p (kill diam, m)", "killed", "heal time (s)", "impact radius (m)"]);
+    for &(n, area) in &[(1500usize, 330.0f64), (3000, 470.0)] {
+        for &dp in &[120.0f64, 240.0, 360.0] {
+            let mut net = NetworkBuilder::new()
+                .ideal_radius(80.0)
+                .radius_tolerance(18.0)
+                .area_radius(area)
+                .expected_nodes(n)
+                .seed(5)
+                .build()
+                .expect("valid parameters");
+            let _ = net.run_to_fixpoint();
+            // Center the kill on an actual head so every D_p kills at
+            // least one cell nucleus.
+            let nominal = Point::new(area / 2.5, 0.0);
+            let center = net
+                .snapshot()
+                .heads()
+                .map(|h| h.pos)
+                .min_by(|a, b| nominal.distance(*a).total_cmp(&nominal.distance(*b)))
+                .unwrap_or(nominal);
+            let mut killed = 0usize;
+            let report = measure_impact(
+                &mut net,
+                center,
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(400),
+                |net| {
+                    killed = net.kill_disk(center, dp / 2.0).len();
+                },
+            );
+            t.row([
+                format!("{n}"),
+                num(dp),
+                format!("{killed}"),
+                report.heal_time.map_or("-".into(), |x| num(x.as_secs_f64())),
+                num(report.impact_radius),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "expected shape: heal time and impact radius grow with D_p but do not\n\
+         grow when n doubles — the paper's local-healing claim.\n"
+    );
+}
+
+/// Row 4: static-network convergence is θ(D_b).
+fn row4_static_convergence() {
+    println!("row 4 — convergence in static networks: θ(D_b)\n");
+    let mut t = Table::new(["area radius (m)", "D_b (m)", "n", "diffusion time (s)", "messages"]);
+    for &area in &[160.0f64, 240.0, 320.0, 400.0] {
+        let n = (area * area * 0.014) as usize;
+        let builder = NetworkBuilder::new()
+            .mode(Mode::Static)
+            .ideal_radius(80.0)
+            .radius_tolerance(18.0)
+            .area_radius(area)
+            .expected_nodes(n)
+            .seed(3);
+        let res = measure_configuration(builder, SimDuration::from_secs(900));
+        t.row([
+            num(area),
+            num(res.d_b),
+            format!("{}", res.nodes),
+            num(res.time.as_secs_f64()),
+            format!("{}", res.messages),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "expected shape: diffusion time grows linearly with D_b (one-way\n\
+         diffusing computation, band after band).\n"
+    );
+}
+
+/// Row 5: from an arbitrary (mass-corrupted) state, dynamic networks
+/// stabilize in O(D_d).
+fn row5_arbitrary_state_convergence() {
+    println!("row 5 — convergence from an arbitrary state: O(D_d)\n");
+    let mut t = Table::new([
+        "area radius (m)",
+        "D_d (m)",
+        "heads corrupted",
+        "last repair (s)",
+        "violations left",
+    ]);
+    for &area in &[200.0f64, 300.0] {
+        let n = (area * area * 0.014) as usize;
+        let mut net = NetworkBuilder::new()
+            .ideal_radius(80.0)
+            .radius_tolerance(18.0)
+            .area_radius(area)
+            .expected_nodes(n)
+            .seed(9)
+            .build()
+            .expect("valid parameters");
+        let _ = net.run_to_fixpoint();
+        let heads: Vec<_> = net.snapshot().heads().map(|h| h.id).collect();
+        let report = measure_impact(
+            &mut net,
+            Point::ORIGIN,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(2000),
+            |net| {
+                // Corrupt the hop counts (tree state) of every other head
+                // and the stored IL of a third: an adversarial global
+                // state that sanity checking + inter-cell maintenance
+                // must undo.
+                for (i, id) in heads.iter().enumerate() {
+                    if i % 2 == 0 {
+                        net.corrupt_head_hops(*id, 7 + (i as u32 * 13) % 40);
+                    }
+                    if i % 3 == 0 {
+                        net.corrupt_head_il(*id, gs3_geometry::Vec2::new(90.0, 50.0));
+                    }
+                }
+            },
+        );
+        let d_d = 2.0 * max_distance_from_big(&net);
+        let violations =
+            gs3_core::invariants::check_all(&net.snapshot(), gs3_core::invariants::Strictness::Dynamic);
+        t.row([
+            num(area),
+            num(d_d),
+            format!("{}", heads.len()),
+            report.heal_time.map_or("-".into(), |x| num(x.as_secs_f64())),
+            format!("{}", violations.len()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "expected shape: the last repair lands within a few sanity-check\n\
+         periods, growing mildly with the diameter, and the invariants are\n\
+         fully restored (0 violations) — self-stabilization from an\n\
+         arbitrary state.\n"
+    );
+}

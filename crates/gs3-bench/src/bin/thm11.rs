@@ -1,0 +1,88 @@
+//! **THM11** — Theorem 11 of the paper: when the big node moves a
+//! distance `d`, the impact on the head graph `G_h` is contained within a
+//! disk of radius `√3·d/2` around the midpoint of the move.
+//!
+//! For each move distance we settle a mobile network, move the big node
+//! (in small steps, as physical motion), re-settle, and measure the
+//! furthest head whose head-graph *edge* (parent pointer) changed.
+//!
+//! ```text
+//! cargo run --release -p gs3-bench --bin thm11
+//! ```
+
+use gs3_analysis::locality::changed_head_edges;
+use gs3_analysis::report::{num, Table};
+use gs3_bench::banner;
+use gs3_core::harness::NetworkBuilder;
+use gs3_core::Mode;
+use gs3_geometry::{head_spacing, Point};
+use gs3_sim::SimDuration;
+
+fn main() {
+    banner("THM11", "Theorem 11 — big-node move impact contained in √3·d/2");
+
+    let r = 80.0;
+    let spacing = head_spacing(r);
+    let mut t = Table::new([
+        "d (move, m)",
+        "bound √3·d/2 (m)",
+        "edges changed",
+        "furthest change (m)",
+        "within bound + 1 cell?",
+    ]);
+
+    for &frac in &[0.5f64, 1.0, 1.5, 2.0] {
+        let d = spacing * frac;
+        let mut net = NetworkBuilder::new()
+            .mode(Mode::Mobile)
+            .ideal_radius(r)
+            .radius_tolerance(18.0)
+            .area_radius(400.0)
+            .expected_nodes(2200)
+            .seed(17)
+            .build()
+            .expect("valid parameters");
+        let _ = net.run_to_fixpoint();
+        let before = net.snapshot();
+        let from = Point::ORIGIN;
+        let to = Point::new(d, 0.0);
+
+        // Physical motion: a sequence of small position updates.
+        let steps = (frac * 4.0).ceil() as u32;
+        for i in 1..=steps {
+            net.move_big(Point::new(d * f64::from(i) / f64::from(steps), 0.0));
+            net.run_for(SimDuration::from_secs(8));
+        }
+        let _ = net.run_to_fixpoint();
+        let after = net.snapshot();
+
+        let changed = changed_head_edges(&before, &after);
+        let midpoint = from.midpoint(to);
+        let worst = changed
+            .iter()
+            .filter_map(|id| after.node(*id).or_else(|| before.node(*id)))
+            .map(|n| midpoint.distance(n.pos))
+            .fold(0.0f64, f64::max);
+        let bound = 3.0f64.sqrt() * d / 2.0;
+        // One coordination radius of slack: the rim cell where the proxy
+        // handoff lands flips one edge just outside the exact disk.
+        let ok = worst <= bound + net.config().coord_radius();
+        t.row([
+            num(d),
+            num(bound),
+            format!("{}", changed.len()),
+            num(worst),
+            if ok { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "expected shape: for moves up to one lattice spacing the changed edges\n\
+         sit inside the √3·d/2 disk (plus one coordination radius for the\n\
+         proxy-handoff cell at the rim). Multi-cell moves chain several proxy\n\
+         handoffs — each an anchor jump of up to √3·R — so the measured\n\
+         impact radius grows with d but can exceed the analytic disk by\n\
+         roughly one extra cell per handoff; see EXPERIMENTS.md for the\n\
+         discussion of this deviation."
+    );
+}

@@ -1,0 +1,56 @@
+//! # gs3-bench
+//!
+//! The experiment harness regenerating every data-bearing table and figure
+//! of the GS³ paper, plus the derived-claim experiments indexed in
+//! `DESIGN.md §4`. Each experiment is a binary:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig7` | Figure 7 — expected ratio of non-ideal cells |
+//! | `fig8` | Figure 8 — expected diameter of `R_t`-gap perturbed regions |
+//! | `table_a1` | Appendix 1 — complexity & convergence table (5 rows) |
+//! | `thm11` | Theorem 11 — big-node move containment |
+//! | `structure_quality` | Corollaries 1–2 — realized structure bounds |
+//! | `baseline_compare` | Section 6 — GS³ vs LEACH vs hop clustering |
+//! | `sliding` | §4.3.5.1 — coherent sliding under uniform depletion |
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gs3_core::harness::NetworkBuilder;
+
+/// Seeds used when an experiment averages over deployments.
+pub const SEEDS: [u64; 5] = [11, 23, 37, 51, 73];
+
+/// The standard mid-size scenario used by several experiments: `R = 80`,
+/// `R_t = 18`, two full bands of cells, ≈1400 nodes.
+#[must_use]
+pub fn standard_builder(seed: u64) -> NetworkBuilder {
+    NetworkBuilder::new()
+        .ideal_radius(80.0)
+        .radius_tolerance(18.0)
+        .area_radius(320.0)
+        .expected_nodes(1400)
+        .seed(seed)
+}
+
+/// Prints the standard experiment header.
+pub fn banner(id: &str, artifact: &str) {
+    println!("================================================================");
+    println!("GS3 reproduction — experiment {id}");
+    println!("paper artifact: {artifact}");
+    println!("================================================================\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_builder_is_valid() {
+        let net = standard_builder(1).build().unwrap();
+        assert!(net.engine().node_count() > 1000);
+    }
+}

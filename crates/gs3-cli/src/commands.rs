@@ -1,0 +1,288 @@
+//! The CLI subcommands.
+
+use gs3_analysis::metrics::measure;
+use gs3_analysis::render::{render, RenderOptions};
+use gs3_analysis::report::num;
+use gs3_core::harness::{Network, NetworkBuilder, RunOutcome};
+use gs3_core::invariants::{check_all, Strictness};
+use gs3_core::Mode;
+use gs3_sim::radio::EnergyModel;
+use gs3_sim::SimDuration;
+
+use crate::args::{ArgError, Args};
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Prints usage.
+pub fn help() {
+    println!(
+        "gs3 — GS3 cellular self-configuration, simulated\n\
+         \n\
+         commands:\n\
+         \x20 run    configure a field and report the structure\n\
+         \x20 heal   configure, kill a disk of nodes, re-heal, report locality\n\
+         \x20 watch  run under energy drain and watch the structure slide\n\
+         \x20 help   this text\n\
+         \n\
+         common options (defaults in parentheses):\n\
+         \x20 --nodes N        expected node count (1400)\n\
+         \x20 --radius R       ideal cell radius R in meters (80)\n\
+         \x20 --tolerance RT   radius tolerance R_t in meters (18)\n\
+         \x20 --area A         deployment disk radius in meters (320)\n\
+         \x20 --seed S         RNG seed (2002)\n\
+         \x20 --static         run GS3-S (one-shot, no maintenance)\n\
+         \x20 --mobile         run GS3-M (big-node mobility handling)\n\
+         \x20 --loss P         broadcast loss probability (0)\n\
+         \x20 --noise SIGMA    localization noise sigma in meters (0)\n\
+         \x20 --traffic SECS   enable the sensing workload at this period\n\
+         \x20 --map            print an ASCII map of the structure\n\
+         \x20 --quiet          suppress the metrics block\n\
+         \n\
+         heal options:\n\
+         \x20 --kill-disk X,Y  center of the killed disk (required)\n\
+         \x20 --kill-radius M  radius of the killed disk (60)\n\
+         \n\
+         watch options:\n\
+         \x20 --budget E       per-node energy budget (500)\n\
+         \x20 --duration SECS  how long to watch (1200)\n\
+         \x20 --sample SECS    status-line period (60)"
+    );
+}
+
+fn build(a: &Args) -> Result<Network, Box<dyn std::error::Error>> {
+    let nodes: usize = a.num("nodes", 1400)?;
+    let radius: f64 = a.num("radius", 80.0)?;
+    let tolerance: f64 = a.num("tolerance", 18.0)?;
+    let area: f64 = a.num("area", 320.0)?;
+    let seed: u64 = a.num("seed", 2002)?;
+    let loss: f64 = a.num("loss", 0.0)?;
+    let noise: f64 = a.num("noise", 0.0)?;
+    let mode = if a.flag("static") {
+        Mode::Static
+    } else if a.flag("mobile") {
+        Mode::Mobile
+    } else {
+        Mode::Dynamic
+    };
+    let mut b = NetworkBuilder::new()
+        .ideal_radius(radius)
+        .radius_tolerance(tolerance)
+        .area_radius(area)
+        .expected_nodes(nodes)
+        .seed(seed)
+        .mode(mode)
+        .broadcast_loss(loss)
+        .position_noise(noise);
+    if let Some(t) = a.get("traffic") {
+        let secs: f64 = t.parse().map_err(|_| ArgError::BadValue {
+            key: "traffic".into(),
+            value: t.into(),
+            expected: "seconds",
+        })?;
+        b = b.traffic(SimDuration::from_secs_f64(secs));
+    }
+    if let Some(budget) = a.get("budget") {
+        let e: f64 = budget.parse().map_err(|_| ArgError::BadValue {
+            key: "budget".into(),
+            value: budget.into(),
+            expected: "energy units",
+        })?;
+        b = b.energy(EnergyModel::normalized(2.0 * radius), e);
+    }
+    Ok(b.build()?)
+}
+
+fn configure(net: &mut Network) -> CliResult {
+    match net.config().mode {
+        Mode::Static => {
+            let deadline = net.now() + SimDuration::from_secs(900);
+            net.engine_mut()
+                .run_until_quiescent(deadline)
+                .ok_or("static diffusion did not terminate")?;
+        }
+        _ => match net.run_to_fixpoint()? {
+            RunOutcome::Fixpoint { .. } => {}
+            RunOutcome::TimedOut { at } => return Err(format!("not stable by {at}").into()),
+        },
+    }
+    Ok(())
+}
+
+fn report(net: &Network, a: &Args) {
+    let snap = net.snapshot();
+    if !a.flag("quiet") {
+        let m = measure(&snap);
+        println!("nodes:                {}", net.engine().node_count());
+        println!("cells (heads):        {}", m.heads);
+        println!("coverage:             {:.1}%", m.coverage_ratio * 100.0);
+        println!(
+            "cell radius:          mean {} / max {} m",
+            num(m.cell_radius.mean),
+            num(m.cell_radius.max)
+        );
+        println!(
+            "head spacing:         mean {} m (ideal {})",
+            num(m.neighbor_head_distance.mean),
+            num(net.config().spacing())
+        );
+        println!(
+            "head-to-IL deviation: max {} m (bound {})",
+            num(m.head_il_deviation.max),
+            num(net.config().r_t)
+        );
+        let strictness = match net.config().mode {
+            Mode::Static => Strictness::Static,
+            _ => Strictness::Dynamic,
+        };
+        let violations = check_all(&snap, strictness);
+        match violations.first() {
+            None => println!("invariants:           all hold"),
+            Some(v) => println!("invariants:           {} VIOLATED, first: {v}", violations.len()),
+        }
+    }
+    if a.flag("map") {
+        println!("{}", render(&snap, RenderOptions::default()));
+    }
+}
+
+/// `gs3 run`.
+pub fn run(a: &Args) -> CliResult {
+    let mut net = build(a)?;
+    configure(&mut net)?;
+    println!("configured at {}", net.now());
+    report(&net, a);
+    Ok(())
+}
+
+/// `gs3 heal`.
+pub fn heal(a: &Args) -> CliResult {
+    let center = a.point("kill-disk")?;
+    let radius: f64 = a.num("kill-radius", 60.0)?;
+    let mut net = build(a)?;
+    configure(&mut net)?;
+    println!("configured at {}; killing disk r={radius} at {center}", net.now());
+
+    let mut killed = 0;
+    let impact = gs3_analysis::locality::measure_impact(
+        &mut net,
+        center,
+        SimDuration::from_secs(1),
+        SimDuration::from_secs(600),
+        |net| {
+            killed = net.kill_disk(center, radius).len();
+        },
+    );
+    println!("killed:          {killed} nodes");
+    match impact.heal_time {
+        Some(t) => println!("healed in:       {}", t),
+        None => println!("healed in:       did not re-stabilize (timed out)"),
+    }
+    println!("nodes affected:  {}", impact.changed.len());
+    println!("impact radius:   {} m", num(impact.impact_radius));
+    report(&net, a);
+    Ok(())
+}
+
+/// `gs3 watch`.
+pub fn watch(a: &Args) -> CliResult {
+    let duration: f64 = a.num("duration", 1200.0)?;
+    let sample: f64 = a.num("sample", 60.0)?;
+    // Watch implies energy accounting.
+    let defaulted;
+    let a = if a.get("budget").is_none() {
+        defaulted = with_budget(a, "500");
+        &defaulted
+    } else {
+        a
+    };
+    let mut net = build(a)?;
+    configure(&mut net)?;
+    println!("configured; draining for {duration} s\n");
+    println!("{:>7}  {:>5}  {:>6}  {:>9}  {:>8}", "t(s)", "heads", "alive", "coverage", "shifted");
+    let end = net.now() + SimDuration::from_secs_f64(duration);
+    while net.now() < end {
+        net.run_for(SimDuration::from_secs_f64(sample));
+        let snap = net.snapshot();
+        let m = measure(&snap);
+        let shifted = snap
+            .heads()
+            .filter(|h| match &h.role {
+                gs3_core::RoleView::Head { icc_icp, .. } => {
+                    *icc_icp != gs3_geometry::spiral::IccIcp::ORIGIN
+                }
+                _ => false,
+            })
+            .count();
+        println!(
+            "{:>7.0}  {:>5}  {:>6}  {:>8.1}%  {:>4}/{:<4}",
+            net.now().as_secs_f64(),
+            m.heads,
+            net.engine().alive_count(),
+            m.coverage_ratio * 100.0,
+            shifted,
+            m.heads
+        );
+        if m.heads == 0 {
+            println!("\nstructure exhausted");
+            break;
+        }
+    }
+    report(&net, a);
+    Ok(())
+}
+
+/// Clones the parsed args with a default `--budget` injected (watch mode).
+fn with_budget(a: &Args, budget: &str) -> Args {
+    // Round-trip through the parser to keep a single construction path.
+    let mut tokens = vec![a.command.clone().unwrap_or_default()];
+    for key in ["nodes", "radius", "tolerance", "area", "seed", "loss", "noise", "traffic", "duration", "sample"] {
+        if let Some(v) = a.get(key) {
+            tokens.push(format!("--{key}"));
+            tokens.push(v.to_string());
+        }
+    }
+    for flag in ["map", "static", "mobile", "quiet"] {
+        if a.flag(flag) {
+            tokens.push(format!("--{flag}"));
+        }
+    }
+    tokens.push("--budget".into());
+    tokens.push(budget.into());
+    Args::parse(tokens).expect("re-serialized arguments always parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn run_small_network() {
+        let a = parse("run --nodes 300 --area 160 --seed 4 --quiet");
+        run(&a).unwrap();
+    }
+
+    #[test]
+    fn run_static_mode() {
+        let a = parse("run --nodes 300 --area 160 --seed 4 --static --quiet");
+        run(&a).unwrap();
+    }
+
+    #[test]
+    fn heal_requires_kill_disk() {
+        let a = parse("heal --nodes 300 --area 160 --quiet");
+        assert!(heal(&a).is_err());
+    }
+
+    #[test]
+    fn with_budget_injects_default() {
+        let a = parse("watch --nodes 300 --map");
+        let b = with_budget(&a, "500");
+        assert_eq!(b.get("budget"), Some("500"));
+        assert!(b.flag("map"));
+        assert_eq!(b.get("nodes"), Some("300"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Protocol configuration.
+
+use gs3_geometry::{angular_slack, coordination_radius, head_spacing, Angle};
+use gs3_sim::SimDuration;
+
+/// Which variant of GS³ a network runs.
+///
+/// The paper develops the algorithm in three layers; each mode enables the
+/// corresponding module set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// GS³-S: the one-shot diffusing computation, no maintenance (Section 3).
+    Static,
+    /// GS³-D: adds node-join handling, intra-cell maintenance (head shift,
+    /// cell shift, abandonment), inter-cell maintenance, and sanity checking
+    /// (Section 4).
+    #[default]
+    Dynamic,
+    /// GS³-M: additionally handles big-node mobility via the proxy mechanism
+    /// (Section 5).
+    Mobile,
+}
+
+/// Tunable parameters of the GS³ protocol.
+///
+/// `r` and `r_t` are the paper's `R` (ideal cell radius) and `R_t` (radius
+/// tolerance). The timing knobs control heartbeat cadence and
+/// failure-detection windows; the paper leaves these open ("the frequency of
+/// heartbeat exchanges can be tuned").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gs3Config {
+    /// Ideal cell radius `R`.
+    pub r: f64,
+    /// Radius tolerance `R_t` (the density guarantee scale); must satisfy
+    /// `0 < r_t ≤ r`.
+    pub r_t: f64,
+    /// The global reference direction `GR`. The paper diffuses it alongside
+    /// the computation; since it only needs to be network-consistent, the
+    /// reproduction distributes it through configuration.
+    pub gr: Angle,
+    /// Protocol variant.
+    pub mode: Mode,
+    /// How long a head listens for `org_reply`s in `HEAD_ORG`.
+    pub collect_window: SimDuration,
+    /// Period of intra-cell heartbeats (`head_intra_alive`).
+    pub intra_heartbeat: SimDuration,
+    /// Period of inter-cell heartbeats (`head_inter_alive`).
+    pub inter_heartbeat: SimDuration,
+    /// Heartbeats missed before a peer is declared failed.
+    pub failure_misses: u32,
+    /// Stagger between successive candidates' self-promotion attempts
+    /// during head-shift elections.
+    pub election_stagger: SimDuration,
+    /// Period of the low-frequency `SANITY_CHECK`.
+    pub sanity_period: SimDuration,
+    /// How long a sanity round waits for neighbor verdicts.
+    pub sanity_window: SimDuration,
+    /// Period at which boundary heads re-run `HEAD_ORG` toward empty
+    /// directions.
+    pub boundary_check_period: SimDuration,
+    /// Delay before a freshly booted node begins join probing (lets the
+    /// initial diffusing computation claim it first).
+    pub join_initial_delay: SimDuration,
+    /// Retry period for join probing.
+    pub join_retry: SimDuration,
+    /// How long a join probe collects offers before deciding.
+    pub join_window: SimDuration,
+    /// Head retreats (head shift) when its energy falls below this and a
+    /// candidate is available.
+    pub head_retreat_energy: f64,
+    /// Abandon the cell when the current IL's distance to a neighboring
+    /// cell's IL exceeds this (paper: deviation beyond `2·√3·R`).
+    pub abandon_il_distance: f64,
+    /// Proxy refresh period (GS³-M big node).
+    pub proxy_refresh: SimDuration,
+    /// Proxy role expires after this long without refresh.
+    pub proxy_ttl: SimDuration,
+    /// Period of the sensing workload: associates report to their head,
+    /// heads aggregate and relay one message per period up the head graph
+    /// (the paper's data-aggregation traffic model, §4.1). Zero disables
+    /// the workload.
+    pub report_period: SimDuration,
+    /// ABLATION KNOB (default true = paper-faithful): anchor `HEAD_SELECT`
+    /// at the cell's *ideal location* rather than the head's actual
+    /// position. The paper's key trick for stopping placement error from
+    /// accumulating across bands; turning it off demonstrates the
+    /// accumulation (`gs3-bench --bin ablation`).
+    pub anchor_ils: bool,
+    /// ABLATION KNOB (default true = paper-faithful): serialize
+    /// neighboring `HEAD_ORG` rounds through the channel-reservation
+    /// arbiter. Turning it off lets concurrent rounds double-select cells.
+    pub channel_reservation: bool,
+}
+
+/// Configuration validation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `r` must be positive and finite.
+    BadRadius(f64),
+    /// `r_t` must satisfy `0 < r_t ≤ r`.
+    BadTolerance {
+        /// Offending tolerance.
+        r_t: f64,
+        /// The cell radius it was checked against.
+        r: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::BadRadius(r) => write!(f, "ideal cell radius {r} must be positive"),
+            ConfigError::BadTolerance { r_t, r } => {
+                write!(f, "radius tolerance {r_t} must be in (0, {r}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Gs3Config {
+    /// A configuration with paper-faithful geometry and sane timing
+    /// defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `r` or `r_t` is out of range.
+    pub fn new(r: f64, r_t: f64) -> Result<Self, ConfigError> {
+        if !(r.is_finite() && r > 0.0) {
+            return Err(ConfigError::BadRadius(r));
+        }
+        if !(r_t.is_finite() && r_t > 0.0 && r_t <= r) {
+            return Err(ConfigError::BadTolerance { r_t, r });
+        }
+        Ok(Gs3Config {
+            r,
+            r_t,
+            gr: Angle::ZERO,
+            mode: Mode::Dynamic,
+            collect_window: SimDuration::from_millis(300),
+            intra_heartbeat: SimDuration::from_secs(2),
+            inter_heartbeat: SimDuration::from_secs(3),
+            failure_misses: 3,
+            election_stagger: SimDuration::from_millis(250),
+            sanity_period: SimDuration::from_secs(30),
+            sanity_window: SimDuration::from_secs(1),
+            boundary_check_period: SimDuration::from_secs(20),
+            join_initial_delay: SimDuration::from_secs(30),
+            join_retry: SimDuration::from_secs(10),
+            join_window: SimDuration::from_millis(500),
+            head_retreat_energy: 0.0,
+            abandon_il_distance: 2.0 * head_spacing(r),
+            proxy_refresh: SimDuration::from_secs(2),
+            proxy_ttl: SimDuration::from_secs(7),
+            report_period: SimDuration::ZERO,
+            anchor_ils: true,
+            channel_reservation: true,
+        })
+    }
+
+    /// The local-coordination radius `√3·R + 2·R_t` — the broadcast range
+    /// of `HEAD_ORG`, `head_inter_alive`, and join probes.
+    #[must_use]
+    pub fn coord_radius(&self) -> f64 {
+        coordination_radius(self.r, self.r_t)
+    }
+
+    /// The head-lattice spacing `√3·R`.
+    #[must_use]
+    pub fn spacing(&self) -> f64 {
+        head_spacing(self.r)
+    }
+
+    /// The angular slack `α = asin(R_t/(√3·R))`.
+    #[must_use]
+    pub fn alpha(&self) -> Angle {
+        angular_slack(self.r, self.r_t)
+    }
+
+    /// Broadcast range for intra-cell traffic: covers the worst-case cell
+    /// radius `R + 2·R_t/√3` plus slack for heads displaced up to `R_t`
+    /// from the IL.
+    #[must_use]
+    pub fn cell_radius_bound(&self) -> f64 {
+        self.r + 2.0 * self.r_t / gs3_geometry::SQRT_3 + self.r_t
+    }
+
+    /// The intra-cell failure-detection timeout.
+    #[must_use]
+    pub fn intra_timeout(&self) -> SimDuration {
+        self.intra_heartbeat * u64::from(self.failure_misses)
+    }
+
+    /// The inter-cell failure-detection timeout.
+    #[must_use]
+    pub fn inter_timeout(&self) -> SimDuration {
+        self.inter_heartbeat * u64::from(self.failure_misses)
+    }
+
+    /// Sets the protocol variant.
+    #[must_use]
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the global reference direction.
+    #[must_use]
+    pub fn with_gr(mut self, gr: Angle) -> Self {
+        self.gr = gr;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_valid() {
+        let c = Gs3Config::new(100.0, 10.0).unwrap();
+        assert_eq!(c.mode, Mode::Dynamic);
+        assert!((c.coord_radius() - (100.0 * gs3_geometry::SQRT_3 + 20.0)).abs() < 1e-9);
+        assert!(c.cell_radius_bound() > c.r);
+        assert!(c.intra_timeout() > c.intra_heartbeat);
+    }
+
+    #[test]
+    fn rejects_bad_radius() {
+        assert!(matches!(Gs3Config::new(0.0, 1.0), Err(ConfigError::BadRadius(_))));
+        assert!(matches!(Gs3Config::new(f64::NAN, 1.0), Err(ConfigError::BadRadius(_))));
+    }
+
+    #[test]
+    fn rejects_bad_tolerance() {
+        assert!(matches!(Gs3Config::new(10.0, 0.0), Err(ConfigError::BadTolerance { .. })));
+        assert!(matches!(Gs3Config::new(10.0, 20.0), Err(ConfigError::BadTolerance { .. })));
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = Gs3Config::new(50.0, 5.0)
+            .unwrap()
+            .with_mode(Mode::Mobile)
+            .with_gr(Angle::from_degrees(30.0));
+        assert_eq!(c.mode, Mode::Mobile);
+        assert!((c.gr.degrees() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = Gs3Config::new(10.0, 20.0).unwrap_err();
+        assert!(format!("{e}").contains("tolerance"));
+    }
+}

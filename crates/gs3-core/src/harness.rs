@@ -1,0 +1,560 @@
+//! The network harness: builds a deployed GS³ network on the simulator,
+//! runs it to its fixpoint, injects every perturbation class of the paper's
+//! model, and extracts [`Snapshot`]s for checking and measurement.
+
+use gs3_geometry::{Point, Vec2};
+use gs3_sim::deploy::Deployment;
+use gs3_sim::radio::{EnergyModel, RadioModel};
+use gs3_sim::{Engine, NodeId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{ConfigError, Gs3Config, Mode};
+use crate::node::Gs3Node;
+use crate::snapshot::{view_role, NodeView, RoleView, Snapshot};
+use crate::state::Role;
+
+/// Builder for a deployed GS³ [`Network`].
+///
+/// ```rust
+/// use gs3_core::harness::NetworkBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = NetworkBuilder::new()
+///     .ideal_radius(100.0)
+///     .radius_tolerance(15.0)
+///     .area_radius(250.0)
+///     .expected_nodes(600)
+///     .seed(1)
+///     .build()?;
+/// assert!(net.engine().node_count() > 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    r: f64,
+    r_t: f64,
+    area_radius: f64,
+    lambda: f64,
+    seed: u64,
+    mode: Mode,
+    gaps: Vec<(Point, f64)>,
+    position_noise: f64,
+    radio: Option<RadioModel>,
+    energy: Option<(EnergyModel, f64)>,
+    big_pos: Point,
+    extra_bigs: Vec<Point>,
+    config_override: Option<Gs3Config>,
+    broadcast_loss: f64,
+    traffic_period: Option<SimDuration>,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        NetworkBuilder {
+            r: 100.0,
+            r_t: 15.0,
+            area_radius: 300.0,
+            lambda: 0.02,
+            seed: 0,
+            mode: Mode::Dynamic,
+            gaps: Vec::new(),
+            position_noise: 0.0,
+            radio: None,
+            energy: None,
+            big_pos: Point::ORIGIN,
+            extra_bigs: Vec::new(),
+            config_override: None,
+            broadcast_loss: 0.0,
+            traffic_period: None,
+        }
+    }
+}
+
+impl NetworkBuilder {
+    /// A builder with the default scenario (R=100, R_t=15, disk radius
+    /// 300, λ=0.02 ⇒ ≈1800 nodes).
+    #[must_use]
+    pub fn new() -> Self {
+        NetworkBuilder::default()
+    }
+
+    /// Sets the ideal cell radius `R`.
+    #[must_use]
+    pub fn ideal_radius(mut self, r: f64) -> Self {
+        self.r = r;
+        self
+    }
+
+    /// Sets the radius tolerance `R_t`.
+    #[must_use]
+    pub fn radius_tolerance(mut self, r_t: f64) -> Self {
+        self.r_t = r_t;
+        self
+    }
+
+    /// Sets the deployment disk radius (centered on the big node).
+    #[must_use]
+    pub fn area_radius(mut self, radius: f64) -> Self {
+        self.area_radius = radius;
+        self
+    }
+
+    /// Sets the paper's density λ (expected nodes per unit-radius disk).
+    #[must_use]
+    pub fn density(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the density via a target expected node count over the
+    /// deployment area.
+    #[must_use]
+    pub fn expected_nodes(mut self, n: usize) -> Self {
+        self.lambda = n as f64 / (self.area_radius * self.area_radius);
+        self
+    }
+
+    /// Sets the RNG seed (deployment and channel jitter are fully
+    /// deterministic given the seed).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the protocol variant.
+    #[must_use]
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Clears a disk of nodes (an `R_t`-gap) from the deployment.
+    #[must_use]
+    pub fn with_gap(mut self, center: Point, radius: f64) -> Self {
+        self.gaps.push((center, radius));
+        self
+    }
+
+    /// Adds Gaussian localization noise (σ meters).
+    #[must_use]
+    pub fn position_noise(mut self, sigma: f64) -> Self {
+        self.position_noise = sigma;
+        self
+    }
+
+    /// Sets the broadcast loss probability (in `[0, 1)`).
+    #[must_use]
+    pub fn broadcast_loss(mut self, loss: f64) -> Self {
+        self.broadcast_loss = loss;
+        self
+    }
+
+    /// Overrides the radio model entirely.
+    #[must_use]
+    pub fn radio(mut self, radio: RadioModel) -> Self {
+        self.radio = Some(radio);
+        self
+    }
+
+    /// Enables energy accounting with the given model and per-node budget.
+    #[must_use]
+    pub fn energy(mut self, model: EnergyModel, budget: f64) -> Self {
+        self.energy = Some((model, budget));
+        self
+    }
+
+    /// Places the big node (default: origin, the deployment center).
+    #[must_use]
+    pub fn big_position(mut self, pos: Point) -> Self {
+        self.big_pos = pos;
+        self
+    }
+
+    /// Adds an additional big node (gateway) at `pos` — the paper's
+    /// Section 7 extension: each small node ends up in the structure of
+    /// its best (closest) big node, and the head graphs form a forest with
+    /// one tree per gateway.
+    #[must_use]
+    pub fn with_extra_big(mut self, pos: Point) -> Self {
+        self.extra_bigs.push(pos);
+        self
+    }
+
+    /// Uses a fully custom protocol configuration (overrides `r`, `r_t`,
+    /// and `mode` set on the builder).
+    #[must_use]
+    pub fn config(mut self, cfg: Gs3Config) -> Self {
+        self.config_override = Some(cfg);
+        self
+    }
+
+    /// Enables the sensing workload: associates report to their head and
+    /// heads aggregate-and-relay up the head graph every `period` (the
+    /// paper's data-aggregation traffic model).
+    #[must_use]
+    pub fn traffic(mut self, period: SimDuration) -> Self {
+        self.traffic_period = Some(period);
+        self
+    }
+
+    /// Deploys the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the geometric parameters are invalid.
+    pub fn build(self) -> Result<Network, ConfigError> {
+        let mut cfg = match self.config_override {
+            Some(c) => c,
+            None => Gs3Config::new(self.r, self.r_t)?.with_mode(self.mode),
+        };
+        if let Some(period) = self.traffic_period {
+            cfg.report_period = period;
+        }
+        // With energy accounting on, heads retreat proactively while they
+        // can still afford the handover chatter (head shift / cell shift
+        // instead of abrupt death). ~40 coordination broadcasts of slack.
+        if let Some((model, _)) = &self.energy {
+            if cfg.head_retreat_energy == 0.0 {
+                cfg.head_retreat_energy = model.tx_cost(
+                    gs3_geometry::coordination_radius(cfg.r, cfg.r_t),
+                ) * 40.0;
+            }
+        }
+        let radio = self.radio.unwrap_or_else(|| {
+            let mut m = RadioModel::ideal(cfg.coord_radius() * 1.05);
+            m.broadcast_loss = self.broadcast_loss;
+            m
+        });
+        let (energy_model, budget) = match self.energy {
+            Some((m, b)) => (m, Some(b)),
+            None => (EnergyModel::disabled(), None),
+        };
+        let mut eng: Engine<Gs3Node> = Engine::new(radio, energy_model, self.seed);
+
+        // The big node anchors the structure; spawn it first so the
+        // diffusion starts at t=0. As the gateway/access point it is
+        // mains-powered: the energy budget applies to small nodes only.
+        let big = eng.spawn_at(Gs3Node::big(cfg.clone()), self.big_pos, SimTime::ZERO, None);
+        let mut bigs = vec![big];
+        for pos in &self.extra_bigs {
+            bigs.push(eng.spawn_at(Gs3Node::big(cfg.clone()), *pos, SimTime::ZERO, None));
+        }
+
+        // `lambda` is the paper's λ (expected nodes per unit-radius disk),
+        // which Deployment::disk takes directly: expected count = λ·r².
+        let mut deploy = Deployment::disk(self.area_radius, self.lambda)
+            .with_position_noise(self.position_noise);
+        for (c, g) in &self.gaps {
+            deploy = deploy.with_gap(*c, *g);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for pos in deploy.generate(&mut rng) {
+            eng.spawn_at(Gs3Node::small(cfg.clone()), pos, SimTime::ZERO, budget);
+        }
+
+        Ok(Network { eng, big, bigs, cfg, rng, budget })
+    }
+}
+
+/// How a [`Network::run_to_fixpoint`] run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The structure stabilized (structural signature unchanged over the
+    /// required number of polls, no `HEAD_ORG` in flight).
+    Fixpoint {
+        /// Simulation time at which stabilization was *detected* (the
+        /// structure settled up to one stability window earlier).
+        at: SimTime,
+        /// How many polls it took.
+        polls: u32,
+    },
+    /// The deadline passed without stabilization.
+    TimedOut {
+        /// The deadline.
+        at: SimTime,
+    },
+}
+
+/// A deployed GS³ network under simulation.
+#[derive(Debug)]
+pub struct Network {
+    eng: Engine<Gs3Node>,
+    big: NodeId,
+    bigs: Vec<NodeId>,
+    cfg: Gs3Config,
+    rng: StdRng,
+    budget: Option<f64>,
+}
+
+impl Network {
+    /// The underlying simulator.
+    #[must_use]
+    pub fn engine(&self) -> &Engine<Gs3Node> {
+        &self.eng
+    }
+
+    /// Mutable access to the simulator (for advanced perturbations).
+    pub fn engine_mut(&mut self) -> &mut Engine<Gs3Node> {
+        &mut self.eng
+    }
+
+    /// The (primary) big node's id.
+    #[must_use]
+    pub fn big_id(&self) -> NodeId {
+        self.big
+    }
+
+    /// All big nodes' ids (the primary plus any extras).
+    #[must_use]
+    pub fn big_ids(&self) -> &[NodeId] {
+        &self.bigs
+    }
+
+    /// The protocol configuration.
+    #[must_use]
+    pub fn config(&self) -> &Gs3Config {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.eng.now()
+    }
+
+    /// Runs the simulation for a span of simulated time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.eng.run_for(span);
+    }
+
+    /// Runs until the cell structure stabilizes: the structural signature
+    /// is unchanged for `stable_polls` consecutive polls of `poll` each.
+    /// Gives up at `deadline`.
+    ///
+    /// Periodic boundary re-probes open no-op `HEAD_ORG` rounds forever in
+    /// dynamic networks, so an *in-flight* round does not count as
+    /// instability — only signature changes (a round that selects someone
+    /// changes the signature and resets the counter).
+    pub fn run_to_fixpoint_with(
+        &mut self,
+        poll: SimDuration,
+        stable_polls: u32,
+        deadline: SimTime,
+    ) -> RunOutcome {
+        let mut last_sig = self.snapshot().structural_signature();
+        let mut stable = 0u32;
+        let mut polls = 0u32;
+        while self.eng.now() < deadline {
+            self.eng.run_for(poll);
+            polls += 1;
+            let snap = self.snapshot();
+            let sig = snap.structural_signature();
+            if sig == last_sig {
+                stable += 1;
+                if stable >= stable_polls {
+                    return RunOutcome::Fixpoint { at: self.eng.now(), polls };
+                }
+            } else {
+                stable = 0;
+                last_sig = sig;
+            }
+        }
+        RunOutcome::TimedOut { at: deadline }
+    }
+
+    /// [`run_to_fixpoint_with`](Network::run_to_fixpoint_with) using
+    /// defaults sized to the configuration (poll = one intra heartbeat,
+    /// 4 stable polls, deadline = now + 600 s).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same outcome as `run_to_fixpoint_with`; the `Result`
+    /// never carries an error today but reserves the right to (kept for
+    /// API stability with the facade examples).
+    pub fn run_to_fixpoint(&mut self) -> Result<RunOutcome, ConfigError> {
+        let poll = self.cfg.intra_heartbeat;
+        // The stability window must exceed the failure-detection windows
+        // (intra and inter timeouts, twice over), or a perturbation still
+        // inside its silent detection phase would read as "stable".
+        let detect = (self.cfg.intra_timeout() * 2) + (self.cfg.inter_timeout() * 2);
+        let polls = (detect.as_micros() / poll.as_micros().max(1)) as u32 + 2;
+        let deadline = self.eng.now() + SimDuration::from_secs(600);
+        Ok(self.run_to_fixpoint_with(poll, polls, deadline))
+    }
+
+    /// Extracts a full structural snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let r_t = self.cfg.r_t;
+        let mut nodes = Vec::with_capacity(self.eng.node_count());
+        for id in self.eng.ids() {
+            let node = self.eng.node(id).expect("ids() yields valid ids");
+            let pos = self.eng.position(id).expect("valid id");
+            let alive = self.eng.is_alive(id).expect("valid id");
+            let (mut role, ids_stored) = view_role(&node.role);
+            if let RoleView::Associate { cell_il, is_candidate, surrogate, .. } = &mut role {
+                *is_candidate = !*surrogate && pos.distance(*cell_il) <= r_t;
+            }
+            nodes.push(NodeView { id, pos, alive, is_big: node.is_big(), role, ids_stored });
+        }
+        Snapshot {
+            r: self.cfg.r,
+            r_t,
+            big: self.big,
+            max_range: self.eng.radio().max_range,
+            gr: self.cfg.gr,
+            nodes,
+        }
+    }
+
+    /// Runs the full invariant suite against the current state.
+    #[must_use]
+    pub fn check_invariants(&self) -> Vec<crate::invariants::Violation> {
+        let strictness = match self.cfg.mode {
+            Mode::Static => crate::invariants::Strictness::Static,
+            _ => crate::invariants::Strictness::Dynamic,
+        };
+        crate::invariants::check_all(&self.snapshot(), strictness)
+    }
+
+    // ------------------------------------------------------------------
+    // Perturbations (the paper's system model, Section 2.1)
+    // ------------------------------------------------------------------
+
+    /// Fail-stop one node (leave/death).
+    pub fn kill(&mut self, id: NodeId) {
+        let _ = self.eng.kill(id);
+    }
+
+    /// Fail-stop every alive node within `radius` of `center` (a
+    /// contiguous perturbed area of diameter `2·radius`). Returns the
+    /// killed ids. The big node survives (killing the root is a different
+    /// experiment).
+    pub fn kill_disk(&mut self, center: Point, radius: f64) -> Vec<NodeId> {
+        let victims: Vec<NodeId> = self
+            .eng
+            .alive_ids()
+            .filter(|id| {
+                *id != self.big
+                    && self.eng.position(*id).map(|p| center.distance(p) <= radius).unwrap_or(false)
+            })
+            .collect();
+        for id in &victims {
+            let _ = self.eng.kill(*id);
+        }
+        victims
+    }
+
+    /// Kills a uniformly random sample of `count` alive small nodes.
+    pub fn kill_random(&mut self, count: usize) -> Vec<NodeId> {
+        let mut alive: Vec<NodeId> =
+            self.eng.alive_ids().filter(|id| *id != self.big).collect();
+        let mut victims = Vec::new();
+        for _ in 0..count.min(alive.len()) {
+            let idx = self.rng.gen_range(0..alive.len());
+            let id = alive.swap_remove(idx);
+            let _ = self.eng.kill(id);
+            victims.push(id);
+        }
+        victims
+    }
+
+    /// Spawns (joins) a new small node at `pos`.
+    pub fn join_node(&mut self, pos: Point) -> NodeId {
+        self.eng
+            .spawn_at(Gs3Node::small(self.cfg.clone()), pos, self.eng.now(), self.budget)
+    }
+
+    /// Moves a node to an absolute position (mobility step).
+    pub fn move_node(&mut self, id: NodeId, pos: Point) {
+        let _ = self.eng.set_position(id, pos);
+    }
+
+    /// Moves the big node to an absolute position.
+    pub fn move_big(&mut self, pos: Point) {
+        let _ = self.eng.set_position(self.big, pos);
+    }
+
+    /// State corruption: displaces a head's stored IL by `offset`,
+    /// violating the hexagonal relation so `SANITY_CHECK` must catch it.
+    /// Returns false when the node is not currently a head.
+    pub fn corrupt_head_il(&mut self, id: NodeId, offset: Vec2) -> bool {
+        match self.eng.node_mut(id) {
+            Ok(node) => match &mut node.role {
+                Role::Head(h) => {
+                    h.il += offset;
+                    true
+                }
+                _ => false,
+            },
+            Err(_) => false,
+        }
+    }
+
+    /// State corruption: scrambles a head's hop count (drives the head
+    /// graph toward an arbitrary state; inter-cell maintenance must
+    /// restore the min-distance tree).
+    pub fn corrupt_head_hops(&mut self, id: NodeId, hops: u32) -> bool {
+        match self.eng.node_mut(id) {
+            Ok(node) => match &mut node.role {
+                Role::Head(h) => {
+                    h.hops = hops;
+                    true
+                }
+                _ => false,
+            },
+            Err(_) => false,
+        }
+    }
+
+    /// Drains a node's battery to `energy` (predictable-death lever).
+    pub fn set_energy(&mut self, id: NodeId, energy: f64) {
+        let _ = self.eng.set_energy(id, energy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_deploys_big_plus_small() {
+        let net = NetworkBuilder::new()
+            .area_radius(200.0)
+            .expected_nodes(300)
+            .seed(3)
+            .build()
+            .unwrap();
+        assert!(net.engine().node_count() > 200);
+        assert_eq!(net.big_id(), NodeId::new(0));
+        let snap = net.snapshot();
+        assert_eq!(snap.nodes.len(), net.engine().node_count());
+    }
+
+    #[test]
+    fn expected_nodes_sets_lambda() {
+        let b = NetworkBuilder::new().area_radius(100.0).expected_nodes(500);
+        assert!((b.lambda - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_bad_geometry() {
+        assert!(NetworkBuilder::new().ideal_radius(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn kill_disk_respects_big() {
+        let mut net = NetworkBuilder::new()
+            .area_radius(150.0)
+            .expected_nodes(200)
+            .seed(4)
+            .build()
+            .unwrap();
+        let victims = net.kill_disk(Point::ORIGIN, 50.0);
+        assert!(!victims.contains(&net.big_id()));
+        assert!(net.engine().is_alive(net.big_id()).unwrap());
+    }
+}

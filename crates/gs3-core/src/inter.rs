@@ -1,0 +1,437 @@
+//! Inter-cell maintenance (`HEAD_INTER_CELL`, `PARENT_SEEK`, boundary
+//! re-organization) — paper Section 4.2 and Appendix 2.
+
+use gs3_geometry::hex::{big_node_ideal_locations, child_ideal_locations};
+use gs3_geometry::spiral::IccIcp;
+use gs3_geometry::Point;
+use gs3_sim::NodeId;
+
+use crate::messages::{HeadInfo, Msg};
+use crate::node::{Ctx, Gs3Node};
+use crate::state::{NeighborInfo, Role};
+use crate::timers::Timer;
+
+impl Gs3Node {
+    /// Periodic `HEAD_INTER_CELL`: prune the neighbor/child tables, detect
+    /// parent/child failures, expire a stale proxy role, and beat.
+    pub(crate) fn on_inter_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.id();
+        let pos = ctx.position();
+        let now = ctx.now();
+        let timeout = self.cfg.inter_timeout();
+        let coord = self.cfg.coord_radius();
+        let period = self.cfg.inter_heartbeat;
+        let proxy_ttl = self.cfg.proxy_ttl;
+
+        let Role::Head(h) = &mut self.role else {
+            return;
+        };
+
+        // Expire the proxy role when the big node stopped refreshing it.
+        if h.is_proxy && now.saturating_since(h.proxy_refreshed) > proxy_ttl {
+            h.is_proxy = false;
+            self.rehang_after_proxy(ctx);
+        }
+        let Role::Head(h) = &mut self.role else {
+            return;
+        };
+
+        // Child failure: inter-cell silence twice over after the child
+        // cell's own intra-cell healing window.
+        let failed_children: Vec<NodeId> = h
+            .children
+            .iter()
+            .filter(|(_, info)| now.saturating_since(info.last_heard) > timeout * 2)
+            .map(|(id, _)| *id)
+            .collect();
+        let any_child_failed = !failed_children.is_empty();
+        for id in &failed_children {
+            h.children.remove(id);
+            h.neighbors.remove(id);
+        }
+
+        // Prune non-child neighbors that went silent.
+        h.neighbors.retain(|_, info| now.saturating_since(info.last_heard) <= timeout * 2);
+
+        // Parent failure: silence twice over, after which we seek a new
+        // parent among the surviving neighbors.
+        let parent_failed = h.parent != me
+            && now.saturating_since(h.parent_last_heard) > timeout * 2;
+        if parent_failed {
+            h.neighbors.remove(&h.parent);
+            // The link is broken: inflate our hop count so that any
+            // parent_seek_ack (and evaluate_parent) is accepted instead of
+            // being rejected against the stale pre-failure hops.
+            h.hops = u32::MAX / 2;
+            let seeker_il = h.il;
+            let best = h
+                .neighbors
+                .iter()
+                .filter(|(id, _)| !h.children.contains_key(id))
+                .min_by(|a, b| a.1.hops.cmp(&b.1.hops))
+                .map(|(id, _)| *id);
+            match best {
+                Some(target) => {
+                    // Optimistically lean on the best neighbor while the
+                    // handshake completes.
+                    h.parent_last_heard = now;
+                    ctx.unicast(target, Msg::ParentSeek { il: seeker_il });
+                }
+                None => {
+                    if h.children.is_empty() {
+                        // Fully disconnected head: dissolve (the paper's
+                        // head_disconnected path).
+                        self.abandon_cell(ctx);
+                        return;
+                    }
+                    // Children exist; let one of them re-parent us via
+                    // their own beats — refresh and wait.
+                    h.parent_last_heard = now;
+                }
+            }
+        }
+
+        // The root (big node or proxy) anchors the tree at its own
+        // position; everyone else forwards the anchor learned from its
+        // parent.
+        if h.parent == me {
+            h.root_pos = pos;
+            h.hops = 0;
+        }
+        let _ = h;
+        self.evaluate_parent(ctx);
+        let Role::Head(h) = &mut self.role else {
+            return;
+        };
+        let effective_hops = if h.is_proxy { 0 } else { h.hops };
+        let hi = HeadInfo {
+            head: me,
+            pos,
+            il: h.il,
+            icc_icp: h.icc_icp,
+            hops: effective_hops,
+            parent: h.parent,
+            root_pos: h.root_pos,
+        };
+        ctx.broadcast(coord, Msg::HeadInterAlive(hi));
+        ctx.set_timer(period, Timer::InterHeartbeat);
+
+        if any_child_failed {
+            // Recover the lost direction by re-running HEAD_ORG soon.
+            self.schedule_reorg(ctx);
+        }
+    }
+
+    /// `head_inter_alive` received.
+    pub(crate) fn on_head_inter_alive(&mut self, from: NodeId, hi: HeadInfo, ctx: &mut Ctx<'_>) {
+        let me = ctx.id();
+        match &mut self.role {
+            Role::Head(h) => {
+                h.neighbors.insert(
+                    from,
+                    NeighborInfo {
+                        pos: hi.pos,
+                        il: hi.il,
+                        icc_icp: hi.icc_icp,
+                        hops: hi.hops,
+                        last_heard: ctx.now(),
+                    },
+                );
+                if hi.parent == me {
+                    h.children.insert(
+                        from,
+                        NeighborInfo {
+                            pos: hi.pos,
+                            il: hi.il,
+                            icc_icp: hi.icc_icp,
+                            hops: hi.hops,
+                            last_heard: ctx.now(),
+                        },
+                    );
+                } else {
+                    h.children.remove(&from);
+                }
+                if from == h.parent {
+                    h.parent_last_heard = ctx.now();
+                    h.parent_il = hi.il;
+                    h.parent_pos = hi.pos;
+                    if !h.is_proxy && h.parent != me {
+                        h.hops = hi.hops.saturating_add(1);
+                        h.root_pos = hi.root_pos;
+                    }
+                } else if !h.is_proxy && h.parent != me {
+                    // Keep our root anchor as fresh as possible: a
+                    // neighbor strictly closer to the root has a newer
+                    // view of it along the shorter path. Parent selection
+                    // itself happens once per heartbeat over the whole
+                    // neighbor table (evaluate_parent), never per message:
+                    // per-message switching races the propagation of hop
+                    // improvements and flips equal-cost edges arbitrarily
+                    // far from a root move.
+                    if hi.hops < h.hops {
+                        h.root_pos = hi.root_pos;
+                    }
+                }
+            }
+            Role::Associate(a) => {
+                if from == a.head {
+                    a.last_heard = ctx.now();
+                    a.head_pos = hi.pos;
+                }
+            }
+            Role::Bootup(b) => {
+                if b.collecting
+                    && !b.head_offers.iter().any(|(id, ..)| *id == from) {
+                        b.head_offers.push((from, hi.pos, hi.hops));
+                    }
+            }
+            Role::BigAway(b) => {
+                b.known_heads.insert(from, (hi.pos, hi.il, ctx.now()));
+            }
+        }
+    }
+
+    /// Adopt `candidate` as parent when it is strictly closer to the big
+    /// node than the current parent — the paper's rule ("a head chooses
+    /// the neighboring head closest to the big node as its parent"), which
+    /// keeps `G_h` a min-distance spanning tree of `G_hn` (fixpoint F₁.₂)
+    /// and is what makes big-node moves contained (Theorem 11): cartesian
+    /// distances to the root change only near the move, so far-away parent
+    /// choices never flip.
+    pub(crate) fn maybe_adopt_parent(
+        &mut self,
+        candidate: NodeId,
+        candidate_il: Point,
+        candidate_pos: Point,
+        candidate_hops: u32,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let me = ctx.id();
+        let pos = ctx.position();
+        let Role::Head(h) = &mut self.role else {
+            return;
+        };
+        if candidate == h.parent || candidate == me {
+            return;
+        }
+        if h.children.contains_key(&candidate) {
+            return;
+        }
+        // Change parents only when *required*: the candidate strictly
+        // improves the hop distance to the root, or the current parent
+        // link is broken. Equal-cost alternatives never cause a flip —
+        // this "lazy" rule is what keeps the impact of a root move
+        // contained (Theorem 11): a head whose current parent still lies
+        // on a shortest path is untouched, however the root moved. Among
+        // strict improvements, cartesian closeness to the root was already
+        // folded into the ranked order in which beats arrive; hysteresis
+        // is the strict inequality itself.
+        let parent_broken = h.hops >= u32::MAX / 2;
+        let improves = candidate_hops.saturating_add(1) < h.hops;
+        let d_cand = candidate_pos.distance(h.root_pos);
+        let d_self = pos.distance(h.root_pos);
+        if improves || (parent_broken && d_cand < d_self) {
+            let old = h.parent;
+            h.parent = candidate;
+            h.parent_il = candidate_il;
+            h.parent_pos = candidate_pos;
+            h.parent_last_heard = ctx.now();
+            h.hops = candidate_hops.saturating_add(1);
+            let il = h.il;
+            ctx.unicast(candidate, Msg::NewChildHead { pos, il });
+            if old != me {
+                ctx.unicast(old, Msg::ChildRetire);
+            }
+        }
+    }
+
+    /// Once-per-heartbeat parent evaluation over the whole (fresh)
+    /// neighbor table. Switches only when some neighbor offers a strictly
+    /// better hop distance than the *parent's own current offer* — the
+    /// "change only when required" rule that keeps root moves contained
+    /// (Theorem 11): equal-cost alternatives never steal an edge, and a
+    /// parent whose improvement simply hasn't beaten yet is not punished.
+    pub(crate) fn evaluate_parent(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.id();
+        let now = ctx.now();
+        let fresh_cutoff = self.cfg.inter_timeout();
+        let Role::Head(h) = &mut self.role else {
+            return;
+        };
+        if h.parent == me || h.is_proxy {
+            return;
+        }
+        // The parent's current offer: its latest advertised hops (assume
+        // still valid when it has not appeared in the table yet, e.g.
+        // right after an election).
+        let parent_offer = h
+            .neighbors
+            .get(&h.parent)
+            .map_or_else(|| h.hops.saturating_sub(1), |n| n.hops);
+        let root = h.root_pos;
+        let best = h
+            .neighbors
+            .iter()
+            .filter(|(id, n)| {
+                **id != me
+                    && !h.children.contains_key(*id)
+                    && now.saturating_since(n.last_heard) <= fresh_cutoff
+            })
+            .min_by(|(aid, a), (bid, b)| {
+                a.hops
+                    .cmp(&b.hops)
+                    .then_with(|| a.pos.distance(root).total_cmp(&b.pos.distance(root)))
+                    .then_with(|| aid.cmp(bid))
+            })
+            .map(|(id, n)| (*id, n.il, n.pos, n.hops));
+        let Some((best_id, best_il, best_pos, best_hops)) = best else {
+            return;
+        };
+        // Switch when REQUIRED — the parent is no longer strictly closer
+        // to the root than we are (the gradient-validity the paper's
+        // "closest to the big node" rule maintains), or when a neighbor
+        // improves the hop count by ≥2 (a real restructuring, not the ±1
+        // seam churn a root-cell change induces across the whole field).
+        // Lazy ±1 maintenance is what contains a root move within
+        // Theorem 11's disk: a far head's parent margin (≈ √3R·cosθ)
+        // dominates the distance shift a move of d ≤ √3R causes at range,
+        // so validity never breaks away from the move.
+        let pos = ctx.position();
+        let d_self = pos.distance(h.root_pos);
+        let parent_valid = h.parent_pos.distance(h.root_pos) + 1e-6 < d_self;
+        let big_improvement = best_hops.saturating_add(2) <= parent_offer;
+        if best_id != h.parent
+            && (!parent_valid || big_improvement)
+            && best_pos.distance(h.root_pos) + 1e-6 < d_self
+        {
+            let old = h.parent;
+            h.parent = best_id;
+            h.parent_il = best_il;
+            h.parent_pos = best_pos;
+            h.parent_last_heard = now;
+            h.hops = best_hops.saturating_add(1);
+            let il = h.il;
+            ctx.unicast(best_id, Msg::NewChildHead { pos, il });
+            if old != me {
+                ctx.unicast(old, Msg::ChildRetire);
+            }
+        } else {
+            // Keep the parent; follow its current offer.
+            h.hops = parent_offer.saturating_add(1);
+        }
+    }
+
+    /// `new_child_head` received: the sender adopted us as parent.
+    pub(crate) fn on_new_child_head(
+        &mut self,
+        from: NodeId,
+        pos: Point,
+        il: Point,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if let Role::Head(h) = &mut self.role {
+            let info = NeighborInfo {
+                pos,
+                il,
+                icc_icp: IccIcp::ORIGIN,
+                hops: h.hops.saturating_add(1),
+                last_heard: ctx.now(),
+            };
+            h.children.insert(from, info.clone());
+            h.neighbors.entry(from).or_insert(info);
+        }
+    }
+
+    /// `child_retire` received: the sender switched to another parent.
+    pub(crate) fn on_child_retire(&mut self, from: NodeId, _ctx: &mut Ctx<'_>) {
+        if let Role::Head(h) = &mut self.role {
+            h.children.remove(&from);
+        }
+    }
+
+    /// `parent_seek` received: accept unless the seeker is our own parent
+    /// (which would create a cycle).
+    pub(crate) fn on_parent_seek(&mut self, from: NodeId, il: Point, ctx: &mut Ctx<'_>) {
+        let Role::Head(h) = &mut self.role else {
+            return;
+        };
+        if from == h.parent {
+            return;
+        }
+        let _ = il;
+        ctx.unicast(from, Msg::ParentSeekAck { hops: h.hops, il: h.il, pos: ctx.position() });
+    }
+
+    /// `parent_seek_ack` received: adopt the acceptor.
+    pub(crate) fn on_parent_seek_ack(
+        &mut self,
+        from: NodeId,
+        hops: u32,
+        il: Point,
+        pos: Point,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let me = ctx.id();
+        let Role::Head(h) = &mut self.role else {
+            return;
+        };
+        if h.parent == from || h.children.contains_key(&from) {
+            return;
+        }
+        // Accept when it improves or when our parent link is broken (hops
+        // inflated by the failure path).
+        if hops.saturating_add(1) <= h.hops || h.hops >= u32::MAX / 2 {
+            let old = h.parent;
+            h.parent = from;
+            h.parent_il = il;
+            h.parent_pos = pos;
+            h.parent_last_heard = ctx.now();
+            h.hops = hops.saturating_add(1);
+            h.neighbors.insert(
+                from,
+                NeighborInfo { pos, il, icc_icp: IccIcp::ORIGIN, hops, last_heard: ctx.now() },
+            );
+            let my_il = h.il;
+            ctx.unicast(from, Msg::NewChildHead { pos: ctx.position(), il: my_il });
+            if old != me && old != from {
+                ctx.unicast(old, Msg::ChildRetire);
+            }
+        }
+    }
+
+    /// Periodic boundary probe: when some neighbor IL is unoccupied (an
+    /// `R_t`-gap at selection time, or a killed cell), re-run `HEAD_ORG` so
+    /// newly appeared nodes get organized (GS³-D Section 4.2).
+    pub(crate) fn on_boundary_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.id();
+        let period = self.cfg.boundary_check_period;
+        let spacing = self.cfg.spacing();
+        let r = self.cfg.r;
+        let gr = self.cfg.gr;
+
+        let needs_reorg = {
+            let Role::Head(h) = &self.role else {
+                return;
+            };
+            if h.org.is_some() {
+                false
+            } else {
+                let ils = if h.parent == me {
+                    big_node_ideal_locations(h.il, r, gr)
+                } else {
+                    child_ideal_locations(h.parent_il, h.il, r)
+                };
+                ils.iter().any(|il| {
+                    let occupied = h.neighbors.values().any(|n| n.il.distance(*il) < spacing / 2.0)
+                        || h.il.distance(*il) < spacing / 2.0;
+                    !occupied
+                })
+            }
+        };
+        if needs_reorg {
+            self.start_head_org(ctx);
+        }
+        let jitter = self.phase_jitter(ctx, period);
+        ctx.set_timer(period + jitter, Timer::BoundaryTick);
+    }
+}

@@ -1,0 +1,654 @@
+//! The paper's invariant and fixpoint predicates as executable checks.
+//!
+//! Each function verifies one family of predicates from Sections 3.3 / 4.3
+//! against a [`Snapshot`] and reports violations. [`check_all`] bundles the
+//! full suite. The checks implement the *dynamic* relaxations (I₂ with
+//! `⟨ICC, ICP⟩`-dependent distances, ≤5 children) when `strictness` is
+//! [`Strictness::Dynamic`], and the tight static bounds when
+//! [`Strictness::Static`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use gs3_geometry::{head_spacing, Point, SQRT_3};
+use gs3_sim::NodeId;
+
+use crate::snapshot::{NodeView, RoleView, Snapshot};
+
+/// Which bound set to verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strictness {
+    /// GS³-S bounds (Theorem 1): ≤3 children per small head, distances in
+    /// `[√3R − 2R_t, √3R + 2R_t]`.
+    Static,
+    /// GS³-D/M relaxations (Theorem 5): ≤5 children, IL-relative distance
+    /// bounds, boundary-cell slack.
+    Dynamic,
+}
+
+/// One violated predicate instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which predicate family failed.
+    pub kind: ViolationKind,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// The predicate families of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// I₁.₂ — the head graph is not a tree rooted at the big node.
+    HeadGraphNotTree,
+    /// I₁.₁ — heads connected in `G_h` are not connected in `G_p`.
+    HeadGraphUnreachable,
+    /// I₂.₁/I₂.₂ — neighboring-head distance out of bounds.
+    NeighborDistance,
+    /// I₂.₃ — too many children.
+    ChildrenCount,
+    /// I₂.₄ — an associate is too far from its head.
+    CellRadius,
+    /// I₃/F₃ — an associate is not with its best (closest) head.
+    NotBestHead,
+    /// F₄ — a node connected to the big node is not in any cell.
+    Coverage,
+    /// A head strayed more than `R_t` from its IL.
+    HeadOffIdeal,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.detail)
+    }
+}
+
+/// Numeric slack applied to all geometric comparisons (covers float error
+/// and in-flight position updates).
+const EPS: f64 = 1e-6;
+
+fn head_fields(n: &NodeView) -> Option<(Point, NodeId, u32, &Vec<NodeId>)> {
+    match &n.role {
+        RoleView::Head { il, parent, hops, children, .. } => Some((*il, *parent, *hops, children)),
+        _ => None,
+    }
+}
+
+/// I₁.₂: the head graph is a tree rooted at the big node (or at its proxy
+/// / current root when the big node is away): exactly one root, every head
+/// reaches it by parent pointers, and hops are consistent along the way.
+#[must_use]
+pub fn check_head_graph_tree(snap: &Snapshot) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let heads: BTreeMap<NodeId, &NodeView> = snap.heads().map(|n| (n.id, n)).collect();
+    if heads.is_empty() {
+        return vec![Violation {
+            kind: ViolationKind::HeadGraphNotTree,
+            detail: "no heads at all".into(),
+        }];
+    }
+    let roots: Vec<NodeId> = heads
+        .values()
+        .filter_map(|n| head_fields(n).filter(|(_, p, ..)| *p == n.id).map(|_| n.id))
+        .collect();
+    if roots.len() != 1 {
+        out.push(Violation {
+            kind: ViolationKind::HeadGraphNotTree,
+            detail: format!("expected exactly 1 root, found {roots:?}"),
+        });
+    }
+    // Walk parent pointers from every head; must terminate at a root
+    // without revisiting (cycle detection).
+    for (&id, view) in &heads {
+        let mut seen = BTreeSet::new();
+        let mut cur = id;
+        loop {
+            if !seen.insert(cur) {
+                out.push(Violation {
+                    kind: ViolationKind::HeadGraphNotTree,
+                    detail: format!("parent cycle through {cur}"),
+                });
+                break;
+            }
+            let Some(h) = heads.get(&cur) else {
+                out.push(Violation {
+                    kind: ViolationKind::HeadGraphNotTree,
+                    detail: format!("{id}'s ancestor {cur} is not an alive head"),
+                });
+                break;
+            };
+            let (_, parent, ..) = head_fields(h).expect("heads() yields heads");
+            if parent == cur {
+                break; // reached the root
+            }
+            cur = parent;
+        }
+        let _ = view;
+    }
+    out
+}
+
+/// The root each head reaches by following parent pointers, or `None`
+/// when the chain is broken (cycle, or an ancestor that is not an alive
+/// head).
+#[must_use]
+pub fn head_roots(snap: &Snapshot) -> BTreeMap<NodeId, Option<NodeId>> {
+    let heads: BTreeMap<NodeId, &NodeView> = snap.heads().map(|n| (n.id, n)).collect();
+    let mut out = BTreeMap::new();
+    for &id in heads.keys() {
+        let mut seen = BTreeSet::new();
+        let mut cur = id;
+        let root = loop {
+            if !seen.insert(cur) {
+                break None; // cycle
+            }
+            let Some(h) = heads.get(&cur) else {
+                break None; // dead ancestor
+            };
+            let (_, parent, ..) = head_fields(h).expect("heads() yields heads");
+            if parent == cur {
+                break Some(cur);
+            }
+            cur = parent;
+        };
+        out.insert(id, root);
+    }
+    out
+}
+
+/// Multi-big-node variant of I₁.₂ (the paper's Section 7 extension): the
+/// head graph is a *forest* with exactly `expected_roots` trees, every
+/// head's parent chain terminating at some root.
+#[must_use]
+pub fn check_head_graph_forest(snap: &Snapshot, expected_roots: usize) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let roots = head_roots(snap);
+    let distinct: BTreeSet<NodeId> = roots.values().flatten().copied().collect();
+    if distinct.len() != expected_roots {
+        out.push(Violation {
+            kind: ViolationKind::HeadGraphNotTree,
+            detail: format!("expected {expected_roots} roots, found {distinct:?}"),
+        });
+    }
+    for (id, root) in &roots {
+        if root.is_none() {
+            out.push(Violation {
+                kind: ViolationKind::HeadGraphNotTree,
+                detail: format!("head {id} has a broken parent chain"),
+            });
+        }
+    }
+    out
+}
+
+/// I₁.₁: every parent-child edge of the head graph is realizable in the
+/// physical network `G_p` (both endpoints within transmission range — the
+/// paper's heads communicate directly within `√3R + 2R_t`).
+#[must_use]
+pub fn check_head_graph_physical(snap: &Snapshot) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let heads: BTreeMap<NodeId, &NodeView> = snap.heads().map(|n| (n.id, n)).collect();
+    for (&id, view) in &heads {
+        let (_, parent, ..) = head_fields(view).expect("heads() yields heads");
+        if parent == id {
+            continue;
+        }
+        if let Some(p) = heads.get(&parent) {
+            let d = view.pos.distance(p.pos);
+            if d > snap.max_range + EPS {
+                out.push(Violation {
+                    kind: ViolationKind::HeadGraphUnreachable,
+                    detail: format!("edge {id}→{parent} spans {d:.1} > range {}", snap.max_range),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// I₂.₁/I₂.₂: distances between *neighboring* heads stay within
+/// `dist(IL_i, IL_j) ± 2R_t` (which reduces to `√3R ± 2R_t` when both
+/// cells are at the same `⟨ICC, ICP⟩`). Two heads are treated as
+/// neighbors when their ILs are within 1.25 lattice spacings.
+#[must_use]
+pub fn check_neighbor_distances(snap: &Snapshot) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let spacing = head_spacing(snap.r);
+    let heads: Vec<&NodeView> = snap.heads().collect();
+    for (i, a) in heads.iter().enumerate() {
+        let (il_a, ..) = head_fields(a).expect("head");
+        for b in &heads[i + 1..] {
+            let (il_b, ..) = head_fields(b).expect("head");
+            let ideal = il_a.distance(il_b);
+            if ideal > 1.25 * spacing || ideal < EPS {
+                continue;
+            }
+            let actual = a.pos.distance(b.pos);
+            if (actual - ideal).abs() > 2.0 * snap.r_t + EPS {
+                out.push(Violation {
+                    kind: ViolationKind::NeighborDistance,
+                    detail: format!(
+                        "heads {} and {}: |{actual:.1} − {ideal:.1}| > 2·R_t = {:.1}",
+                        a.id,
+                        b.id,
+                        2.0 * snap.r_t
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// I₂.₃: children counts — small heads ≤3 (static) / ≤5 (dynamic); the
+/// big node ≤6.
+#[must_use]
+pub fn check_children_counts(snap: &Snapshot, strictness: Strictness) -> Vec<Violation> {
+    let limit = match strictness {
+        Strictness::Static => 3,
+        Strictness::Dynamic => 5,
+    };
+    let mut out = Vec::new();
+    for n in snap.heads() {
+        let (_, parent, _, children) = head_fields(n).expect("head");
+        // The big node — and any head acting as the root (the big node's
+        // proxy) — sits at the lattice center of its neighborhood and
+        // legitimately parents all six surrounding cells.
+        let is_root = parent == n.id;
+        let cap = if n.is_big || is_root { 6 } else { limit };
+        if children.len() > cap {
+            out.push(Violation {
+                kind: ViolationKind::ChildrenCount,
+                detail: format!("head {} has {} children (cap {cap})", n.id, children.len()),
+            });
+        }
+    }
+    out
+}
+
+/// I₂.₄: every associate is within the cell-radius bound of its head:
+/// `R + 2R_t/√3` for inner cells, `√3R + 2R_t` for boundary cells (the
+/// dynamic relaxation with `d_p = 0`; gap-adjacent cells can exceed this
+/// and are excluded by the caller supplying `boundary_slack`).
+#[must_use]
+pub fn check_cell_radius(snap: &Snapshot, boundary_slack: f64) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let heads: BTreeMap<NodeId, &NodeView> = snap.heads().map(|n| (n.id, n)).collect();
+    let inner = inner_heads(snap);
+    let inner_bound = snap.r + 2.0 * snap.r_t / SQRT_3;
+    let boundary_bound = SQRT_3 * snap.r + 2.0 * snap.r_t + boundary_slack;
+    for n in snap.associates() {
+        let RoleView::Associate { head, surrogate, .. } = &n.role else {
+            continue;
+        };
+        if *surrogate {
+            continue; // surrogate distance is bounded by radio range only
+        }
+        let Some(h) = heads.get(head) else {
+            continue; // dangling pointer is reported by coverage/tree checks
+        };
+        let d = n.pos.distance(h.pos);
+        let bound = if inner.contains(head) { inner_bound } else { boundary_bound };
+        if d > bound + EPS {
+            out.push(Violation {
+                kind: ViolationKind::CellRadius,
+                detail: format!(
+                    "associate {} is {d:.1} from head {} (bound {bound:.1})",
+                    n.id, h.id
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// F₃/I₃: each (inner-cell) associate is with the closest head. A
+/// tolerance of `2·R_t` absorbs heads displaced within their candidate
+/// areas while the associate's choice was made against an earlier position.
+#[must_use]
+pub fn check_best_head(snap: &Snapshot, inner_only: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let heads: Vec<&NodeView> = snap.heads().collect();
+    let head_map: BTreeMap<NodeId, &NodeView> = heads.iter().map(|n| (n.id, *n)).collect();
+    let inner = inner_heads(snap);
+    for n in snap.associates() {
+        let RoleView::Associate { head, surrogate, .. } = &n.role else {
+            continue;
+        };
+        if *surrogate {
+            continue;
+        }
+        if inner_only && !inner.contains(head) {
+            continue;
+        }
+        let Some(h) = head_map.get(head) else {
+            continue;
+        };
+        let mine = n.pos.distance(h.pos);
+        if let Some(best) = heads
+            .iter()
+            .map(|c| n.pos.distance(c.pos))
+            .min_by(f64::total_cmp)
+        {
+            if mine > best + 2.0 * snap.r_t + EPS {
+                out.push(Violation {
+                    kind: ViolationKind::NotBestHead,
+                    detail: format!(
+                        "associate {}: its head {} is {mine:.1} away but the closest head is {best:.1}",
+                        n.id, h.id
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// F₄: every alive node physically connected to the big node is in a cell
+/// (head or associate).
+#[must_use]
+pub fn check_coverage(snap: &Snapshot) -> Vec<Violation> {
+    let reachable = physically_connected_to_big(snap);
+    let mut out = Vec::new();
+    for n in &snap.nodes {
+        if !n.alive || !reachable.contains(&n.id) {
+            continue;
+        }
+        if matches!(n.role, RoleView::Bootup) {
+            out.push(Violation {
+                kind: ViolationKind::Coverage,
+                detail: format!("node {} is connected to the big node but in no cell", n.id),
+            });
+        }
+    }
+    out
+}
+
+/// Extra structural check: a head must sit within `R_t` of its current IL
+/// (by construction of `HEAD_SELECT` / head shift).
+#[must_use]
+pub fn check_heads_on_ideal(snap: &Snapshot) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for n in snap.heads() {
+        let (il, ..) = head_fields(n).expect("head");
+        let d = n.pos.distance(il);
+        if d > snap.r_t + EPS {
+            out.push(Violation {
+                kind: ViolationKind::HeadOffIdeal,
+                detail: format!("head {} is {d:.1} from its IL (R_t = {})", n.id, snap.r_t),
+            });
+        }
+    }
+    out
+}
+
+/// The full predicate suite.
+#[must_use]
+pub fn check_all(snap: &Snapshot, strictness: Strictness) -> Vec<Violation> {
+    let mut out = Vec::new();
+    out.extend(check_head_graph_tree(snap));
+    out.extend(check_head_graph_physical(snap));
+    out.extend(check_neighbor_distances(snap));
+    out.extend(check_children_counts(snap, strictness));
+    out.extend(check_cell_radius(snap, 0.0));
+    out.extend(check_best_head(snap, true));
+    out.extend(check_coverage(snap));
+    out.extend(check_heads_on_ideal(snap));
+    out
+}
+
+/// Heads whose six lattice-neighbor ILs are all occupied by other heads —
+/// the paper's *inner* cells. Everything else is a boundary cell.
+#[must_use]
+pub fn inner_heads(snap: &Snapshot) -> BTreeSet<NodeId> {
+    let spacing = head_spacing(snap.r);
+    let heads: Vec<(NodeId, Point)> = snap
+        .heads()
+        .filter_map(|n| head_fields(n).map(|(il, ..)| (n.id, il)))
+        .collect();
+    let mut inner = BTreeSet::new();
+    for (id, il) in &heads {
+        let neighbor_count = heads
+            .iter()
+            .filter(|(other, o_il)| {
+                other != id && (il.distance(*o_il) - spacing).abs() <= spacing * 0.25
+            })
+            .count();
+        if neighbor_count >= 6 {
+            inner.insert(*id);
+        }
+    }
+    inner
+}
+
+/// The set of alive nodes physically connected (multi-hop, links =
+/// `max_range`) to the big node. BFS over a grid-bucketed adjacency to stay
+/// near-linear.
+#[must_use]
+pub fn physically_connected_to_big(snap: &Snapshot) -> BTreeSet<NodeId> {
+    let alive: Vec<&NodeView> = snap.nodes.iter().filter(|n| n.alive).collect();
+    let mut reachable = BTreeSet::new();
+    if snap.nodes.get(snap.big.raw() as usize).is_none_or(|b| !b.alive) {
+        return reachable;
+    }
+    // Bucket by grid cell of edge max_range.
+    let cell = snap.max_range.max(1.0);
+    let key = |p: Point| ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+    let mut grid: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
+    for (idx, n) in alive.iter().enumerate() {
+        grid.entry(key(n.pos)).or_default().push(idx);
+    }
+    let mut visited = vec![false; alive.len()];
+    let start = alive
+        .iter()
+        .position(|n| n.id == snap.big)
+        .expect("big node is alive by the guard above");
+    visited[start] = true;
+    reachable.insert(snap.big);
+    let mut queue = VecDeque::from([start]);
+    while let Some(cur) = queue.pop_front() {
+        let p = alive[cur].pos;
+        let (cx, cy) = key(p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(bucket) = grid.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &cand in bucket {
+                    if !visited[cand] && p.distance(alive[cand].pos) <= snap.max_range + EPS {
+                        visited[cand] = true;
+                        reachable.insert(alive[cand].id);
+                        queue.push_back(cand);
+                    }
+                }
+            }
+        }
+    }
+    reachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs3_geometry::spiral::IccIcp;
+
+    fn head(id: u64, pos: Point, il: Point, parent: u64, hops: u32, children: Vec<u64>) -> NodeView {
+        NodeView {
+            id: NodeId::new(id),
+            pos,
+            alive: true,
+            is_big: id == 0,
+            role: RoleView::Head {
+                il,
+                oil: il,
+                icc_icp: IccIcp::ORIGIN,
+                parent: NodeId::new(parent),
+                hops,
+                children: children.into_iter().map(NodeId::new).collect(),
+                neighbors: vec![],
+                associates: vec![],
+                organizing: false,
+                is_proxy: false,
+            },
+            ids_stored: 1,
+        }
+    }
+
+    fn assoc(id: u64, pos: Point, head: u64) -> NodeView {
+        NodeView {
+            id: NodeId::new(id),
+            pos,
+            alive: true,
+            is_big: false,
+            role: RoleView::Associate {
+                head: NodeId::new(head),
+                cell_il: Point::ORIGIN,
+                surrogate: false,
+                is_candidate: false,
+            },
+            ids_stored: 1,
+        }
+    }
+
+    fn snap(nodes: Vec<NodeView>) -> Snapshot {
+        Snapshot { r: 100.0, r_t: 10.0, big: NodeId::new(0), max_range: 400.0, gr: gs3_geometry::Angle::ZERO, nodes }
+    }
+
+    #[test]
+    fn healthy_pair_passes() {
+        let spacing = head_spacing(100.0);
+        let s = snap(vec![
+            head(0, Point::ORIGIN, Point::ORIGIN, 0, 0, vec![1]),
+            head(1, Point::new(spacing, 0.0), Point::new(spacing, 0.0), 0, 1, vec![]),
+            assoc(2, Point::new(40.0, 0.0), 0),
+        ]);
+        assert!(check_all(&s, Strictness::Dynamic).is_empty());
+    }
+
+    #[test]
+    fn detects_two_roots() {
+        let s = snap(vec![
+            head(0, Point::ORIGIN, Point::ORIGIN, 0, 0, vec![]),
+            head(1, Point::new(400.0, 0.0), Point::new(400.0, 0.0), 1, 0, vec![]),
+        ]);
+        let v = check_head_graph_tree(&s);
+        assert!(v.iter().any(|x| x.kind == ViolationKind::HeadGraphNotTree));
+    }
+
+    #[test]
+    fn detects_parent_cycle() {
+        let spacing = head_spacing(100.0);
+        let s = snap(vec![
+            head(0, Point::ORIGIN, Point::ORIGIN, 1, 0, vec![]),
+            head(1, Point::new(spacing, 0.0), Point::new(spacing, 0.0), 0, 1, vec![]),
+        ]);
+        let v = check_head_graph_tree(&s);
+        assert!(v.iter().any(|x| x.detail.contains("cycle") || x.detail.contains("root")));
+    }
+
+    #[test]
+    fn detects_neighbor_distance_violation() {
+        let spacing = head_spacing(100.0);
+        // ILs a lattice apart but actual positions far beyond the ±2R_t band.
+        let s = snap(vec![
+            head(0, Point::ORIGIN, Point::ORIGIN, 0, 0, vec![]),
+            head(1, Point::new(spacing + 50.0, 0.0), Point::new(spacing, 0.0), 0, 1, vec![]),
+        ]);
+        let v = check_neighbor_distances(&s);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::NeighborDistance);
+    }
+
+    #[test]
+    fn detects_children_overflow() {
+        let kids: Vec<u64> = (1..=7).collect();
+        let s = snap(vec![head(0, Point::ORIGIN, Point::ORIGIN, 0, 0, kids)]);
+        let v = check_children_counts(&s, Strictness::Dynamic);
+        assert_eq!(v.len(), 1);
+        // Static is stricter for small heads but the big node's cap is 6
+        // in both; 7 children violates either way.
+        assert_eq!(check_children_counts(&s, Strictness::Static).len(), 1);
+    }
+
+    #[test]
+    fn detects_cell_radius_violation() {
+        let s = snap(vec![
+            head(0, Point::ORIGIN, Point::ORIGIN, 0, 0, vec![]),
+            assoc(1, Point::new(399.0, 0.0), 0),
+        ]);
+        let v = check_cell_radius(&s, 0.0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::CellRadius);
+    }
+
+    #[test]
+    fn detects_wrong_head_choice() {
+        let spacing = head_spacing(100.0);
+        let far = Point::new(spacing, 0.0);
+        // Associate sits on top of head 1 but belongs to head 0.
+        let mut h0 = head(0, Point::ORIGIN, Point::ORIGIN, 0, 0, vec![1]);
+        let h1 = head(1, far, far, 0, 1, vec![]);
+        let a = assoc(2, Point::new(far.x - 1.0, 0.0), 0);
+        // Make both heads inner? They are boundary here; check with
+        // inner_only = false.
+        if let RoleView::Head { children, .. } = &mut h0.role {
+            children.push(NodeId::new(2));
+        }
+        let s = snap(vec![h0, h1, a]);
+        let v = check_best_head(&s, false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::NotBestHead);
+    }
+
+    #[test]
+    fn detects_uncovered_connected_node() {
+        let mut b = assoc(1, Point::new(50.0, 0.0), 0);
+        b.role = RoleView::Bootup;
+        let s = snap(vec![head(0, Point::ORIGIN, Point::ORIGIN, 0, 0, vec![]), b]);
+        let v = check_coverage(&s);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn disconnected_bootup_is_fine() {
+        let mut b = assoc(1, Point::new(5000.0, 0.0), 0);
+        b.role = RoleView::Bootup;
+        let s = snap(vec![head(0, Point::ORIGIN, Point::ORIGIN, 0, 0, vec![]), b]);
+        assert!(check_coverage(&s).is_empty());
+    }
+
+    #[test]
+    fn detects_head_off_ideal() {
+        let s = snap(vec![head(0, Point::new(20.0, 0.0), Point::ORIGIN, 0, 0, vec![])]);
+        let v = check_heads_on_ideal(&s);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::HeadOffIdeal);
+    }
+
+    #[test]
+    fn inner_head_classification() {
+        let spacing = head_spacing(100.0);
+        let mut nodes = vec![head(0, Point::ORIGIN, Point::ORIGIN, 0, 0, vec![])];
+        for k in 0..6 {
+            let ang = gs3_geometry::Angle::from_degrees(f64::from(k) * 60.0);
+            let p = Point::ORIGIN.offset(ang, spacing);
+            nodes.push(head(k as u64 + 1, p, p, 0, 1, vec![]));
+        }
+        let s = snap(nodes);
+        let inner = inner_heads(&s);
+        assert!(inner.contains(&NodeId::new(0)));
+        assert_eq!(inner.len(), 1, "ring heads are boundary");
+    }
+
+    #[test]
+    fn physical_connectivity_bfs() {
+        let s = snap(vec![
+            head(0, Point::ORIGIN, Point::ORIGIN, 0, 0, vec![]),
+            assoc(1, Point::new(300.0, 0.0), 0),
+            assoc(2, Point::new(600.0, 0.0), 0),
+            assoc(3, Point::new(5000.0, 0.0), 0),
+        ]);
+        let r = physically_connected_to_big(&s);
+        assert!(r.contains(&NodeId::new(1)));
+        assert!(r.contains(&NodeId::new(2)), "two-hop reachability");
+        assert!(!r.contains(&NodeId::new(3)));
+    }
+}

@@ -1,0 +1,306 @@
+//! The GS³ wire protocol.
+//!
+//! Message names follow the paper's Appendix 2 where one exists (`org`,
+//! `org_reply`, `head_org_reply`, `⟨HeadSet⟩`, `head_intra_alive`,
+//! `head_retreat`, `replacing_head`, `cell_abandoned`, `head_inter_alive`,
+//! `new_child_head`, `parent_seek`, `sanity_check_req`, …).
+
+use gs3_geometry::spiral::IccIcp;
+use gs3_geometry::Point;
+use gs3_sim::{NodeId, Payload};
+
+/// Identity and placement of a head running `HEAD_ORG`, carried in `org`
+/// and `⟨HeadSet⟩` so responders can rank it and selected children can
+/// anchor their own ILs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrgInfo {
+    /// The organizing head.
+    pub head: NodeId,
+    /// Its actual position.
+    pub pos: Point,
+    /// The IL of its cell (selection anchors here, not at `pos`, to stop
+    /// deviation accumulating).
+    pub il: Point,
+    /// The IL of its parent's cell (fixes the outgoing reference
+    /// direction).
+    pub parent_il: Point,
+    /// Its hop count to the big node (or to the proxy acting as root).
+    pub hops: u32,
+    /// The root's (big node's or proxy's) position as this head knows it
+    /// (parents are chosen by cartesian distance to the root).
+    pub root_pos: Point,
+}
+
+/// One head selection in a `⟨HeadSet⟩` broadcast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadAssignment {
+    /// The selected node.
+    pub node: NodeId,
+    /// Its position (so bystanders can rank it as a potential head).
+    pub pos: Point,
+    /// The IL of the new cell.
+    pub il: Point,
+}
+
+/// Cell state carried by intra-cell traffic (`head_intra_alive`,
+/// `head_retreat`, `new_head_announce`): everything an associate needs to
+/// know to act as candidate, elect a successor, or inherit the cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellInfo {
+    /// The current head.
+    pub head: NodeId,
+    /// The head's position.
+    pub head_pos: Point,
+    /// The cell's current IL.
+    pub il: Point,
+    /// The cell's original IL (the spiral anchor for cell shift).
+    pub oil: Point,
+    /// Position of the current IL in the intra-cell spiral.
+    pub icc_icp: IccIcp,
+    /// The cell's hop count to the root.
+    pub hops: u32,
+    /// The cell's parent head (inherited on election).
+    pub parent: NodeId,
+    /// The parent cell's IL.
+    pub parent_il: Point,
+    /// Ranked candidate ids (best first) — the election order.
+    pub candidates: Vec<NodeId>,
+    /// The root's position as the cell knows it.
+    pub root_pos: Point,
+}
+
+/// Head state carried by `head_inter_alive`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadInfo {
+    /// The advertising head.
+    pub head: NodeId,
+    /// Its position.
+    pub pos: Point,
+    /// Its cell's current IL.
+    pub il: Point,
+    /// Its spiral position.
+    pub icc_icp: IccIcp,
+    /// Its hop count to the root (0 when it is the big node or the proxy).
+    pub hops: u32,
+    /// Its parent (so receivers can tell siblings from parents).
+    pub parent: NodeId,
+    /// The root's position as this head knows it.
+    pub root_pos: Point,
+}
+
+/// Every message of the GS³ protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    // ------------------------------------------------------ head organization
+    /// `org`: a head opens `HEAD_ORG` and solicits state from everything in
+    /// its coordination range.
+    Org(OrgInfo),
+    /// `org_reply`: a small node reports its state to an organizing head.
+    OrgReply {
+        /// The responder's position.
+        pos: Point,
+        /// Its current head, with its distance to it, when it is an
+        /// associate.
+        current_head: Option<(NodeId, f64)>,
+    },
+    /// `head_org_reply`: an existing head reports its state to an
+    /// organizing head.
+    HeadOrgReply {
+        /// The responder's position.
+        pos: Point,
+        /// Its cell's IL.
+        il: Point,
+        /// Its spiral position.
+        icc_icp: IccIcp,
+        /// Its hops to the root.
+        hops: u32,
+    },
+    /// `⟨HeadSet⟩`: the selection result, closing the `HEAD_ORG` round.
+    HeadSet {
+        /// The organizing head's info (repeated for late listeners).
+        org: OrgInfo,
+        /// The selected neighbor heads.
+        assignments: Vec<HeadAssignment>,
+    },
+
+    // --------------------------------------------------- intra-cell maintenance
+    /// `head_intra_alive`: periodic heartbeat from head to cell.
+    HeadIntraAlive(CellInfo),
+    /// `head_intra_ack`: an associate confirms membership (and reports
+    /// position/energy so the head can maintain the candidate set).
+    HeadIntraAck {
+        /// The associate's position.
+        pos: Point,
+        /// Remaining energy (drives proactive head shift).
+        energy: f64,
+    },
+    /// `associate_alive`: a node joins (or re-joins) a cell.
+    AssociateAlive {
+        /// The joiner's position.
+        pos: Point,
+    },
+    /// `associate_retreat`: an associate leaves for a better cell.
+    AssociateRetreat,
+    /// `head_retreat`: the head steps down; candidates should elect.
+    HeadRetreat(CellInfo),
+    /// `replacing_head`: a candidate (or the big node) takes over from the
+    /// current head.
+    ReplacingHead,
+    /// A freshly elected or shifted head claims its cell (announced within
+    /// the cell and to neighboring heads).
+    NewHeadAnnounce(CellInfo),
+    /// `cell_abandoned`: the cell dissolves; members must re-join
+    /// elsewhere.
+    CellAbandoned,
+
+    // --------------------------------------------------- inter-cell maintenance
+    /// `head_inter_alive`: periodic head-to-heads heartbeat.
+    HeadInterAlive(HeadInfo),
+    /// `new_child_head`: a head adopts the receiver as its parent.
+    NewChildHead {
+        /// The child's position.
+        pos: Point,
+        /// The child's cell IL.
+        il: Point,
+    },
+    /// A head informs its former parent that it switched away.
+    ChildRetire,
+    /// `parent_seek`: a head that lost its parent probes a neighbor.
+    ParentSeek {
+        /// The seeker's cell IL.
+        il: Point,
+    },
+    /// `parent_seek_ack`: the probed head accepts.
+    ParentSeekAck {
+        /// The acceptor's hops to the root.
+        hops: u32,
+        /// The acceptor's cell IL.
+        il: Point,
+        /// The acceptor's position.
+        pos: Point,
+    },
+
+    // ------------------------------------------------------------ sanity check
+    /// `sanity_check_req`: a head suspecting corruption asks neighbors to
+    /// self-check.
+    SanityCheckReq,
+    /// `sanity_check_valid`: the neighbor found its own state consistent.
+    SanityCheckValid,
+    /// `head_retreat_corrupted`: a corrupted head demotes itself.
+    HeadRetreatCorrupted,
+
+    // -------------------------------------------------------------- node join
+    /// A booting node probes for nearby heads/associates
+    /// (`SMALL_NODE_BOOT_UP`).
+    BootupProbe {
+        /// The prober's position.
+        pos: Point,
+    },
+    /// `HEAD_JOIN_RESP`: a head offers membership.
+    HeadJoinResp {
+        /// The head's position.
+        pos: Point,
+        /// Its cell's IL.
+        il: Point,
+        /// Its hops to the root.
+        hops: u32,
+    },
+    /// `ASSOCIATE_JOIN_RESP`: an associate offers itself as surrogate head.
+    AssociateJoinResp {
+        /// The associate's position.
+        pos: Point,
+        /// The associate's own head.
+        head: NodeId,
+    },
+
+    // ------------------------------------------------------- sensing workload
+    /// A sensor report from an associate to its cell head.
+    SensorReport,
+    /// An aggregated report a head relays to its parent (carries how many
+    /// raw reports it folds together, for accounting).
+    AggregateReport {
+        /// Raw reports aggregated into this message.
+        count: u32,
+    },
+
+    // -------------------------------------------------------- big-node mobility
+    /// The big node designates the receiver as its proxy (advertises hops
+    /// 0 while the big node is away).
+    ProxyAssign,
+    /// The big node releases the receiver from proxy duty.
+    ProxyRelease,
+}
+
+impl Payload for Msg {
+    fn kind(&self) -> &'static str {
+        match self {
+            Msg::Org(_) => "org",
+            Msg::OrgReply { .. } => "org_reply",
+            Msg::HeadOrgReply { .. } => "head_org_reply",
+            Msg::HeadSet { .. } => "head_set",
+            Msg::HeadIntraAlive(_) => "head_intra_alive",
+            Msg::HeadIntraAck { .. } => "head_intra_ack",
+            Msg::AssociateAlive { .. } => "associate_alive",
+            Msg::AssociateRetreat => "associate_retreat",
+            Msg::HeadRetreat(_) => "head_retreat",
+            Msg::ReplacingHead => "replacing_head",
+            Msg::NewHeadAnnounce(_) => "new_head_announce",
+            Msg::CellAbandoned => "cell_abandoned",
+            Msg::HeadInterAlive(_) => "head_inter_alive",
+            Msg::NewChildHead { .. } => "new_child_head",
+            Msg::ChildRetire => "child_retire",
+            Msg::ParentSeek { .. } => "parent_seek",
+            Msg::ParentSeekAck { .. } => "parent_seek_ack",
+            Msg::SanityCheckReq => "sanity_check_req",
+            Msg::SanityCheckValid => "sanity_check_valid",
+            Msg::HeadRetreatCorrupted => "head_retreat_corrupted",
+            Msg::BootupProbe { .. } => "bootup_probe",
+            Msg::HeadJoinResp { .. } => "head_join_resp",
+            Msg::AssociateJoinResp { .. } => "associate_join_resp",
+            Msg::SensorReport => "sensor_report",
+            Msg::AggregateReport { .. } => "aggregate_report",
+            Msg::ProxyAssign => "proxy_assign",
+            Msg::ProxyRelease => "proxy_release",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_for_core_messages() {
+        let org = OrgInfo {
+            head: NodeId::new(0),
+            pos: Point::ORIGIN,
+            il: Point::ORIGIN,
+            parent_il: Point::ORIGIN,
+            hops: 0,
+            root_pos: Point::ORIGIN,
+        };
+        let msgs = [
+            Msg::Org(org.clone()),
+            Msg::OrgReply { pos: Point::ORIGIN, current_head: None },
+            Msg::HeadSet { org, assignments: vec![] },
+            Msg::AssociateRetreat,
+            Msg::ReplacingHead,
+            Msg::CellAbandoned,
+            Msg::ChildRetire,
+            Msg::SanityCheckReq,
+            Msg::SanityCheckValid,
+            Msg::HeadRetreatCorrupted,
+            Msg::BootupProbe { pos: Point::ORIGIN },
+            Msg::ProxyAssign,
+            Msg::ProxyRelease,
+        ];
+        let kinds: std::collections::HashSet<_> = msgs.iter().map(|m| m.kind()).collect();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn paper_names_preserved() {
+        assert_eq!(Msg::SanityCheckReq.kind(), "sanity_check_req");
+        assert_eq!(Msg::AssociateRetreat.kind(), "associate_retreat");
+    }
+}

@@ -1,0 +1,72 @@
+//! Timer payloads of the GS³ node state machine.
+
+use gs3_sim::NodeId;
+
+/// All timers a GS³ node schedules. Round counters guard several timers
+/// against stale firings after the state they belong to has been torn down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Timer {
+    /// End of a `HEAD_ORG` collection window.
+    CollectDeadline {
+        /// The `HEAD_ORG` round this deadline belongs to.
+        round: u64,
+    },
+    /// A small node that answered an `org` gives up waiting for the
+    /// `⟨HeadSet⟩` decision.
+    AwaitDecision {
+        /// The head whose decision was awaited.
+        org_head: NodeId,
+    },
+    /// Periodic `head_intra_alive`.
+    IntraHeartbeat,
+    /// Periodic `head_inter_alive`.
+    InterHeartbeat,
+    /// An associate checks whether its head went silent.
+    AssocWatch,
+    /// Periodic low-frequency `SANITY_CHECK`.
+    SanityTick,
+    /// End of a sanity round's neighbor-verdict window.
+    SanityDeadline {
+        /// The sanity round this deadline belongs to.
+        round: u64,
+    },
+    /// Boundary heads periodically re-probe empty directions with
+    /// `HEAD_ORG`.
+    BoundaryTick,
+    /// A booting node (re)probes for heads to join.
+    JoinProbe,
+    /// End of a join probe's offer-collection window.
+    JoinDecision {
+        /// The probe round this deadline belongs to.
+        round: u64,
+    },
+    /// A candidate's staggered self-promotion attempt during head-shift
+    /// election.
+    Election {
+        /// The head whose failure triggered the election.
+        dead_head: NodeId,
+    },
+    /// The big node's periodic check while away from head duty
+    /// (`BIG_SLIDE` / `BIG_MOVE`).
+    BigCheck,
+    /// A proxy head's grace period expires without a refresh from the big
+    /// node.
+    ProxyExpire,
+    /// The periodic sensing-workload tick (report / aggregate-and-relay).
+    ReportTick,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_includes_round() {
+        assert_eq!(Timer::CollectDeadline { round: 1 }, Timer::CollectDeadline { round: 1 });
+        assert_ne!(Timer::CollectDeadline { round: 1 }, Timer::CollectDeadline { round: 2 });
+        assert_ne!(
+            Timer::Election { dead_head: NodeId::new(1) },
+            Timer::Election { dead_head: NodeId::new(2) }
+        );
+    }
+}

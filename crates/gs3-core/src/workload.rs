@@ -1,0 +1,72 @@
+//! The sensing workload (data-aggregation traffic).
+//!
+//! The paper's lifetime analysis rests on "network traffic flows from
+//! children to parents along the head graph until reaching the big node"
+//! with in-network aggregation (§4.1, §2 footnote 2). This module supplies
+//! exactly that: every `report_period`, each associate unicasts a
+//! `sensor_report` to its head; each head aggregates whatever it received
+//! (raw reports plus children's aggregates) into one `aggregate_report` to
+//! its parent. The energy model then charges heads for the relaying — the
+//! head-dominated dissipation gradient that head shift and cell shift are
+//! designed around.
+
+use gs3_sim::NodeId;
+
+use crate::messages::Msg;
+use crate::node::{Ctx, Gs3Node};
+use crate::state::Role;
+use crate::timers::Timer;
+
+impl Gs3Node {
+    /// Arms the workload tick at boot when the workload is enabled.
+    pub(crate) fn arm_report_tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.report_period.is_zero() {
+            return;
+        }
+        let jitter = self.phase_jitter(ctx, self.cfg.report_period);
+        ctx.set_timer(self.cfg.report_period + jitter, Timer::ReportTick);
+    }
+
+    /// The periodic workload tick.
+    pub(crate) fn on_report_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let period = self.cfg.report_period;
+        if period.is_zero() {
+            return;
+        }
+        match &mut self.role {
+            Role::Associate(a) if !a.surrogate => {
+                let head = a.head;
+                ctx.unicast(head, Msg::SensorReport);
+            }
+            Role::Head(h) => {
+                // Aggregate-and-relay: one upstream message per period,
+                // whatever arrived (in-network aggregation). This cell's
+                // own observation counts as one report.
+                let count = h.pending_reports.saturating_add(1);
+                h.pending_reports = 0;
+                let parent = h.parent;
+                if parent != ctx.id() {
+                    ctx.unicast(parent, Msg::AggregateReport { count });
+                }
+                // The big node / root swallows the aggregate (it is the
+                // interface to the external network).
+            }
+            _ => {}
+        }
+        ctx.set_timer(period, Timer::ReportTick);
+    }
+
+    /// `sensor_report` received by a head.
+    pub(crate) fn on_sensor_report(&mut self, _from: NodeId, _ctx: &mut Ctx<'_>) {
+        if let Role::Head(h) = &mut self.role {
+            h.pending_reports = h.pending_reports.saturating_add(1);
+        }
+    }
+
+    /// `aggregate_report` received by a head (or by the big node).
+    pub(crate) fn on_aggregate_report(&mut self, _from: NodeId, count: u32, _ctx: &mut Ctx<'_>) {
+        if let Role::Head(h) = &mut self.role {
+            h.pending_reports = h.pending_reports.saturating_add(count);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Plane angles with explicit normalization semantics.
+
+use std::f64::consts::PI;
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A plane angle, stored in radians.
+///
+/// `Angle` is *not* automatically normalized: adding two angles can produce a
+/// value outside `(-π, π]`. Use [`Angle::normalized`] to fold back into the
+/// principal range. Comparisons (`PartialOrd`) compare raw radian values.
+///
+/// Counter-clockwise is positive, matching the paper's convention that the
+/// angle `A` formed with the global reference direction `GR` "is negative if
+/// it goes clockwise with respect to `GR` and positive if counter-clockwise".
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Angle(f64);
+
+impl Angle {
+    /// The zero angle.
+    pub const ZERO: Angle = Angle(0.0);
+    /// Half a turn (180°).
+    pub const HALF_TURN: Angle = Angle(PI);
+    /// A full turn (360°).
+    pub const FULL_TURN: Angle = Angle(2.0 * PI);
+
+    /// An angle of `rad` radians.
+    #[must_use]
+    pub const fn from_radians(rad: f64) -> Self {
+        Angle(rad)
+    }
+
+    /// An angle of `deg` degrees.
+    #[must_use]
+    pub fn from_degrees(deg: f64) -> Self {
+        Angle(deg.to_radians())
+    }
+
+    /// The raw radian value.
+    #[must_use]
+    pub const fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// The raw value in degrees.
+    #[must_use]
+    pub fn degrees(self) -> f64 {
+        self.0.to_degrees()
+    }
+
+    /// This angle folded into the principal range `(-π, π]`.
+    ///
+    /// ```rust
+    /// # use gs3_geometry::Angle;
+    /// let a = Angle::from_degrees(270.0).normalized();
+    /// assert!((a.degrees() + 90.0).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn normalized(self) -> Angle {
+        // Already-normalized values pass through bit-exactly; rem_euclid on
+        // in-range negatives would otherwise shift them by an ulp, which
+        // breaks the exact mirror symmetry the HEAD_SELECT ranking relies on.
+        if self.0 > -PI && self.0 <= PI {
+            return self;
+        }
+        let mut r = self.0.rem_euclid(2.0 * PI);
+        if r > PI {
+            r -= 2.0 * PI;
+        }
+        Angle(r)
+    }
+
+    /// Absolute value of the raw radians.
+    #[must_use]
+    pub fn abs(self) -> Angle {
+        Angle(self.0.abs())
+    }
+
+    /// The smallest absolute angular separation between `self` and `other`,
+    /// in `[0, π]`.
+    #[must_use]
+    pub fn separation(self, other: Angle) -> Angle {
+        (self - other).normalized().abs()
+    }
+}
+
+impl Add for Angle {
+    type Output = Angle;
+    fn add(self, rhs: Angle) -> Angle {
+        Angle(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Angle {
+    type Output = Angle;
+    fn sub(self, rhs: Angle) -> Angle {
+        Angle(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Angle {
+    type Output = Angle;
+    fn neg(self) -> Angle {
+        Angle(-self.0)
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}°", self.degrees())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_principal_range() {
+        for deg in [-720.0, -359.0, -181.0, -180.0, 0.0, 180.0, 181.0, 540.0] {
+            let n = Angle::from_degrees(deg).normalized();
+            assert!(n.radians() > -PI - 1e-12 && n.radians() <= PI + 1e-12, "{deg}");
+        }
+    }
+
+    #[test]
+    fn normalized_pi_maps_to_pi() {
+        // 180° is the inclusive end of the principal range.
+        let n = Angle::from_degrees(180.0).normalized();
+        assert!((n.radians() - PI).abs() < 1e-12);
+        // -180° also folds to +π (the representative of the half-turn class).
+        let m = Angle::from_degrees(-180.0).normalized();
+        assert!((m.radians() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separation_is_symmetric_and_bounded() {
+        let a = Angle::from_degrees(170.0);
+        let b = Angle::from_degrees(-170.0);
+        let s = a.separation(b);
+        assert!((s.degrees() - 20.0).abs() < 1e-9);
+        assert_eq!(a.separation(b), b.separation(a));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Angle::from_degrees(30.0) + Angle::from_degrees(60.0);
+        assert!((a.degrees() - 90.0).abs() < 1e-9);
+        let b = -Angle::from_degrees(45.0);
+        assert!((b.degrees() + 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_shows_degrees() {
+        assert_eq!(format!("{}", Angle::from_degrees(60.0)), "60.000°");
+    }
+}

@@ -1,0 +1,407 @@
+//! The cellular hexagonal lattice: axial coordinates, bands, and
+//! ideal-location generation for the diffusing computation.
+//!
+//! Cell heads in the ideal structure (Figure 1 of the paper) sit on a
+//! triangular lattice with spacing `√3·R`; each head's cell is the hexagon of
+//! circumradius `R` around it. We index lattice sites with axial coordinates
+//! `(q, r)` relative to the big node's cell at `(0, 0)`; the *band* of a cell
+//! (its `d`-band in the paper's terms) is the standard hex-ring distance.
+//!
+//! A [`HexLayout`] fixes the lattice's origin (the big node's IL), cell
+//! radius `R`, and orientation (the global reference direction `GR`), and
+//! converts between axial coordinates and plane positions.
+
+use crate::{head_spacing, Angle, Point, Vec2};
+
+/// Axial coordinates of a cell in the hexagonal virtual structure.
+///
+/// `(0, 0)` is the central (0-band) cell holding the big node. The six
+/// neighbors of a cell are obtained by adding the six [`Axial::DIRECTIONS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Axial {
+    /// First lattice coordinate (along `GR`).
+    pub q: i32,
+    /// Second lattice coordinate (60° counter-clockwise from `GR`).
+    pub r: i32,
+}
+
+impl Axial {
+    /// The central cell (the big node's 0-band cell).
+    pub const CENTER: Axial = Axial { q: 0, r: 0 };
+
+    /// The six neighbor offsets, in counter-clockwise order starting from
+    /// the `GR` direction.
+    pub const DIRECTIONS: [Axial; 6] = [
+        Axial { q: 1, r: 0 },
+        Axial { q: 0, r: 1 },
+        Axial { q: -1, r: 1 },
+        Axial { q: -1, r: 0 },
+        Axial { q: 0, r: -1 },
+        Axial { q: 1, r: -1 },
+    ];
+
+    /// Creates axial coordinates.
+    #[must_use]
+    pub const fn new(q: i32, r: i32) -> Self {
+        Axial { q, r }
+    }
+
+    /// The hex-lattice distance to the center — the paper's *band* index
+    /// (`d`-band means `d` cells between this cell and the central cell).
+    ///
+    /// ```rust
+    /// # use gs3_geometry::hex::Axial;
+    /// assert_eq!(Axial::CENTER.band(), 0);
+    /// assert_eq!(Axial::new(2, -1).band(), 2);
+    /// ```
+    #[must_use]
+    pub fn band(self) -> u32 {
+        self.distance(Axial::CENTER)
+    }
+
+    /// Hex-lattice distance between two cells (minimum number of
+    /// neighbor-steps).
+    #[must_use]
+    pub fn distance(self, other: Axial) -> u32 {
+        let dq = self.q - other.q;
+        let dr = self.r - other.r;
+        let ds = -(dq + dr);
+        ((dq.abs() + dr.abs() + ds.abs()) / 2) as u32
+    }
+
+    /// The six neighboring cells, counter-clockwise starting from `GR`.
+    #[must_use]
+    pub fn neighbors(self) -> [Axial; 6] {
+        let mut out = [Axial::CENTER; 6];
+        for (slot, dir) in out.iter_mut().zip(Self::DIRECTIONS) {
+            *slot = self + dir;
+        }
+        out
+    }
+
+    /// All cells of the given band, in ring order (counter-clockwise,
+    /// starting from the cell in the `GR` direction). Band 0 yields just the
+    /// center.
+    #[must_use]
+    pub fn ring(band: u32) -> Vec<Axial> {
+        if band == 0 {
+            return vec![Axial::CENTER];
+        }
+        let n = band as i32;
+        let mut out = Vec::with_capacity(6 * band as usize);
+        // Start at the cell `band` steps along direction 0, then walk the six
+        // edges of the ring. Each edge direction is DIRECTIONS[(i+2) % 6].
+        let mut cur = Axial::new(n, 0);
+        for side in 0..6 {
+            let step = Self::DIRECTIONS[(side + 2) % 6];
+            for _ in 0..n {
+                out.push(cur);
+                cur = cur + step;
+            }
+        }
+        out
+    }
+
+    /// All cells with band ≤ `max_band`, center first, then each ring in
+    /// order.
+    #[must_use]
+    pub fn disk(max_band: u32) -> Vec<Axial> {
+        let mut out = Vec::new();
+        for b in 0..=max_band {
+            out.extend(Self::ring(b));
+        }
+        out
+    }
+}
+
+impl std::ops::Add for Axial {
+    type Output = Axial;
+    fn add(self, rhs: Axial) -> Axial {
+        Axial::new(self.q + rhs.q, self.r + rhs.r)
+    }
+}
+
+impl std::ops::Sub for Axial {
+    type Output = Axial;
+    fn sub(self, rhs: Axial) -> Axial {
+        Axial::new(self.q - rhs.q, self.r - rhs.r)
+    }
+}
+
+impl std::fmt::Display for Axial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[q={}, r={}]", self.q, self.r)
+    }
+}
+
+/// A concrete embedding of the hexagonal virtual structure in the plane.
+///
+/// Fixes the big node's IL (`origin`), the ideal cell radius `R`, and the
+/// global reference direction `GR` that orients the lattice (the `q` axis
+/// points along `GR`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HexLayout {
+    origin: Point,
+    r: f64,
+    gr: Angle,
+}
+
+impl HexLayout {
+    /// Creates a layout with the big node's IL at `origin`, ideal cell
+    /// radius `r`, and global reference direction `gr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(origin: Point, r: f64, gr: Angle) -> Self {
+        assert!(r.is_finite() && r > 0.0, "ideal cell radius must be positive");
+        HexLayout { origin, r, gr }
+    }
+
+    /// The big node's IL.
+    #[must_use]
+    pub const fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// The ideal cell radius `R`.
+    #[must_use]
+    pub const fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// The global reference direction `GR`.
+    #[must_use]
+    pub const fn gr(&self) -> Angle {
+        self.gr
+    }
+
+    /// Basis vector along axial `q` (head spacing in the `GR` direction).
+    fn basis_q(&self) -> Vec2 {
+        Vec2::from_polar(self.gr, head_spacing(self.r))
+    }
+
+    /// Basis vector along axial `r` (60° counter-clockwise from `GR`).
+    fn basis_r(&self) -> Vec2 {
+        Vec2::from_polar(self.gr + Angle::from_degrees(60.0), head_spacing(self.r))
+    }
+
+    /// The ideal location (cell center) of axial cell `ax`.
+    #[must_use]
+    pub fn ideal_location(&self, ax: Axial) -> Point {
+        self.origin + self.basis_q() * f64::from(ax.q) + self.basis_r() * f64::from(ax.r)
+    }
+
+    /// The axial cell whose hexagon contains `p` (ties broken toward the
+    /// nearest cell center; exact hexagonal rounding).
+    #[must_use]
+    pub fn cell_at(&self, p: Point) -> Axial {
+        // Invert the basis: p - origin = q*eq + r*er.
+        let d = p - self.origin;
+        let eq = self.basis_q();
+        let er = self.basis_r();
+        let det = eq.cross(er);
+        debug_assert!(det.abs() > 1e-12);
+        let qf = d.cross(er) / det;
+        let rf = eq.cross(d) / det;
+        axial_round(qf, rf)
+    }
+
+    /// Distance from `p` to the IL of the cell that contains it — always at
+    /// most `R` in the ideal structure.
+    #[must_use]
+    pub fn distance_to_own_il(&self, p: Point) -> f64 {
+        p.distance(self.ideal_location(self.cell_at(p)))
+    }
+}
+
+/// Rounds fractional axial coordinates to the containing hex cell
+/// (cube-coordinate rounding).
+fn axial_round(qf: f64, rf: f64) -> Axial {
+    let sf = -qf - rf;
+    let mut q = qf.round();
+    let mut r = rf.round();
+    let s = sf.round();
+    let dq = (q - qf).abs();
+    let dr = (r - rf).abs();
+    let ds = (s - sf).abs();
+    if dq > dr && dq > ds {
+        q = -r - s;
+    } else if dr > ds {
+        r = -q - s;
+    }
+    Axial::new(q as i32, r as i32)
+}
+
+/// The six ideal locations neighboring the big node's cell, at distance
+/// `√3·R` and angles `gr + k·60°` (`k = 0..6`), counter-clockwise.
+///
+/// This is `HEAD_SELECT` Step 1 for the big node, whose search region is the
+/// full `⟨0°, 360°⟩`.
+#[must_use]
+pub fn big_node_ideal_locations(big_il: Point, r: f64, gr: Angle) -> Vec<Point> {
+    (0..6)
+        .map(|k| big_il.offset(gr + Angle::from_degrees(60.0 * f64::from(k)), head_spacing(r)))
+        .collect()
+}
+
+/// The candidate ideal locations a small head generates in `HEAD_SELECT`
+/// Step 1: points at distance `√3·R` from `own_il`, at relative angles
+/// `−60°, 0°, +60°` from the outgoing reference direction
+/// `IL(P(i)) → IL(i)`.
+///
+/// The paper's search region for small heads is `⟨−60°−α, 60°+α⟩`; the
+/// `±α` margin widens the *node search sector* (see
+/// [`crate::sector::SearchRegion`]) but the meaningful neighbor ILs inside
+/// the region are exactly these three (consistent with invariant I₂.₃'s
+/// bound of at most 3 children per small head). See DESIGN.md §2.
+///
+/// `parent_il` must differ from `own_il`; if they coincide (only legal for
+/// the big node, which should use [`big_node_ideal_locations`]) the reference
+/// direction is taken as `GR` = +x.
+#[must_use]
+pub fn child_ideal_locations(parent_il: Point, own_il: Point, r: f64) -> Vec<Point> {
+    let outgoing = (own_il - parent_il).normalized();
+    let dir = if outgoing == Vec2::ZERO {
+        Angle::ZERO
+    } else {
+        outgoing.direction()
+    };
+    [-60.0, 0.0, 60.0]
+        .iter()
+        .map(|deg| own_il.offset(dir + Angle::from_degrees(*deg), head_spacing(r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> HexLayout {
+        HexLayout::new(Point::ORIGIN, 100.0, Angle::ZERO)
+    }
+
+    #[test]
+    fn ring_sizes() {
+        assert_eq!(Axial::ring(0).len(), 1);
+        assert_eq!(Axial::ring(1).len(), 6);
+        assert_eq!(Axial::ring(4).len(), 24);
+    }
+
+    #[test]
+    fn ring_members_have_correct_band() {
+        for b in 0..5 {
+            for ax in Axial::ring(b) {
+                assert_eq!(ax.band(), b, "{ax}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_members_unique() {
+        let ring = Axial::ring(5);
+        let set: std::collections::HashSet<_> = ring.iter().copied().collect();
+        assert_eq!(set.len(), ring.len());
+    }
+
+    #[test]
+    fn disk_counts() {
+        // 1 + 6 + 12 + 18 = 37 cells within band 3.
+        assert_eq!(Axial::disk(3).len(), 37);
+    }
+
+    #[test]
+    fn neighbors_are_band_one_from_center() {
+        for n in Axial::CENTER.neighbors() {
+            assert_eq!(n.band(), 1);
+        }
+    }
+
+    #[test]
+    fn neighbor_distance_is_head_spacing() {
+        let l = layout();
+        let c = l.ideal_location(Axial::CENTER);
+        for n in Axial::CENTER.neighbors() {
+            let d = c.distance(l.ideal_location(n));
+            assert!((d - head_spacing(100.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cell_at_roundtrip() {
+        let l = layout();
+        for ax in Axial::disk(4) {
+            assert_eq!(l.cell_at(l.ideal_location(ax)), ax);
+        }
+    }
+
+    #[test]
+    fn cell_at_perturbed_roundtrip() {
+        // Points well inside a cell (closer than the inradius √3R/2) resolve
+        // to that cell even with an offset.
+        let l = layout();
+        let inradius = head_spacing(100.0) / 2.0;
+        for ax in Axial::disk(3) {
+            let p = l.ideal_location(ax) + Vec2::new(0.4 * inradius, -0.3 * inradius);
+            assert_eq!(l.cell_at(p), ax, "{ax}");
+        }
+    }
+
+    #[test]
+    fn distance_to_own_il_bounded_by_r() {
+        let l = layout();
+        // Sample a grid; every point's distance to its cell's IL is ≤ R.
+        let mut worst: f64 = 0.0;
+        for ix in -20..=20 {
+            for iy in -20..=20 {
+                let p = Point::new(f64::from(ix) * 25.0, f64::from(iy) * 25.0);
+                worst = worst.max(l.distance_to_own_il(p));
+            }
+        }
+        assert!(worst <= 100.0 + 1e-9, "worst = {worst}");
+    }
+
+    #[test]
+    fn big_node_ils_spacing_and_count() {
+        let ils = big_node_ideal_locations(Point::new(5.0, -3.0), 50.0, Angle::from_degrees(17.0));
+        assert_eq!(ils.len(), 6);
+        let c = Point::new(5.0, -3.0);
+        for il in &ils {
+            assert!((c.distance(*il) - head_spacing(50.0)).abs() < 1e-9);
+        }
+        // Consecutive ILs are also exactly √3R apart (hexagon edge).
+        for k in 0..6 {
+            let d = ils[k].distance(ils[(k + 1) % 6]);
+            assert!((d - head_spacing(50.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn child_ils_align_with_lattice() {
+        // Growing outward from the center along +x, the three child ILs of
+        // the (1,0) cell must be lattice points at band 2.
+        let l = layout();
+        let parent = l.ideal_location(Axial::CENTER);
+        let own = l.ideal_location(Axial::new(1, 0));
+        let children = child_ideal_locations(parent, own, 100.0);
+        assert_eq!(children.len(), 3);
+        for ch in children {
+            let ax = l.cell_at(ch);
+            assert_eq!(ax.band(), 2, "{ax}");
+            assert!(ch.distance(l.ideal_location(ax)) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn axial_round_exact_centers() {
+        assert_eq!(axial_round(2.0, -1.0), Axial::new(2, -1));
+        assert_eq!(axial_round(0.49, 0.0), Axial::new(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn layout_rejects_zero_radius() {
+        let _ = HexLayout::new(Point::ORIGIN, 0.0, Angle::ZERO);
+    }
+}

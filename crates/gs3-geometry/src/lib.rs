@@ -1,0 +1,121 @@
+//! # gs3-geometry
+//!
+//! 2-D geometry and cellular-hexagon lattice math underpinning the GS³
+//! reproduction.
+//!
+//! The GS³ paper (Zhang & Arora, PODC 2002) configures a dense planar sensor
+//! network into a *cellular hexagonal structure*: cluster heads sit (within a
+//! tolerance `R_t`) on a triangular lattice of spacing `√3·R`, every head owns
+//! the hexagonal cell of circumradius `R` around its *ideal location* (IL),
+//! and each cell is internally subdivided into candidate areas (CAs) ordered
+//! along an intra-cell spiral (`⟨ICC, ICP⟩`) used for *cell shift*.
+//!
+//! This crate provides the pure-math substrate for all of that:
+//!
+//! * [`Point`] / [`Vec2`] / [`Angle`] — plain 2-D primitives.
+//! * [`hex`] — axial hex coordinates, band (ring) distance, lattice ⇄
+//!   cartesian conversion, and ideal-location generation for the diffusing
+//!   computation ([`hex::child_ideal_locations`]).
+//! * [`spiral`] — the `⟨ICC, ICP⟩` intra-cell spiral of candidate areas from
+//!   Figure 5 of the paper.
+//! * [`sector`] — search-region membership tests (`⟨LD, RD⟩` sectors of an
+//!   annulus) used by `HEAD_ORG`.
+//! * [`rank`] — the lexicographic `⟨d, |A|, A⟩` candidate ranking used by
+//!   `HEAD_SELECT`.
+//!
+//! Everything here is deterministic, allocation-light, and free of I/O so it
+//! can be property-tested exhaustively.
+//!
+//! # Example
+//!
+//! ```rust
+//! use gs3_geometry::{hex, Angle, Point};
+//!
+//! // The six ideal locations around the big node, R = 100:
+//! let ils = hex::big_node_ideal_locations(Point::ORIGIN, 100.0, Angle::ZERO);
+//! assert_eq!(ils.len(), 6);
+//! let spacing = (3.0f64).sqrt() * 100.0;
+//! for il in &ils {
+//!     assert!((Point::ORIGIN.distance(*il) - spacing).abs() < 1e-9);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod angle;
+pub mod hex;
+mod point;
+pub mod rank;
+pub mod sector;
+pub mod spiral;
+
+pub use angle::Angle;
+pub use point::{Point, Vec2};
+
+/// `√3`, the ratio between head spacing and the ideal cell radius `R`.
+pub const SQRT_3: f64 = 1.732_050_807_568_877_2;
+
+/// Head-lattice spacing for an ideal cell radius `r`: `√3·r`.
+///
+/// Neighboring cell heads in the ideal structure are exactly this far apart
+/// (Corollary 1 bounds the realized spacing within `±2·R_t` of it).
+#[must_use]
+pub fn head_spacing(r: f64) -> f64 {
+    SQRT_3 * r
+}
+
+/// Radius of the local-coordination neighborhood: `√3·R + 2·R_t`.
+///
+/// All GS³ message exchange (HEAD_ORG broadcasts, head responses, heartbeat
+/// scope) is confined within this distance — the paper's "local coordination"
+/// radius.
+#[must_use]
+pub fn coordination_radius(r: f64, r_t: f64) -> f64 {
+    head_spacing(r) + 2.0 * r_t
+}
+
+/// The angular slack `α = asin(R_t / (√3·R))` used to widen search regions.
+///
+/// A head whose actual position deviates up to `R_t` from its IL subtends at
+/// most this angle when viewed from a neighboring IL at distance `√3·R`;
+/// search sectors are widened by `α` on each side so such heads are not
+/// missed.
+///
+/// # Panics
+///
+/// Panics in debug builds if `r_t > √3·r` (the ratio must be a valid sine).
+#[must_use]
+pub fn angular_slack(r: f64, r_t: f64) -> Angle {
+    let ratio = r_t / head_spacing(r);
+    debug_assert!((0.0..=1.0).contains(&ratio), "r_t must be <= sqrt(3)*r");
+    Angle::from_radians(ratio.clamp(0.0, 1.0).asin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_spacing_is_sqrt3_r() {
+        assert!((head_spacing(100.0) - 173.205_080_756_887_7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coordination_radius_adds_two_tolerances() {
+        let r = 100.0;
+        let r_t = 10.0;
+        assert!((coordination_radius(r, r_t) - (SQRT_3 * r + 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angular_slack_matches_asin() {
+        let a = angular_slack(100.0, 10.0);
+        assert!((a.radians() - (10.0 / (SQRT_3 * 100.0)).asin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angular_slack_zero_tolerance() {
+        assert_eq!(angular_slack(50.0, 0.0), Angle::ZERO);
+    }
+}

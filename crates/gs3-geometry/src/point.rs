@@ -1,0 +1,319 @@
+//! Cartesian points and vectors on the deployment plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::Angle;
+
+/// A location on the 2-D deployment plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// East-west coordinate.
+    pub x: f64,
+    /// North-south coordinate.
+    pub y: f64,
+}
+
+/// A displacement between two [`Point`]s, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// East-west component.
+    pub x: f64,
+    /// North-south component.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    ///
+    /// ```rust
+    /// # use gs3_geometry::Point;
+    /// assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+    /// ```
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).length()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed).
+    #[must_use]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        (self - other).length_sq()
+    }
+
+    /// The midpoint of the segment from `self` to `other`.
+    #[must_use]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// The point at distance `len` from `self` in direction `dir`.
+    #[must_use]
+    pub fn offset(self, dir: Angle, len: f64) -> Point {
+        self + Vec2::from_polar(dir, len)
+    }
+
+    /// True when every coordinate is finite (not NaN / ±∞).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// A vector of length `len` pointing in direction `dir`.
+    #[must_use]
+    pub fn from_polar(dir: Angle, len: f64) -> Self {
+        let (sin, cos) = dir.radians().sin_cos();
+        Vec2::new(len * cos, len * sin)
+    }
+
+    /// Euclidean length.
+    #[must_use]
+    pub fn length(self) -> f64 {
+        self.length_sq().sqrt()
+    }
+
+    /// Squared Euclidean length.
+    #[must_use]
+    pub fn length_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (`z` component of the 3-D cross product). Positive
+    /// when `other` is counter-clockwise from `self`.
+    #[must_use]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// The direction of this vector, measured counter-clockwise from the
+    /// `+x` axis. Returns [`Angle::ZERO`] for the zero vector.
+    #[must_use]
+    pub fn direction(self) -> Angle {
+        if self == Vec2::ZERO {
+            Angle::ZERO
+        } else {
+            Angle::from_radians(self.y.atan2(self.x))
+        }
+    }
+
+    /// The signed angle from `self` to `other`, in `(-π, π]`. Positive means
+    /// `other` lies counter-clockwise from `self` (matching the paper's sign
+    /// convention for the angle `A` formed with the reference direction
+    /// `GR`, where clockwise is negative).
+    #[must_use]
+    pub fn signed_angle_to(self, other: Vec2) -> Angle {
+        Angle::from_radians(self.cross(other).atan2(self.dot(other)))
+    }
+
+    /// This vector scaled to unit length; [`Vec2::ZERO`] stays zero.
+    #[must_use]
+    pub fn normalized(self) -> Vec2 {
+        let len = self.length();
+        if len == 0.0 {
+            Vec2::ZERO
+        } else {
+            self / len
+        }
+    }
+
+    /// This vector rotated counter-clockwise by `angle`.
+    #[must_use]
+    pub fn rotated(self, angle: Angle) -> Vec2 {
+        let (sin, cos) = angle.radians().sin_cos();
+        Vec2::new(self.x * cos - self.y * sin, self.x * sin + self.y * cos)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.x, self.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vec2;
+    fn sub(self, rhs: Point) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    fn add(self, rhs: Vec2) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    fn sub(self, rhs: Vec2) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point {
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign<Vec2> for Point {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn distance_symmetry() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-4.0, 7.5);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn midpoint_is_equidistant() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -6.0);
+        let m = a.midpoint(b);
+        assert!((m.distance(a) - m.distance(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_moves_by_polar() {
+        let p = Point::ORIGIN.offset(Angle::from_degrees(90.0), 5.0);
+        assert!(p.x.abs() < 1e-12);
+        assert!((p.y - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_sign_counterclockwise_positive() {
+        let east = Vec2::new(1.0, 0.0);
+        let north = Vec2::new(0.0, 1.0);
+        assert!(east.cross(north) > 0.0);
+        assert!(north.cross(east) < 0.0);
+    }
+
+    #[test]
+    fn signed_angle_quarter_turn() {
+        let east = Vec2::new(1.0, 0.0);
+        let north = Vec2::new(0.0, 1.0);
+        assert!((east.signed_angle_to(north).radians() - FRAC_PI_2).abs() < 1e-12);
+        assert!((north.signed_angle_to(east).radians() + FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_angle_opposite_is_pi() {
+        let v = Vec2::new(2.0, 1.0);
+        let a = v.signed_angle_to(-v).radians().abs();
+        assert!((a - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_length() {
+        let v = Vec2::new(3.0, -4.0);
+        let r = v.rotated(Angle::from_degrees(137.0));
+        assert!((r.length() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_zero_stays_zero() {
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn direction_roundtrip() {
+        for deg in [-170.0, -90.0, -30.0, 0.0, 45.0, 120.0, 179.0] {
+            let a = Angle::from_degrees(deg);
+            let v = Vec2::from_polar(a, 2.0);
+            assert!((v.direction().radians() - a.radians()).abs() < 1e-12, "{deg}");
+        }
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", Point::ORIGIN).is_empty());
+        assert!(!format!("{}", Vec2::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! The lexicographic candidate ranking used by `HEAD_SELECT` (Figure 3,
+//! Step 4) and by head-shift elections.
+//!
+//! Every node `k` in the candidate area of an ideal location `j` is ranked
+//! by the tuple `⟨d, |A|, A⟩` where `d = dist(j, k)` and `A ∈ (−180°, 180°]`
+//! is the signed angle between the global reference direction `GR` and the
+//! vector `j → k` (negative when clockwise). Distance has the highest
+//! significance; the *lowest* tuple ranks *highest* (best). A stable node-id
+//! tiebreak makes the order strict even for geometrically coincident nodes,
+//! so elections can never split.
+
+use std::cmp::Ordering;
+
+use crate::{Angle, Point};
+
+/// A rank key: lower compares as better.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankKey {
+    /// Distance from the ideal location to the node.
+    pub distance: f64,
+    /// |A|: absolute angle to `GR`.
+    pub abs_angle: f64,
+    /// A: signed angle to `GR` in `(−π, π]`.
+    pub angle: f64,
+    /// Final deterministic tiebreak (node id).
+    pub id: u64,
+}
+
+impl RankKey {
+    /// Computes the rank of node `node` (with stable id `id`) relative to
+    /// ideal location `il`, under reference direction `gr`.
+    ///
+    /// A node exactly at the IL gets angle 0 (best possible at distance 0).
+    #[must_use]
+    pub fn new(il: Point, node: Point, gr: Angle, id: u64) -> Self {
+        let v = node - il;
+        let a = if v.length() == 0.0 {
+            0.0
+        } else {
+            (v.direction() - gr).normalized().radians()
+        };
+        RankKey { distance: v.length(), abs_angle: a.abs(), angle: a, id }
+    }
+}
+
+impl Eq for RankKey {}
+
+impl Ord for RankKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance
+            .total_cmp(&other.distance)
+            .then_with(|| self.abs_angle.total_cmp(&other.abs_angle))
+            .then_with(|| self.angle.total_cmp(&other.angle))
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for RankKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Selects the best (highest-ranked, i.e. minimum [`RankKey`]) candidate
+/// from `nodes`, returning its index, or `None` when empty.
+///
+/// `nodes` yields `(id, position)` pairs; ranking is relative to `il`
+/// under reference direction `gr`.
+pub fn best_candidate<I>(il: Point, gr: Angle, nodes: I) -> Option<(u64, Point)>
+where
+    I: IntoIterator<Item = (u64, Point)>,
+{
+    nodes
+        .into_iter()
+        .min_by_key(|(id, p)| RankKey::new(il, *p, gr, *id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closer_wins() {
+        let il = Point::ORIGIN;
+        let gr = Angle::ZERO;
+        let near = RankKey::new(il, Point::new(1.0, 0.0), gr, 9);
+        let far = RankKey::new(il, Point::new(2.0, 0.0), gr, 1);
+        assert!(near < far);
+    }
+
+    #[test]
+    fn smaller_abs_angle_breaks_distance_tie() {
+        let il = Point::ORIGIN;
+        let gr = Angle::ZERO;
+        let on_axis = RankKey::new(il, Point::new(1.0, 0.0), gr, 9);
+        let off_axis = RankKey::new(il, Point::ORIGIN.offset(Angle::from_degrees(30.0), 1.0), gr, 1);
+        assert!(on_axis < off_axis);
+    }
+
+    #[test]
+    fn clockwise_negative_breaks_abs_tie() {
+        // Same distance, same |A|: the negative (clockwise) angle sorts
+        // first, i.e. wins.
+        let il = Point::ORIGIN;
+        let gr = Angle::ZERO;
+        // Exact mirror points: atan2(-y, x) == -atan2(y, x) bit-for-bit, so
+        // |A| ties exactly and the signed angle decides.
+        let (s, c) = (0.5, 0.75f64.sqrt());
+        let cw = RankKey::new(il, Point::new(c, -s), gr, 9);
+        let ccw = RankKey::new(il, Point::new(c, s), gr, 1);
+        assert!(cw < ccw);
+    }
+
+    #[test]
+    fn id_breaks_full_geometric_tie() {
+        let il = Point::ORIGIN;
+        let gr = Angle::ZERO;
+        let p = Point::new(1.0, 1.0);
+        let a = RankKey::new(il, p, gr, 1);
+        let b = RankKey::new(il, p, gr, 2);
+        assert!(a < b);
+        assert_ne!(a.cmp(&b), Ordering::Equal);
+    }
+
+    #[test]
+    fn node_at_il_is_unbeatable() {
+        let il = Point::new(3.0, 4.0);
+        let gr = Angle::from_degrees(45.0);
+        let at = RankKey::new(il, il, gr, 100);
+        let near = RankKey::new(il, Point::new(3.0, 4.001), gr, 1);
+        assert!(at < near);
+    }
+
+    #[test]
+    fn best_candidate_picks_minimum() {
+        let il = Point::ORIGIN;
+        let nodes = vec![
+            (1, Point::new(5.0, 0.0)),
+            (2, Point::new(1.0, 0.5)),
+            (3, Point::new(1.0, -0.5)),
+        ];
+        // Nodes 2 and 3 are exact mirrors: distance and |A| tie bit-for-bit
+        // (atan2 is odd in y), so the clockwise node 3 wins.
+        let (id, _) = best_candidate(il, Angle::ZERO, nodes).unwrap();
+        assert_eq!(id, 3);
+    }
+
+    #[test]
+    fn best_candidate_empty_is_none() {
+        assert_eq!(best_candidate(Point::ORIGIN, Angle::ZERO, Vec::new()), None);
+    }
+
+    #[test]
+    fn ranking_is_total_order() {
+        // total_cmp-based ordering must be transitive on a small sample set.
+        let il = Point::ORIGIN;
+        let gr = Angle::ZERO;
+        let keys: Vec<RankKey> = (0..10)
+            .map(|i| {
+                let ang = Angle::from_degrees(f64::from(i) * 37.0);
+                RankKey::new(il, Point::ORIGIN.offset(ang, 1.0 + f64::from(i % 3)), gr, i as u64)
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        for w in sorted.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

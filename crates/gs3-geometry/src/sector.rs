@@ -1,0 +1,195 @@
+//! Search-region membership tests for `HEAD_ORG`.
+//!
+//! A head `i` organizing its neighbors searches the region within
+//! `√3·R + 2·R_t` of `IL(i)` and between two directions `LD` and `RD`
+//! relative to the outgoing reference direction `IL(P(i)) → IL(i)`:
+//! `⟨0°, 360°⟩` for the big node, `⟨−60°−α, 60°+α⟩` for other heads, where
+//! `α = asin(R_t / (√3·R))` ([`crate::angular_slack`]).
+
+use crate::{Angle, Point, Vec2};
+
+/// An annular sector anchored at an ideal location: the set of points `p`
+/// with `|p − origin| ≤ radius` whose bearing from `origin` lies within
+/// `[ld, rd]` of the reference direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchRegion {
+    origin: Point,
+    reference: Angle,
+    ld: Angle,
+    rd: Angle,
+    radius: f64,
+    full_circle: bool,
+}
+
+impl SearchRegion {
+    /// A full-circle search region (the big node's `⟨0°, 360°⟩`).
+    #[must_use]
+    pub fn full(origin: Point, radius: f64) -> Self {
+        SearchRegion {
+            origin,
+            reference: Angle::ZERO,
+            ld: Angle::ZERO,
+            rd: Angle::FULL_TURN,
+            radius,
+            full_circle: true,
+        }
+    }
+
+    /// A sector from `ld` to `rd` (counter-clockwise sweep from `ld` to
+    /// `rd`) relative to `reference`, out to `radius`.
+    ///
+    /// For GS³ small heads: `reference` is the direction `IL(P(i)) → IL(i)`,
+    /// `ld = −60°−α`, `rd = 60°+α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rd < ld` or the sweep exceeds a full turn.
+    #[must_use]
+    pub fn sector(origin: Point, reference: Angle, ld: Angle, rd: Angle, radius: f64) -> Self {
+        assert!(rd >= ld, "sector sweep must be non-negative");
+        assert!(
+            (rd - ld).radians() <= Angle::FULL_TURN.radians() + 1e-12,
+            "sector sweep must not exceed a full turn"
+        );
+        let full_circle = (rd - ld).radians() >= Angle::FULL_TURN.radians() - 1e-12;
+        SearchRegion { origin, reference, ld, rd, radius, full_circle }
+    }
+
+    /// The GS³ search region for a small head: `⟨−60°−α, 60°+α⟩` around the
+    /// outgoing direction `parent_il → own_il`, out to `radius`.
+    #[must_use]
+    pub fn gs3_head(parent_il: Point, own_il: Point, alpha: Angle, radius: f64) -> Self {
+        let reference = (own_il - parent_il).direction();
+        let slack = Angle::from_degrees(60.0) + alpha;
+        Self::sector(own_il, reference, -slack, slack, radius)
+    }
+
+    /// The anchor point of the region.
+    #[must_use]
+    pub const fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// The radial extent of the region.
+    #[must_use]
+    pub const fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// True when `p` lies inside the region (boundary inclusive).
+    ///
+    /// The origin itself is considered inside only for full-circle regions —
+    /// a head never searches for itself.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        let v = p - self.origin;
+        if v.length() > self.radius + 1e-9 {
+            return false;
+        }
+        if self.full_circle {
+            return true;
+        }
+        if v == Vec2::ZERO {
+            return false;
+        }
+        let rel = (v.direction() - self.reference).normalized();
+        // Compare against the sweep by shifting so ld maps to zero.
+        let sweep = (self.rd - self.ld).radians();
+        let off = (rel - self.ld).normalized().radians().rem_euclid(std::f64::consts::TAU);
+        off <= sweep + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angular_slack;
+
+    #[test]
+    fn full_region_contains_anything_in_range() {
+        let r = SearchRegion::full(Point::ORIGIN, 10.0);
+        assert!(r.contains(Point::new(5.0, -5.0)));
+        assert!(r.contains(Point::ORIGIN));
+        assert!(!r.contains(Point::new(20.0, 0.0)));
+    }
+
+    #[test]
+    fn sector_basic_containment() {
+        // 90° sector around +x: [-45°, +45°].
+        let s = SearchRegion::sector(
+            Point::ORIGIN,
+            Angle::ZERO,
+            Angle::from_degrees(-45.0),
+            Angle::from_degrees(45.0),
+            10.0,
+        );
+        assert!(s.contains(Point::new(5.0, 0.0)));
+        assert!(s.contains(Point::new(5.0, 4.9)));
+        assert!(!s.contains(Point::new(0.0, 5.0)));
+        assert!(!s.contains(Point::new(-5.0, 0.0)));
+    }
+
+    #[test]
+    fn sector_rotates_with_reference() {
+        let s = SearchRegion::sector(
+            Point::ORIGIN,
+            Angle::from_degrees(90.0),
+            Angle::from_degrees(-30.0),
+            Angle::from_degrees(30.0),
+            10.0,
+        );
+        assert!(s.contains(Point::new(0.0, 5.0)));
+        assert!(!s.contains(Point::new(5.0, 0.0)));
+    }
+
+    #[test]
+    fn gs3_head_region_spans_pm_60_plus_alpha() {
+        let alpha = angular_slack(100.0, 10.0);
+        let parent = Point::new(-173.2, 0.0);
+        let own = Point::ORIGIN;
+        let s = SearchRegion::gs3_head(parent, own, alpha, 200.0);
+        // Straight ahead (along +x) is inside.
+        assert!(s.contains(Point::new(100.0, 0.0)));
+        // 60° off-axis is inside.
+        assert!(s.contains(Point::ORIGIN.offset(Angle::from_degrees(60.0), 100.0)));
+        assert!(s.contains(Point::ORIGIN.offset(Angle::from_degrees(-60.0), 100.0)));
+        // Just within the α margin is inside.
+        let margin = Angle::from_degrees(60.0) + alpha - Angle::from_degrees(0.01);
+        assert!(s.contains(Point::ORIGIN.offset(margin, 100.0)));
+        // Beyond the margin is outside.
+        let beyond = Angle::from_degrees(60.0) + alpha + Angle::from_degrees(1.0);
+        assert!(!s.contains(Point::ORIGIN.offset(beyond, 100.0)));
+        // Behind (toward the parent) is outside.
+        assert!(!s.contains(Point::new(-100.0, 0.0)));
+    }
+
+    #[test]
+    fn boundary_radius_inclusive() {
+        let s = SearchRegion::full(Point::ORIGIN, 10.0);
+        assert!(s.contains(Point::new(10.0, 0.0)));
+    }
+
+    #[test]
+    fn origin_excluded_from_sector() {
+        let s = SearchRegion::sector(
+            Point::ORIGIN,
+            Angle::ZERO,
+            Angle::from_degrees(-60.0),
+            Angle::from_degrees(60.0),
+            10.0,
+        );
+        assert!(!s.contains(Point::ORIGIN));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_inverted_sweep() {
+        let _ = SearchRegion::sector(
+            Point::ORIGIN,
+            Angle::ZERO,
+            Angle::from_degrees(45.0),
+            Angle::from_degrees(-45.0),
+            10.0,
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! The intra-cell spiral of candidate areas (Figure 5 of the paper).
+//!
+//! For *cell shift*, each original cell `C` is subdivided into candidate
+//! areas (CAs): disks of radius `R_t` whose centers form a triangular
+//! lattice of spacing `√3·R_t` centered on the cell's *original ideal
+//! location* (OIL) — "self-similar to a system being divided into a set of
+//! cells". CAs are ordered by the tuple `⟨ICC, ICP⟩`:
+//!
+//! * **ICC** (*Intra-Cell Cycle*): the hex-ring index of the CA around the
+//!   OIL (0 for the OIL itself).
+//! * **ICP** (*Intra-Cycle Position*): the position on that ring, numbered
+//!   increasing **clockwise** with respect to the global reference direction
+//!   `GR`, in `[0, 6·ICC − 1]`.
+//!
+//! When a cell's candidate set (nodes within `R_t` of the current IL) dies
+//! out, `STRENGTHEN_CELL` advances the cell's IL to the next CA in
+//! lexicographic `⟨ICC, ICP⟩` order whose candidate set is non-empty. All
+//! cells advancing through the same deterministic sequence is what makes the
+//! whole head structure *slide coherently* under uniform energy depletion.
+
+use crate::hex::Axial;
+use crate::{head_spacing, Angle, Point, Vec2};
+
+/// A position in the intra-cell spiral order.
+///
+/// Ordered lexicographically: all of cycle `c` precedes all of cycle `c+1`,
+/// and within a cycle positions increase clockwise from the `GR` direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct IccIcp {
+    /// Intra-Cell Cycle (hex ring index around the OIL).
+    pub icc: u32,
+    /// Intra-Cycle Position on that ring, in `[0, 6·icc − 1]` (0 when
+    /// `icc == 0`).
+    pub icp: u32,
+}
+
+impl IccIcp {
+    /// The original ideal location's spiral position `⟨0, 0⟩`.
+    pub const ORIGIN: IccIcp = IccIcp { icc: 0, icp: 0 };
+
+    /// Creates a spiral position.
+    #[must_use]
+    pub const fn new(icc: u32, icp: u32) -> Self {
+        IccIcp { icc, icp }
+    }
+
+    /// True when `icp` is a legal position index for `icc`.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        if self.icc == 0 {
+            self.icp == 0
+        } else {
+            self.icp < 6 * self.icc
+        }
+    }
+}
+
+impl std::fmt::Display for IccIcp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.icc, self.icp)
+    }
+}
+
+/// The ordered set of candidate-area centers (potential ILs) of one cell.
+///
+/// Construction fixes the cell's OIL, the ideal cell radius `R`, the radius
+/// tolerance `R_t`, and the orientation `GR`. Only CAs whose centers lie
+/// within distance `R` of the OIL are included — by the covering property of
+/// the `√3·R_t`-spaced triangular lattice these CAs jointly cover every node
+/// of the original cell, as the paper requires for maximal structure
+/// lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpiral {
+    oil: Point,
+    entries: Vec<(IccIcp, Point)>,
+}
+
+impl CellSpiral {
+    /// Builds the spiral for a cell with original ideal location `oil`,
+    /// ideal cell radius `r`, radius tolerance `r_t`, oriented by `gr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `r_t` is not strictly positive, or `r_t > r`.
+    #[must_use]
+    pub fn new(oil: Point, r: f64, r_t: f64, gr: Angle) -> Self {
+        assert!(r.is_finite() && r > 0.0, "ideal cell radius must be positive");
+        assert!(r_t.is_finite() && r_t > 0.0, "radius tolerance must be positive");
+        assert!(r_t <= r, "radius tolerance must not exceed the cell radius");
+        let spacing = head_spacing(r_t);
+        let eq = Vec2::from_polar(gr, spacing);
+        // Clockwise ring walk ⇒ the second basis vector points 60° *clockwise*
+        // of GR (the paper numbers ICP clockwise w.r.t. GR).
+        let er = Vec2::from_polar(gr - Angle::from_degrees(60.0), spacing);
+        let to_point = |ax: Axial| oil + eq * f64::from(ax.q) + er * f64::from(ax.r);
+
+        let max_icc = (r / spacing).floor() as u32 + 1;
+        let mut entries = Vec::new();
+        for icc in 0..=max_icc {
+            for (icp, ax) in ring_walk(icc).into_iter().enumerate() {
+                let p = to_point(ax);
+                if oil.distance(p) <= r + 1e-9 {
+                    entries.push((IccIcp::new(icc, icp as u32), p));
+                }
+            }
+        }
+        CellSpiral { oil, entries }
+    }
+
+    /// The cell's original ideal location (spiral position `⟨0,0⟩`).
+    #[must_use]
+    pub const fn oil(&self) -> Point {
+        self.oil
+    }
+
+    /// Number of candidate areas in the cell.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the spiral has no candidate areas (never happens for valid
+    /// parameters, since `⟨0,0⟩` is always included).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The IL point for a spiral position, if that position exists within
+    /// this cell.
+    #[must_use]
+    pub fn il_of(&self, key: IccIcp) -> Option<Point> {
+        self.entries
+            .binary_search_by(|(k, _)| k.cmp(&key))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// The spiral position following `key` in `⟨ICC, ICP⟩` order, or `None`
+    /// when `key` is the last CA of the cell.
+    #[must_use]
+    pub fn next(&self, key: IccIcp) -> Option<IccIcp> {
+        let idx = match self.entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        self.entries.get(idx).map(|(k, _)| *k)
+    }
+
+    /// Iterates `(position, IL point)` pairs in spiral order.
+    pub fn iter(&self) -> impl Iterator<Item = (IccIcp, Point)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+/// The axial cells of ring `band` in **clockwise** order starting from the
+/// `+q` (GR) direction. With the clockwise basis used above this yields the
+/// paper's clockwise ICP numbering.
+fn ring_walk(band: u32) -> Vec<Axial> {
+    // Axial::ring walks counter-clockwise in a counter-clockwise basis; in
+    // the *clockwise* basis (er rotated −60°) the identical index walk turns
+    // clockwise on the plane, so we can reuse it directly.
+    Axial::ring(band)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spiral() -> CellSpiral {
+        CellSpiral::new(Point::ORIGIN, 100.0, 10.0, Angle::ZERO)
+    }
+
+    #[test]
+    fn origin_is_first() {
+        let s = spiral();
+        let first = s.iter().next().unwrap();
+        assert_eq!(first.0, IccIcp::ORIGIN);
+        assert_eq!(first.1, Point::ORIGIN);
+    }
+
+    #[test]
+    fn entries_sorted_and_unique() {
+        let s = spiral();
+        let keys: Vec<_> = s.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn all_keys_valid() {
+        for (k, _) in spiral().iter() {
+            assert!(k.is_valid(), "{k}");
+        }
+    }
+
+    #[test]
+    fn all_centers_within_r() {
+        let s = spiral();
+        for (_, p) in s.iter() {
+            assert!(Point::ORIGIN.distance(p) <= 100.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn covers_the_cell_disk() {
+        // Every point within R−R_t of the OIL must be within R_t of some CA
+        // center (the covering property cell shift relies on).
+        let s = spiral();
+        let centers: Vec<Point> = s.iter().map(|(_, p)| p).collect();
+        for ix in -9..=9 {
+            for iy in -9..=9 {
+                let p = Point::new(f64::from(ix) * 10.0, f64::from(iy) * 10.0);
+                if Point::ORIGIN.distance(p) > 90.0 {
+                    continue;
+                }
+                let covered = centers.iter().any(|c| c.distance(p) <= 10.0 + 1e-9);
+                assert!(covered, "uncovered point {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_walks_whole_spiral() {
+        let s = spiral();
+        let mut cur = Some(IccIcp::ORIGIN);
+        let mut count = 0;
+        while let Some(k) = cur {
+            count += 1;
+            cur = s.next(k);
+        }
+        assert_eq!(count, s.len());
+    }
+
+    #[test]
+    fn next_of_missing_key_finds_successor() {
+        let s = spiral();
+        // ⟨0, 3⟩ is invalid/absent; successor is the first ring-1 entry.
+        let n = s.next(IccIcp::new(0, 3)).unwrap();
+        assert_eq!(n.icc, 1);
+    }
+
+    #[test]
+    fn first_ring_spacing() {
+        let s = spiral();
+        let ring1: Vec<Point> = s.iter().filter(|(k, _)| k.icc == 1).map(|(_, p)| p).collect();
+        assert_eq!(ring1.len(), 6);
+        for p in &ring1 {
+            assert!((Point::ORIGIN.distance(*p) - head_spacing(10.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn icp_numbering_is_clockwise() {
+        let s = spiral();
+        let ring1: Vec<(IccIcp, Point)> = s.iter().filter(|(k, _)| k.icc == 1).collect();
+        // Position 0 lies along GR (+x); position 1 must be clockwise of it
+        // (negative cross product with +x when measured consecutively).
+        let p0 = ring1[0].1 - Point::ORIGIN;
+        let p1 = ring1[1].1 - Point::ORIGIN;
+        assert!(p0.cross(p1) < 0.0, "ICP must advance clockwise");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(IccIcp::new(0, 0) < IccIcp::new(1, 0));
+        assert!(IccIcp::new(1, 5) < IccIcp::new(2, 0));
+        assert!(IccIcp::new(2, 3) < IccIcp::new(2, 4));
+    }
+
+    #[test]
+    fn il_of_origin() {
+        assert_eq!(spiral().il_of(IccIcp::ORIGIN), Some(Point::ORIGIN));
+        assert_eq!(spiral().il_of(IccIcp::new(40, 0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn rejects_rt_larger_than_r() {
+        let _ = CellSpiral::new(Point::ORIGIN, 10.0, 20.0, Angle::ZERO);
+    }
+}

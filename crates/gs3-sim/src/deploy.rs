@@ -1,0 +1,225 @@
+//! Node deployment generators.
+//!
+//! The paper's node-distribution model: nodes are uniformly distributed so
+//! that the number of nodes in a circular area of radius 1 is Poisson with
+//! mean `λ` (Section 4.3.4) — i.e. a homogeneous Poisson point process of
+//! intensity `λ/π` per unit area. Generators here realize that process over
+//! disk and rectangle regions, and can inject `R_t`-gaps and positional
+//! noise to exercise the perturbation paths.
+
+use gs3_geometry::Point;
+use rand::Rng;
+
+use crate::rng::{poisson, standard_normal, uniform_in_disk};
+
+/// The region over which nodes are scattered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Region {
+    /// A disk of the given radius centered at `center`.
+    Disk {
+        /// Disk center.
+        center: Point,
+        /// Disk radius.
+        radius: f64,
+    },
+    /// An axis-aligned rectangle.
+    Rect {
+        /// Lower-left corner.
+        min: Point,
+        /// Upper-right corner.
+        max: Point,
+    },
+}
+
+impl Region {
+    /// The area of the region.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        match *self {
+            Region::Disk { radius, .. } => std::f64::consts::PI * radius * radius,
+            Region::Rect { min, max } => (max.x - min.x).max(0.0) * (max.y - min.y).max(0.0),
+        }
+    }
+
+    /// True when `p` lies inside the region.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        match *self {
+            Region::Disk { center, radius } => center.distance(p) <= radius,
+            Region::Rect { min, max } => {
+                p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y
+            }
+        }
+    }
+
+    /// Samples a point uniformly inside the region.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        match *self {
+            Region::Disk { center, radius } => {
+                let (dx, dy) = uniform_in_disk(rng, radius);
+                Point::new(center.x + dx, center.y + dy)
+            }
+            Region::Rect { min, max } => {
+                Point::new(rng.gen_range(min.x..=max.x), rng.gen_range(min.y..=max.y))
+            }
+        }
+    }
+}
+
+/// A declarative deployment specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// Where nodes are scattered.
+    pub region: Region,
+    /// The paper's density parameter: expected nodes per unit-radius disk.
+    pub lambda: f64,
+    /// Circular holes cleared of nodes after scattering (to create
+    /// deterministic `R_t`-gaps).
+    pub gaps: Vec<(Point, f64)>,
+    /// Standard deviation of isotropic Gaussian noise added to each
+    /// position (models imperfect localization); 0 disables.
+    pub position_noise: f64,
+}
+
+impl Deployment {
+    /// A Poisson deployment of density `lambda` over a disk of `radius`
+    /// centered at the origin.
+    #[must_use]
+    pub fn disk(radius: f64, lambda: f64) -> Self {
+        Deployment {
+            region: Region::Disk { center: Point::ORIGIN, radius },
+            lambda,
+            gaps: Vec::new(),
+            position_noise: 0.0,
+        }
+    }
+
+    /// Adds a circular gap (all nodes within `radius` of `center` are
+    /// removed after scattering).
+    #[must_use]
+    pub fn with_gap(mut self, center: Point, radius: f64) -> Self {
+        self.gaps.push((center, radius));
+        self
+    }
+
+    /// Sets the localization-noise standard deviation.
+    #[must_use]
+    pub fn with_position_noise(mut self, sigma: f64) -> Self {
+        self.position_noise = sigma;
+        self
+    }
+
+    /// The expected number of nodes the deployment generates (before gap
+    /// removal).
+    #[must_use]
+    pub fn expected_count(&self) -> f64 {
+        // Intensity is λ/π nodes per unit area.
+        self.lambda / std::f64::consts::PI * self.region.area()
+    }
+
+    /// Scatters node positions.
+    ///
+    /// The count is Poisson(`expected_count`), positions uniform over the
+    /// region, then gap disks are cleared and noise applied. Results are
+    /// deterministic given the `rng` state.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Point> {
+        let n = poisson(rng, self.expected_count());
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let mut p = self.region.sample(rng);
+            if self.position_noise > 0.0 {
+                p = Point::new(
+                    p.x + self.position_noise * standard_normal(rng),
+                    p.y + self.position_noise * standard_normal(rng),
+                );
+            }
+            if self.gaps.iter().any(|(c, r)| c.distance(p) <= *r) {
+                continue;
+            }
+            out.push(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disk_area_and_containment() {
+        let r = Region::Disk { center: Point::ORIGIN, radius: 2.0 };
+        assert!((r.area() - 4.0 * std::f64::consts::PI).abs() < 1e-12);
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(!r.contains(Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn rect_area_and_containment() {
+        let r = Region::Rect { min: Point::ORIGIN, max: Point::new(4.0, 3.0) };
+        assert_eq!(r.area(), 12.0);
+        assert!(r.contains(Point::new(2.0, 2.9)));
+        assert!(!r.contains(Point::new(-0.1, 1.0)));
+    }
+
+    #[test]
+    fn expected_count_matches_lambda_definition() {
+        // λ nodes per unit-radius disk (area π) ⇒ a disk of radius 10 (area
+        // 100π) expects 100λ nodes.
+        let d = Deployment::disk(10.0, 5.0);
+        assert!((d.expected_count() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_count_near_expectation() {
+        let d = Deployment::disk(100.0, 8.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts = d.generate(&mut rng);
+        let expected = d.expected_count();
+        let sd = expected.sqrt();
+        assert!(
+            ((pts.len() as f64) - expected).abs() < 5.0 * sd,
+            "count {} vs expected {expected}",
+            pts.len()
+        );
+        assert!(pts.iter().all(|p| d.region.contains(*p)));
+    }
+
+    #[test]
+    fn gaps_are_cleared() {
+        let gap_center = Point::new(20.0, 0.0);
+        let d = Deployment::disk(100.0, 10.0).with_gap(gap_center, 15.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let pts = d.generate(&mut rng);
+        assert!(pts.iter().all(|p| gap_center.distance(*p) > 15.0));
+        assert!(!pts.is_empty());
+    }
+
+    #[test]
+    fn noise_perturbs_positions() {
+        let d = Deployment::disk(50.0, 10.0).with_position_noise(1.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        let pts = d.generate(&mut rng);
+        // With noise some points can fall slightly outside the disk.
+        assert!(!pts.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = Deployment::disk(80.0, 6.0);
+        let a = d.generate(&mut StdRng::seed_from_u64(7));
+        let b = d.generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rect_sampling_in_bounds() {
+        let region = Region::Rect { min: Point::new(-1.0, -2.0), max: Point::new(3.0, 4.0) };
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..100 {
+            assert!(region.contains(region.sample(&mut rng)));
+        }
+    }
+}

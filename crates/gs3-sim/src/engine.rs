@@ -1,0 +1,893 @@
+//! The discrete-event simulation engine.
+//!
+//! An [`Engine`] owns a population of protocol nodes (any type implementing
+//! [`Node`]), a deterministic event queue, the radio/energy models, and the
+//! channel-reservation arbiter. Protocol code never touches the engine
+//! directly: callbacks receive a [`Context`] through which they read local
+//! state (time, own id/position/energy) and request actions (send, set
+//! timers, reserve the channel, power off). This enforces the paper's
+//! *local-knowledge* discipline — a node can only learn about the network
+//! through messages.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gs3_geometry::Point;
+
+use crate::channel::ChannelManager;
+use crate::ids::NodeId;
+use crate::queue::EventQueue;
+use crate::radio::{EnergyModel, RadioModel};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// A message payload carried by the simulated radio.
+///
+/// `kind` labels the message for the per-kind trace counters (e.g. `"org"`,
+/// `"head_intra_alive"`).
+pub trait Payload: Clone + std::fmt::Debug {
+    /// A short static label for trace accounting.
+    fn kind(&self) -> &'static str {
+        "message"
+    }
+}
+
+/// A protocol state machine hosted by the engine.
+pub trait Node {
+    /// The message type this protocol exchanges.
+    type Msg: Payload;
+    /// The timer payload type; `PartialEq` enables cancellation by value.
+    type Timer: Clone + std::fmt::Debug + PartialEq;
+
+    /// Called once when the node boots (at its spawn time).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Timer>);
+
+    /// Called for every delivered message.
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Timer>,
+    );
+
+    /// Called when a timer set via [`Context::set_timer`] fires (unless
+    /// cancelled).
+    fn on_timer(&mut self, timer: Self::Timer, ctx: &mut Context<'_, Self::Msg, Self::Timer>);
+
+    /// Called when a channel reservation requested via
+    /// [`Context::reserve_channel`] is granted.
+    fn on_channel_granted(&mut self, _ctx: &mut Context<'_, Self::Msg, Self::Timer>) {}
+}
+
+/// Deferred effects a node callback requests.
+#[derive(Debug)]
+enum Action<M, T> {
+    Unicast { to: NodeId, msg: M },
+    Broadcast { radius: f64, msg: M },
+    SetTimer { after: SimDuration, timer: T },
+    CancelTimers { timer: T },
+    ReserveChannel { radius: f64 },
+    ReleaseChannel,
+    PowerOff,
+}
+
+/// The per-callback view a node gets of itself and the world.
+#[derive(Debug)]
+pub struct Context<'a, M, T> {
+    now: SimTime,
+    id: NodeId,
+    position: Point,
+    energy: f64,
+    holds_channel: bool,
+    rng: &'a mut StdRng,
+    actions: Vec<Action<M, T>>,
+}
+
+impl<M, T> Context<'_, M, T> {
+    /// The current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's identity.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's current position (the paper assumes effective relative
+    /// localization; see DESIGN.md).
+    #[must_use]
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// This node's remaining energy (∞-like large value when accounting is
+    /// disabled).
+    #[must_use]
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// True when this node currently holds a channel reservation.
+    #[must_use]
+    pub fn holds_channel(&self) -> bool {
+        self.holds_channel
+    }
+
+    /// The deterministic per-engine RNG (for protocol-level jitter).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` reliably to `to` (delivered unless `to` is dead or out
+    /// of radio range).
+    pub fn unicast(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Unicast { to, msg });
+    }
+
+    /// Broadcasts `msg` to every node within `radius` (clamped to the radio
+    /// maximum); each copy is subject to the broadcast loss rate.
+    pub fn broadcast(&mut self, radius: f64, msg: M) {
+        self.actions.push(Action::Broadcast { radius, msg });
+    }
+
+    /// Schedules `timer` to fire `after` from now.
+    pub fn set_timer(&mut self, after: SimDuration, timer: T) {
+        self.actions.push(Action::SetTimer { after, timer });
+    }
+
+    /// Cancels every pending timer of this node whose payload equals
+    /// `timer`.
+    pub fn cancel_timers(&mut self, timer: T) {
+        self.actions.push(Action::CancelTimers { timer });
+    }
+
+    /// Requests an exclusive reservation of the disk of `radius` around
+    /// this node's position. [`Node::on_channel_granted`] fires when
+    /// granted (possibly immediately).
+    pub fn reserve_channel(&mut self, radius: f64) {
+        self.actions.push(Action::ReserveChannel { radius });
+    }
+
+    /// Releases this node's channel reservation (or cancels a queued
+    /// request).
+    pub fn release_channel(&mut self) {
+        self.actions.push(Action::ReleaseChannel);
+    }
+
+    /// Powers this node off (fail-stop). Remaining actions from this
+    /// callback are discarded.
+    pub fn power_off(&mut self) {
+        self.actions.push(Action::PowerOff);
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M, T> {
+    Start,
+    Deliver { from: NodeId, msg: M },
+    Timer { timer_id: u64, timer: T },
+    ChannelGrant,
+}
+
+#[derive(Debug)]
+struct PendingEvent<M, T> {
+    to: NodeId,
+    kind: EventKind<M, T>,
+}
+
+#[derive(Debug)]
+struct Slot<N: Node> {
+    node: N,
+    position: Point,
+    alive: bool,
+    energy: f64,
+    /// Timer ids cancelled before firing.
+    cancelled: Vec<u64>,
+    /// Pending (id, payload) pairs for cancellation-by-value.
+    pending_timers: Vec<(u64, N::Timer)>,
+}
+
+/// Errors reported by the engine API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The referenced node id does not exist.
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownNode(id) => write!(f, "unknown node {id}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The discrete-event simulator.
+#[derive(Debug)]
+pub struct Engine<N: Node> {
+    radio: RadioModel,
+    energy_model: EnergyModel,
+    slots: Vec<Slot<N>>,
+    grid: crate::spatial::SpatialGrid,
+    queue: EventQueue<PendingEvent<N::Msg, N::Timer>>,
+    channel: ChannelManager,
+    rng: StdRng,
+    trace: Trace,
+    now: SimTime,
+    next_timer_id: u64,
+    events_processed: u64,
+}
+
+/// Energy assigned when accounting is disabled.
+const UNLIMITED_ENERGY: f64 = f64::INFINITY;
+
+impl<N: Node> Engine<N> {
+    /// Creates an engine with the given channel model, energy model, and
+    /// RNG seed.
+    #[must_use]
+    pub fn new(radio: RadioModel, energy_model: EnergyModel, seed: u64) -> Self {
+        let cell = radio.max_range.max(1.0);
+        Engine {
+            radio,
+            energy_model,
+            slots: Vec::new(),
+            grid: crate::spatial::SpatialGrid::new(cell),
+            queue: EventQueue::new(),
+            channel: ChannelManager::new(),
+            rng: StdRng::seed_from_u64(seed),
+            trace: Trace::new(),
+            now: SimTime::ZERO,
+            next_timer_id: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// The channel model in use.
+    #[must_use]
+    pub fn radio(&self) -> &RadioModel {
+        &self.radio
+    }
+
+    /// The current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Run statistics.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Spawns a node at `position`, booting immediately (its
+    /// [`Node::on_start`] runs at the current time). Initial energy comes
+    /// from the energy model (unlimited when accounting is disabled).
+    pub fn spawn(&mut self, node: N, position: Point) -> NodeId {
+        self.spawn_at(node, position, self.now, None)
+    }
+
+    /// Spawns a node that boots at `at` (≥ now), with an explicit energy
+    /// budget (`None` = unlimited).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn spawn_at(&mut self, node: N, position: Point, at: SimTime, energy: Option<f64>) -> NodeId {
+        assert!(at >= self.now, "cannot spawn in the past");
+        let id = NodeId::new(self.slots.len() as u64);
+        self.grid.insert(self.slots.len(), position);
+        self.slots.push(Slot {
+            node,
+            position,
+            alive: true,
+            energy: energy.unwrap_or(UNLIMITED_ENERGY),
+            cancelled: Vec::new(),
+            pending_timers: Vec::new(),
+        });
+        self.queue.schedule(at, PendingEvent { to: id, kind: EventKind::Start });
+        id
+    }
+
+    fn slot(&self, id: NodeId) -> Result<&Slot<N>, EngineError> {
+        self.slots.get(id.raw() as usize).ok_or(EngineError::UnknownNode(id))
+    }
+
+    fn slot_mut(&mut self, id: NodeId) -> Result<&mut Slot<N>, EngineError> {
+        self.slots.get_mut(id.raw() as usize).ok_or(EngineError::UnknownNode(id))
+    }
+
+    /// Immutable access to a node's protocol state (for inspection by
+    /// harnesses and invariant checkers).
+    pub fn node(&self, id: NodeId) -> Result<&N, EngineError> {
+        self.slot(id).map(|s| &s.node)
+    }
+
+    /// Mutable access to a node's protocol state (used by harnesses to
+    /// inject state corruption).
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut N, EngineError> {
+        self.slot_mut(id).map(|s| &mut s.node)
+    }
+
+    /// A node's current position.
+    pub fn position(&self, id: NodeId) -> Result<Point, EngineError> {
+        self.slot(id).map(|s| s.position)
+    }
+
+    /// Teleports a node (mobility is modeled as a sequence of such steps
+    /// driven by the harness).
+    pub fn set_position(&mut self, id: NodeId, position: Point) -> Result<(), EngineError> {
+        let idx = id.raw() as usize;
+        let old = self.slot(id)?.position;
+        self.grid.relocate(idx, old, position);
+        self.slot_mut(id)?.position = position;
+        Ok(())
+    }
+
+    /// Whether a node is alive (spawned and not powered off/dead).
+    pub fn is_alive(&self, id: NodeId) -> Result<bool, EngineError> {
+        self.slot(id).map(|s| s.alive)
+    }
+
+    /// A node's remaining energy.
+    pub fn energy(&self, id: NodeId) -> Result<f64, EngineError> {
+        self.slot(id).map(|s| s.energy)
+    }
+
+    /// Overwrites a node's remaining energy (harness-level perturbation).
+    pub fn set_energy(&mut self, id: NodeId, energy: f64) -> Result<(), EngineError> {
+        self.slot_mut(id)?.energy = energy;
+        Ok(())
+    }
+
+    /// Kills a node (fail-stop perturbation). Queued events to it are
+    /// dropped at delivery time; its channel reservation is released.
+    pub fn kill(&mut self, id: NodeId) -> Result<(), EngineError> {
+        let idx = id.raw() as usize;
+        let pos = self.slot(id)?.position;
+        let was_alive = self.slot(id)?.alive;
+        if !was_alive {
+            return Ok(());
+        }
+        self.slot_mut(id)?.alive = false;
+        self.grid.remove(idx, pos);
+        for granted in self.channel.release(id) {
+            self.queue.schedule(
+                self.now + self.radio.base_latency,
+                PendingEvent { to: granted, kind: EventKind::ChannelGrant },
+            );
+        }
+        Ok(())
+    }
+
+    /// All node ids ever spawned.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.slots.len() as u64).map(NodeId::new)
+    }
+
+    /// Ids of currently-alive nodes.
+    pub fn alive_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| NodeId::new(i as u64))
+    }
+
+    /// Number of alive nodes.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.alive).count()
+    }
+
+    /// Total nodes ever spawned.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Processes the single earliest pending event. Returns `false` when
+    /// the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.events_processed += 1;
+        self.dispatch(ev);
+        true
+    }
+
+    /// Runs until the queue is exhausted or the clock passes `deadline`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        // Advance the clock to the deadline even if the queue drained early,
+        // so back-to-back run_for calls measure wall simulation time.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Runs for `span` of simulated time from now.
+    pub fn run_for(&mut self, span: SimDuration) -> u64 {
+        let deadline = self.now + span;
+        self.run_until(deadline)
+    }
+
+    /// Runs until the event queue drains completely, returning the time of
+    /// the last processed event — the exact quiescence instant (useful for
+    /// measuring the convergence of one-shot protocols like GS³-S). Returns
+    /// `None` when the queue is still non-empty at `deadline` (recurring
+    /// timers never quiesce).
+    pub fn run_until_quiescent(&mut self, deadline: SimTime) -> Option<SimTime> {
+        let mut last = self.now;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                return None;
+            }
+            self.step();
+            last = self.now;
+        }
+        Some(last)
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn dispatch(&mut self, ev: PendingEvent<N::Msg, N::Timer>) {
+        let idx = ev.to.raw() as usize;
+        let Some(slot) = self.slots.get_mut(idx) else {
+            return;
+        };
+        if !slot.alive {
+            return;
+        }
+        match ev.kind {
+            EventKind::Start => self.with_ctx(ev.to, |node, ctx| node.on_start(ctx)),
+            EventKind::Deliver { from, msg } => {
+                self.trace.record_delivery();
+                let rx = self.energy_model.rx;
+                if self.charge(ev.to, rx) {
+                    return;
+                }
+                self.with_ctx(ev.to, |node, ctx| node.on_message(from, msg, ctx));
+            }
+            EventKind::Timer { timer_id, timer } => {
+                let slot = &mut self.slots[idx];
+                slot.pending_timers.retain(|(tid, _)| *tid != timer_id);
+                if let Some(pos) = slot.cancelled.iter().position(|c| *c == timer_id) {
+                    slot.cancelled.swap_remove(pos);
+                    return;
+                }
+                self.trace.record_timer();
+                self.with_ctx(ev.to, |node, ctx| node.on_timer(timer, ctx));
+            }
+            EventKind::ChannelGrant => {
+                self.with_ctx(ev.to, |node, ctx| node.on_channel_granted(ctx));
+            }
+        }
+    }
+
+    /// Charges `cost` to a node; returns `true` when the node died of
+    /// exhaustion (and handles the death).
+    fn charge(&mut self, id: NodeId, cost: f64) -> bool {
+        if self.energy_model.is_disabled() || cost == 0.0 {
+            return false;
+        }
+        let slot = &mut self.slots[id.raw() as usize];
+        slot.energy -= cost;
+        if slot.energy <= 0.0 {
+            slot.energy = 0.0;
+            let _ = self.kill(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs a node callback and applies the actions it queued.
+    fn with_ctx<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<'_, N::Msg, N::Timer>),
+    {
+        let idx = id.raw() as usize;
+        let (position, energy) = {
+            let s = &self.slots[idx];
+            (s.position, s.energy)
+        };
+        let mut ctx = Context {
+            now: self.now,
+            id,
+            position,
+            energy,
+            holds_channel: self.channel.holds(id),
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
+        // Split-borrow dance: take the node out, run, put it back. The node
+        // type has no engine references, so this is cheap and safe.
+        // (We use a raw index re-borrow instead of `mem::take` to avoid a
+        // Default bound on N.)
+        {
+            let slots = &mut self.slots;
+            let slot = &mut slots[idx];
+            f(&mut slot.node, &mut ctx);
+        }
+        let actions = ctx.actions;
+        self.apply_actions(id, actions);
+    }
+
+    fn apply_actions(&mut self, id: NodeId, actions: Vec<Action<N::Msg, N::Timer>>) {
+        for action in actions {
+            // A node that powered itself off performs nothing further.
+            if !self.slots[id.raw() as usize].alive {
+                break;
+            }
+            match action {
+                Action::Unicast { to, msg } => self.do_unicast(id, to, msg),
+                Action::Broadcast { radius, msg } => self.do_broadcast(id, radius, msg),
+                Action::SetTimer { after, timer } => {
+                    let timer_id = self.next_timer_id;
+                    self.next_timer_id += 1;
+                    self.slots[id.raw() as usize].pending_timers.push((timer_id, timer.clone()));
+                    self.queue.schedule(
+                        self.now + after,
+                        PendingEvent { to: id, kind: EventKind::Timer { timer_id, timer } },
+                    );
+                }
+                Action::CancelTimers { timer } => {
+                    let slot = &mut self.slots[id.raw() as usize];
+                    for (tid, t) in &slot.pending_timers {
+                        if *t == timer {
+                            slot.cancelled.push(*tid);
+                        }
+                    }
+                    slot.pending_timers.retain(|(_, t)| *t != timer);
+                }
+                Action::ReserveChannel { radius } => {
+                    let pos = self.slots[id.raw() as usize].position;
+                    if self.channel.request(id, pos, radius) {
+                        self.queue.schedule(
+                            self.now + self.radio.base_latency,
+                            PendingEvent { to: id, kind: EventKind::ChannelGrant },
+                        );
+                    }
+                }
+                Action::ReleaseChannel => {
+                    for granted in self.channel.release(id) {
+                        self.queue.schedule(
+                            self.now + self.radio.base_latency,
+                            PendingEvent { to: granted, kind: EventKind::ChannelGrant },
+                        );
+                    }
+                }
+                Action::PowerOff => {
+                    let _ = self.kill(id);
+                }
+            }
+        }
+    }
+
+    fn do_unicast(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
+        use crate::engine::Payload as _;
+        self.trace.record_unicast(msg.kind());
+        let from_pos = self.slots[from.raw() as usize].position;
+        let Some(target) = self.slots.get(to.raw() as usize) else {
+            self.trace.record_unicast_failure();
+            return;
+        };
+        let dist = from_pos.distance(target.position);
+        if !target.alive || dist > self.radio.max_range {
+            self.trace.record_unicast_failure();
+            // The sender still burned transmit energy.
+            self.charge(from, self.energy_model.tx_cost(dist.min(self.radio.max_range)));
+            return;
+        }
+        let latency = self.radio.latency(dist, &mut self.rng);
+        self.queue
+            .schedule(self.now + latency, PendingEvent { to, kind: EventKind::Deliver { from, msg } });
+        self.charge(from, self.energy_model.tx_cost(dist));
+    }
+
+    fn do_broadcast(&mut self, from: NodeId, radius: f64, msg: N::Msg) {
+        use crate::engine::Payload as _;
+        self.trace.record_broadcast(msg.kind());
+        let range = self.radio.effective_range(radius);
+        let from_pos = self.slots[from.raw() as usize].position;
+        let mut receivers = Vec::new();
+        self.grid.for_each_candidate(from_pos, range, |h| {
+            if h != from.raw() as usize {
+                receivers.push(h);
+            }
+        });
+        // Deterministic receiver order regardless of hash-map iteration.
+        receivers.sort_unstable();
+        for h in receivers {
+            let slot = &self.slots[h];
+            if !slot.alive {
+                continue;
+            }
+            let dist = from_pos.distance(slot.position);
+            if dist > range {
+                continue;
+            }
+            if self.radio.broadcast_dropped(&mut self.rng) {
+                self.trace.record_broadcast_loss();
+                continue;
+            }
+            let latency = self.radio.latency(dist, &mut self.rng);
+            self.queue.schedule(
+                self.now + latency,
+                PendingEvent {
+                    to: NodeId::new(h as u64),
+                    kind: EventKind::Deliver { from, msg: msg.clone() },
+                },
+            );
+        }
+        self.charge(from, self.energy_model.tx_cost(range));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy flooding protocol: on start, node 0 broadcasts a counter; every
+    /// node re-broadcasts the first message it hears with counter+1.
+    #[derive(Debug, Default)]
+    struct Flood {
+        heard: Option<u32>,
+        timer_fired: u32,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Hop(u32);
+    impl Payload for Hop {
+        fn kind(&self) -> &'static str {
+            "hop"
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum T {
+        Tick,
+    }
+
+    impl Node for Flood {
+        type Msg = Hop;
+        type Timer = T;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Hop, T>) {
+            if ctx.id() == NodeId::new(0) {
+                self.heard = Some(0);
+                ctx.broadcast(60.0, Hop(0));
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: Hop, ctx: &mut Context<'_, Hop, T>) {
+            if self.heard.is_none() {
+                self.heard = Some(msg.0 + 1);
+                ctx.broadcast(60.0, Hop(msg.0 + 1));
+            }
+        }
+
+        fn on_timer(&mut self, timer: T, _ctx: &mut Context<'_, Hop, T>) {
+            if timer == T::Tick {
+                self.timer_fired += 1;
+            }
+        }
+    }
+
+    fn line_engine(n: usize, spacing: f64) -> (Engine<Flood>, Vec<NodeId>) {
+        let mut eng = Engine::new(RadioModel::ideal(100.0), EnergyModel::disabled(), 1);
+        let ids =
+            (0..n).map(|i| eng.spawn(Flood::default(), Point::new(i as f64 * spacing, 0.0))).collect();
+        (eng, ids)
+    }
+
+    #[test]
+    fn flood_reaches_connected_line() {
+        let (mut eng, ids) = line_engine(10, 50.0);
+        eng.run_until(SimTime::from_micros(10_000_000));
+        for (i, id) in ids.iter().enumerate() {
+            let heard = eng.node(*id).unwrap().heard;
+            assert_eq!(heard, Some(i as u32), "node {i}");
+        }
+    }
+
+    #[test]
+    fn flood_does_not_cross_partition() {
+        // Node 5 onward are placed beyond radio range of the first group.
+        let mut eng = Engine::new(RadioModel::ideal(100.0), EnergyModel::disabled(), 1);
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            ids.push(eng.spawn(Flood::default(), Point::new(f64::from(i) * 50.0, 0.0)));
+        }
+        for i in 0..3 {
+            ids.push(eng.spawn(Flood::default(), Point::new(1000.0 + f64::from(i) * 50.0, 0.0)));
+        }
+        eng.run_until(SimTime::from_micros(10_000_000));
+        assert!(eng.node(ids[4]).unwrap().heard.is_some());
+        for id in &ids[5..] {
+            assert!(eng.node(*id).unwrap().heard.is_none());
+        }
+    }
+
+    #[test]
+    fn dead_nodes_do_not_receive() {
+        let (mut eng, ids) = line_engine(3, 25.0);
+        eng.kill(ids[1]).unwrap();
+        eng.run_until(SimTime::from_micros(10_000_000));
+        assert_eq!(eng.node(ids[1]).unwrap().heard, None);
+        // Node 2 is 50m from node 0 — within the 60m flood radius, so it
+        // hears node 0 directly despite node 1 being dead.
+        assert_eq!(eng.node(ids[2]).unwrap().heard, Some(1));
+        assert_eq!(eng.alive_count(), 2);
+    }
+
+    #[test]
+    fn unicast_out_of_range_fails() {
+        #[derive(Debug, Default)]
+        struct Caster;
+        #[derive(Debug, Clone)]
+        struct M;
+        impl Payload for M {}
+        impl Node for Caster {
+            type Msg = M;
+            type Timer = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, M, ()>) {
+                if ctx.id() == NodeId::new(0) {
+                    ctx.unicast(NodeId::new(1), M);
+                }
+            }
+            fn on_message(&mut self, _: NodeId, _: M, _: &mut Context<'_, M, ()>) {
+                panic!("must not be delivered");
+            }
+            fn on_timer(&mut self, _: (), _: &mut Context<'_, M, ()>) {}
+        }
+        let mut eng = Engine::new(RadioModel::ideal(100.0), EnergyModel::disabled(), 1);
+        eng.spawn(Caster, Point::ORIGIN);
+        eng.spawn(Caster, Point::new(500.0, 0.0));
+        eng.run_until(SimTime::from_micros(1_000_000));
+        assert_eq!(eng.trace().unicast_failures(), 1);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        #[derive(Debug, Default)]
+        struct Timed {
+            fired: Vec<&'static str>,
+        }
+        #[derive(Debug, Clone)]
+        struct M;
+        impl Payload for M {}
+        impl Node for Timed {
+            type Msg = M;
+            type Timer = &'static str;
+            fn on_start(&mut self, ctx: &mut Context<'_, M, &'static str>) {
+                ctx.set_timer(SimDuration::from_millis(10), "keep");
+                ctx.set_timer(SimDuration::from_millis(10), "drop");
+                ctx.set_timer(SimDuration::from_millis(20), "late");
+                ctx.cancel_timers("drop");
+            }
+            fn on_message(&mut self, _: NodeId, _: M, _: &mut Context<'_, M, &'static str>) {}
+            fn on_timer(&mut self, t: &'static str, _: &mut Context<'_, M, &'static str>) {
+                self.fired.push(t);
+            }
+        }
+        let mut eng = Engine::new(RadioModel::ideal(100.0), EnergyModel::disabled(), 1);
+        let id = eng.spawn(Timed::default(), Point::ORIGIN);
+        eng.run_until(SimTime::from_micros(1_000_000));
+        assert_eq!(eng.node(id).unwrap().fired, vec!["keep", "late"]);
+    }
+
+    #[test]
+    fn channel_reservation_serializes() {
+        #[derive(Debug, Default)]
+        struct Reserver {
+            granted_at: Option<SimTime>,
+        }
+        #[derive(Debug, Clone)]
+        struct M;
+        impl Payload for M {}
+        impl Node for Reserver {
+            type Msg = M;
+            type Timer = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, M, ()>) {
+                ctx.reserve_channel(50.0);
+            }
+            fn on_message(&mut self, _: NodeId, _: M, _: &mut Context<'_, M, ()>) {}
+            fn on_timer(&mut self, _: (), _: &mut Context<'_, M, ()>) {}
+            fn on_channel_granted(&mut self, ctx: &mut Context<'_, M, ()>) {
+                self.granted_at = Some(ctx.now());
+                // Hold for 100 ms then release.
+                ctx.set_timer(SimDuration::from_millis(100), ());
+            }
+        }
+        // Rewire on_timer to release: easier with a second impl — instead
+        // drive release via node_mut after run; here we only check mutual
+        // exclusion of the initial grants.
+        let mut eng = Engine::new(RadioModel::ideal(200.0), EnergyModel::disabled(), 1);
+        let a = eng.spawn(Reserver::default(), Point::ORIGIN);
+        let b = eng.spawn(Reserver::default(), Point::new(10.0, 0.0));
+        eng.run_until(SimTime::from_micros(50_000));
+        let ga = eng.node(a).unwrap().granted_at;
+        let gb = eng.node(b).unwrap().granted_at;
+        assert!(ga.is_some());
+        assert!(gb.is_none(), "conflicting reservation must wait");
+    }
+
+    #[test]
+    fn energy_exhaustion_kills() {
+        let mut eng = Engine::new(
+            RadioModel::ideal(100.0),
+            EnergyModel { tx_base: 1.0, tx_dist2: 0.0, rx: 0.0 },
+            1,
+        );
+        let id = eng.spawn_at(Flood::default(), Point::ORIGIN, SimTime::ZERO, Some(0.5));
+        eng.run_until(SimTime::from_micros(1_000_000));
+        // Node 0's single broadcast cost 1.0 > 0.5 budget → dead.
+        assert!(!eng.is_alive(id).unwrap());
+        assert_eq!(eng.energy(id).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let (mut eng, _) = line_engine(20, 40.0);
+            let _ = seed;
+            eng.run_until(SimTime::from_micros(5_000_000));
+            (eng.trace().clone(), eng.events_processed())
+        };
+        let (t1, e1) = run(1);
+        let (t2, e2) = run(1);
+        assert_eq!(t1, t2);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn run_for_advances_clock_even_when_idle() {
+        let mut eng: Engine<Flood> = Engine::new(RadioModel::ideal(10.0), EnergyModel::disabled(), 1);
+        eng.run_for(SimDuration::from_secs(5));
+        assert_eq!(eng.now(), SimTime::from_micros(5_000_000));
+    }
+
+    #[test]
+    fn set_position_moves_node() {
+        let (mut eng, ids) = line_engine(2, 30.0);
+        eng.set_position(ids[1], Point::new(5000.0, 0.0)).unwrap();
+        assert_eq!(eng.position(ids[1]).unwrap(), Point::new(5000.0, 0.0));
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let eng: Engine<Flood> = Engine::new(RadioModel::ideal(10.0), EnergyModel::disabled(), 1);
+        assert!(matches!(eng.node(NodeId::new(7)), Err(EngineError::UnknownNode(_))));
+        let msg = format!("{}", EngineError::UnknownNode(NodeId::new(7)));
+        assert!(msg.contains("n7"));
+    }
+}

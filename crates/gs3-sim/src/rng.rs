@@ -1,0 +1,137 @@
+//! Deterministic randomness helpers.
+//!
+//! Every stochastic choice in the simulator flows through a seeded
+//! [`rand::rngs::StdRng`], so runs are reproducible from `(code, seed)`.
+//! This module adds the distribution samplers the deployment generators
+//! need without pulling in `rand_distr`.
+
+use rand::Rng;
+
+/// Samples a Poisson-distributed count with the given `mean`.
+///
+/// Uses Knuth's multiplication method for small means and a rounded normal
+/// approximation (`N(mean, mean)`, clamped at 0) for large ones — fully
+/// adequate for sampling deployment population sizes.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or non-finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean >= 0.0, "poisson mean must be non-negative");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        // Knuth: count multiplications until the running product drops
+        // below e^-mean.
+        let limit = (-mean).exp();
+        let mut product: f64 = 1.0;
+        let mut count = 0u64;
+        loop {
+            product *= rng.gen::<f64>();
+            if product <= limit {
+                return count;
+            }
+            count += 1;
+        }
+    }
+    let z = standard_normal(rng);
+    let sample = mean + mean.sqrt() * z;
+    sample.round().max(0.0) as u64
+}
+
+/// Samples a standard normal deviate (Box–Muller).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a point uniformly inside the disk of radius `radius` centered at
+/// the origin, returned as `(x, y)`.
+pub fn uniform_in_disk<R: Rng + ?Sized>(rng: &mut R, radius: f64) -> (f64, f64) {
+    // Inverse-CDF in r (sqrt) keeps the areal density uniform.
+    let r = radius * rng.gen::<f64>().sqrt();
+    let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_small_mean_statistics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean = 4.5;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+        let empirical = total as f64 / f64::from(n);
+        assert!((empirical - mean).abs() < 0.1, "empirical mean {empirical}");
+    }
+
+    #[test]
+    fn poisson_large_mean_statistics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 5_000;
+        let mean = 400.0;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+        let empirical = total as f64 / f64::from(n);
+        assert!((empirical - mean).abs() < 2.0, "empirical mean {empirical}");
+    }
+
+    #[test]
+    fn standard_normal_statistics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_in_disk_stays_inside_and_fills_annuli() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mut inner = 0u32;
+        for _ in 0..n {
+            let (x, y) = uniform_in_disk(&mut rng, 10.0);
+            let r = (x * x + y * y).sqrt();
+            assert!(r <= 10.0 + 1e-9);
+            if r < 10.0 / 2.0_f64.sqrt() {
+                inner += 1;
+            }
+        }
+        // Half the area lies within radius/√2; expect ~50%.
+        let frac = f64::from(inner) / f64::from(n);
+        assert!((frac - 0.5).abs() < 0.02, "inner fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(poisson(&mut a, 7.0), poisson(&mut b, 7.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn poisson_rejects_negative_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = poisson(&mut rng, -1.0);
+    }
+}

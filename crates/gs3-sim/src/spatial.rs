@@ -1,0 +1,161 @@
+//! A uniform-grid spatial index for range queries over node positions.
+//!
+//! Broadcast delivery must find every node within a radius; a hash-grid
+//! keeps that `O(candidates)` instead of `O(n)` per transmission.
+
+use std::collections::HashMap;
+
+use gs3_geometry::Point;
+
+/// A uniform hash-grid over the plane holding `usize` handles.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl SpatialGrid {
+    /// Creates a grid with the given cell edge length (typically the radio's
+    /// maximum range, so any in-range query touches at most 9 cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(cell: f64) -> Self {
+        assert!(cell.is_finite() && cell > 0.0, "grid cell size must be positive");
+        SpatialGrid { cell, cells: HashMap::new() }
+    }
+
+    fn key(&self, p: Point) -> (i64, i64) {
+        ((p.x / self.cell).floor() as i64, (p.y / self.cell).floor() as i64)
+    }
+
+    /// Inserts `handle` at `p`.
+    pub fn insert(&mut self, handle: usize, p: Point) {
+        self.cells.entry(self.key(p)).or_default().push(handle);
+    }
+
+    /// Removes `handle` from its cell at `p` (the position it was inserted
+    /// or last moved to). No-op when absent.
+    pub fn remove(&mut self, handle: usize, p: Point) {
+        let k = self.key(p);
+        if let Some(v) = self.cells.get_mut(&k) {
+            v.retain(|h| *h != handle);
+            if v.is_empty() {
+                self.cells.remove(&k);
+            }
+        }
+    }
+
+    /// Moves `handle` from `old` to `new`.
+    pub fn relocate(&mut self, handle: usize, old: Point, new: Point) {
+        if self.key(old) != self.key(new) {
+            self.remove(handle, old);
+            self.insert(handle, new);
+        }
+    }
+
+    /// Calls `f` for every handle whose cell intersects the disk of
+    /// `radius` around `center`. Handles may be reported whose exact
+    /// position is outside the disk — the caller re-checks distances.
+    pub fn for_each_candidate<F: FnMut(usize)>(&self, center: Point, radius: f64, mut f: F) {
+        let (cx0, cy0) = self.key(Point::new(center.x - radius, center.y - radius));
+        let (cx1, cy1) = self.key(Point::new(center.x + radius, center.y + radius));
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(v) = self.cells.get(&(cx, cy)) {
+                    for h in v {
+                        f(*h);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total handles stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.values().map(Vec::len).sum()
+    }
+
+    /// True when no handles are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(grid: &SpatialGrid, center: Point, radius: f64) -> Vec<usize> {
+        let mut v = Vec::new();
+        grid.for_each_candidate(center, radius, |h| v.push(h));
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn insert_query_remove() {
+        let mut g = SpatialGrid::new(10.0);
+        g.insert(1, Point::new(5.0, 5.0));
+        g.insert(2, Point::new(50.0, 50.0));
+        assert_eq!(g.len(), 2);
+        let near = collect(&g, Point::ORIGIN, 10.0);
+        assert!(near.contains(&1));
+        assert!(!near.contains(&2));
+        g.remove(1, Point::new(5.0, 5.0));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn candidates_superset_of_in_range() {
+        let mut g = SpatialGrid::new(7.0);
+        let pts: Vec<Point> =
+            (0..100).map(|i| Point::new(f64::from(i % 10) * 3.0, f64::from(i / 10) * 3.0)).collect();
+        for (i, p) in pts.iter().enumerate() {
+            g.insert(i, *p);
+        }
+        let center = Point::new(12.0, 12.0);
+        let radius = 6.5;
+        let candidates = collect(&g, center, radius);
+        for (i, p) in pts.iter().enumerate() {
+            if center.distance(*p) <= radius {
+                assert!(candidates.contains(&i), "missing in-range handle {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn relocate_moves_between_cells() {
+        let mut g = SpatialGrid::new(10.0);
+        g.insert(1, Point::new(1.0, 1.0));
+        g.relocate(1, Point::new(1.0, 1.0), Point::new(95.0, 95.0));
+        assert!(collect(&g, Point::ORIGIN, 5.0).is_empty());
+        assert_eq!(collect(&g, Point::new(95.0, 95.0), 5.0), vec![1]);
+    }
+
+    #[test]
+    fn relocate_within_cell_keeps_handle() {
+        let mut g = SpatialGrid::new(10.0);
+        g.insert(1, Point::new(1.0, 1.0));
+        g.relocate(1, Point::new(1.0, 1.0), Point::new(2.0, 2.0));
+        assert_eq!(g.len(), 1);
+        assert_eq!(collect(&g, Point::ORIGIN, 5.0), vec![1]);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let mut g = SpatialGrid::new(10.0);
+        g.insert(1, Point::new(-15.0, -15.0));
+        assert_eq!(collect(&g, Point::new(-15.0, -15.0), 1.0), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_cell() {
+        let _ = SpatialGrid::new(0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Run statistics.
+//!
+//! The trace counts channel activity by message kind. It is the basis for
+//! the paper's message-complexity observations (local coordination ⇒
+//! per-perturbation message counts independent of network size).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters accumulated over a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    unicasts_sent: u64,
+    broadcasts_sent: u64,
+    deliveries: u64,
+    broadcast_losses: u64,
+    unicast_failures: u64,
+    per_kind_sent: BTreeMap<&'static str, u64>,
+    timers_fired: u64,
+}
+
+impl Trace {
+    /// A fresh, all-zero trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn record_unicast(&mut self, kind: &'static str) {
+        self.unicasts_sent += 1;
+        *self.per_kind_sent.entry(kind).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_broadcast(&mut self, kind: &'static str) {
+        self.broadcasts_sent += 1;
+        *self.per_kind_sent.entry(kind).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_delivery(&mut self) {
+        self.deliveries += 1;
+    }
+
+    pub(crate) fn record_broadcast_loss(&mut self) {
+        self.broadcast_losses += 1;
+    }
+
+    pub(crate) fn record_unicast_failure(&mut self) {
+        self.unicast_failures += 1;
+    }
+
+    pub(crate) fn record_timer(&mut self) {
+        self.timers_fired += 1;
+    }
+
+    /// Total unicast transmissions.
+    #[must_use]
+    pub fn unicasts_sent(&self) -> u64 {
+        self.unicasts_sent
+    }
+
+    /// Total broadcast transmissions (each counted once regardless of
+    /// receiver count).
+    #[must_use]
+    pub fn broadcasts_sent(&self) -> u64 {
+        self.broadcasts_sent
+    }
+
+    /// Total message deliveries (per receiver).
+    #[must_use]
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Broadcast copies dropped by the channel.
+    #[must_use]
+    pub fn broadcast_losses(&self) -> u64 {
+        self.broadcast_losses
+    }
+
+    /// Unicasts that failed (destination dead or out of range).
+    #[must_use]
+    pub fn unicast_failures(&self) -> u64 {
+        self.unicast_failures
+    }
+
+    /// Timer events fired.
+    #[must_use]
+    pub fn timers_fired(&self) -> u64 {
+        self.timers_fired
+    }
+
+    /// Transmissions (unicast + broadcast) by message kind.
+    #[must_use]
+    pub fn sent_by_kind(&self) -> &BTreeMap<&'static str, u64> {
+        &self.per_kind_sent
+    }
+
+    /// Total transmissions of the given kind.
+    #[must_use]
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.per_kind_sent.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total transmissions (unicast + broadcast).
+    #[must_use]
+    pub fn total_sent(&self) -> u64 {
+        self.unicasts_sent + self.broadcasts_sent
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} unicasts, {} broadcasts, {} deliveries, {} bcast losses, {} unicast failures, {} timers",
+            self.unicasts_sent,
+            self.broadcasts_sent,
+            self.deliveries,
+            self.broadcast_losses,
+            self.unicast_failures,
+            self.timers_fired
+        )?;
+        for (kind, count) in &self.per_kind_sent {
+            writeln!(f, "  {kind}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = Trace::new();
+        t.record_unicast("org_reply");
+        t.record_unicast("org_reply");
+        t.record_broadcast("org");
+        t.record_delivery();
+        t.record_broadcast_loss();
+        t.record_unicast_failure();
+        t.record_timer();
+        assert_eq!(t.unicasts_sent(), 2);
+        assert_eq!(t.broadcasts_sent(), 1);
+        assert_eq!(t.total_sent(), 3);
+        assert_eq!(t.deliveries(), 1);
+        assert_eq!(t.broadcast_losses(), 1);
+        assert_eq!(t.unicast_failures(), 1);
+        assert_eq!(t.timers_fired(), 1);
+        assert_eq!(t.sent_of_kind("org_reply"), 2);
+        assert_eq!(t.sent_of_kind("org"), 1);
+        assert_eq!(t.sent_of_kind("nothing"), 0);
+    }
+
+    #[test]
+    fn display_lists_kinds() {
+        let mut t = Trace::new();
+        t.record_broadcast("org");
+        let s = format!("{t}");
+        assert!(s.contains("org: 1"));
+    }
+}

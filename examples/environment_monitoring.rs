@@ -1,0 +1,103 @@
+//! Environment monitoring: a long-lived sensing field under energy
+//! depletion.
+//!
+//! The paper's motivating deployment — unattended sensors reporting
+//! through cell heads — lives or dies by how long the clustering structure
+//! survives battery drain. This example runs the same field twice:
+//!
+//! * **without maintenance** (conceptually): we record when the *first*
+//!   initially-elected head dies — without head shift that cell is
+//!   orphaned for good;
+//! * **with GS³-D maintenance**: head shift rotates headship through the
+//!   candidate set, then cell shift walks the IL along the intra-cell
+//!   spiral, and the structure *slides* instead of dying.
+//!
+//! ```text
+//! cargo run --release --example environment_monitoring
+//! ```
+
+use gs3::analysis::metrics;
+use gs3::core::harness::NetworkBuilder;
+use gs3::core::RoleView;
+use gs3::geometry::spiral::IccIcp;
+use gs3::sim::radio::EnergyModel;
+use gs3::sim::SimDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut net = NetworkBuilder::new()
+        .ideal_radius(80.0)
+        .radius_tolerance(20.0)
+        .area_radius(150.0)
+        .expected_nodes(320)
+        .seed(77)
+        .energy(EnergyModel::normalized(160.0), 500.0)
+        .build()?;
+    let _ = net.run_to_fixpoint()?;
+
+    let snap0 = net.snapshot();
+    let initial_heads: Vec<_> = snap0.heads().map(|h| h.id).collect();
+    let m0 = metrics::measure(&snap0);
+    println!(
+        "configured: {} cells, {} sensors, mean cell population {:.1}",
+        m0.heads,
+        m0.associates + m0.heads,
+        (m0.associates + m0.heads) as f64 / m0.heads.max(1) as f64
+    );
+
+    let mut first_head_death = None;
+    let mut max_spiral = IccIcp::ORIGIN;
+    let mut turnovers = std::collections::BTreeSet::new();
+    println!("\n  t(s)  heads  alive  coverage  max⟨ICC,ICP⟩  headship-changes");
+    for tick in 1..=40 {
+        net.run_for(SimDuration::from_secs(60));
+        let snap = net.snapshot();
+        let m = metrics::measure(&snap);
+        for h in snap.heads() {
+            if !initial_heads.contains(&h.id) {
+                turnovers.insert(h.id);
+            }
+            if let RoleView::Head { icc_icp, .. } = &h.role {
+                max_spiral = max_spiral.max(*icc_icp);
+            }
+        }
+        if first_head_death.is_none()
+            && initial_heads.iter().any(|id| !net.engine().is_alive(*id).unwrap())
+        {
+            first_head_death = Some(net.now());
+            println!("  --- first initial head died at {} (the no-maintenance lifetime) ---",
+                net.now());
+        }
+        if tick % 4 == 0 {
+            println!(
+                "  {:>4}  {:>5}  {:>5}  {:>7.1}%  {:>12}  {:>16}",
+                net.now().as_secs_f64() as u64,
+                m.heads,
+                net.engine().alive_count(),
+                m.coverage_ratio * 100.0,
+                max_spiral.to_string(),
+                turnovers.len()
+            );
+        }
+        if m.heads == 0 {
+            println!("  structure exhausted at {}", net.now());
+            break;
+        }
+    }
+
+    match first_head_death {
+        Some(t) => {
+            let lived = net.now().as_secs_f64() / t.as_secs_f64();
+            println!(
+                "\nmaintenance kept the structure alive ≥{lived:.1}× past the first head death \
+                 (paper: Ω(n_c) lengthening)"
+            );
+        }
+        None => println!("\nno initial head died within the horizon"),
+    }
+    println!(
+        "headship rotated through {} distinct successor nodes; deepest cell shift reached {}",
+        turnovers.len(),
+        max_spiral
+    );
+    Ok(())
+}
