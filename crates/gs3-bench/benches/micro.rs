@@ -1,4 +1,5 @@
-//! Criterion micro-benchmarks for the GS³ reproduction.
+//! Micro-benchmarks for the GS³ reproduction (hand-rolled harness; the
+//! build environment has no registry access, so no criterion).
 //!
 //! * `head_select` — candidate ranking/selection cost vs `|SmallNodes|`
 //!   (the paper states `HEAD_SELECT` is `θ(|SmallNodes|)`).
@@ -9,9 +10,12 @@
 //!   size.
 //! * `invariant_check` — full predicate-suite cost on a configured
 //!   network.
+//!
+//! Run with `cargo bench -p gs3-bench`. Reports median wall time per
+//! iteration over a fixed wall-time budget per benchmark.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use gs3_core::harness::NetworkBuilder;
 use gs3_core::invariants::{check_all, Strictness};
@@ -25,113 +29,110 @@ use gs3_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Runs `f` repeatedly for up to `budget`, printing the median, minimum,
+/// and iteration count.
+fn bench<F: FnMut()>(name: &str, budget: Duration, mut f: F) {
+    // One warm-up iteration outside the measurement.
+    f();
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget || samples.len() < 3 {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed());
+        if samples.len() >= 100_000 {
+            break;
+        }
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<40} median {:>12?}  min {:>12?}  ({} iters)",
+        median,
+        samples[0],
+        samples.len()
+    );
+}
+
 fn pts(n: usize, seed: u64) -> Vec<(u64, Point)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n as u64)
-        .map(|i| (i, Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0))))
+        .map(|i| (i, Point::new(rng.gen_range(-50.0f64..50.0), rng.gen_range(-50.0f64..50.0))))
         .collect()
 }
 
-fn bench_head_select(c: &mut Criterion) {
-    let mut group = c.benchmark_group("head_select");
+fn main() {
+    let quick = Duration::from_millis(300);
+    let slow = Duration::from_secs(3);
+
     for n in [50usize, 200, 800] {
         let nodes = pts(n, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &nodes, |b, nodes| {
-            b.iter(|| best_candidate(Point::ORIGIN, Angle::ZERO, nodes.iter().copied()));
+        bench(&format!("head_select/{n}"), quick, || {
+            black_box(best_candidate(Point::ORIGIN, Angle::ZERO, nodes.iter().copied()));
         });
     }
-    group.finish();
-}
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/push_pop_10k", |b| {
-        b.iter_batched(
-            EventQueue::new,
-            |mut q| {
-                for i in 0..10_000u64 {
-                    q.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
-                }
-                while let Some(ev) = q.pop() {
-                    black_box(ev);
-                }
-            },
-            BatchSize::SmallInput,
-        );
+    bench("event_queue/push_pop_10k", quick, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
+        }
+        while let Some(ev) = q.pop() {
+            black_box(ev);
+        }
     });
-}
 
-fn bench_spatial_grid(c: &mut Criterion) {
-    let mut grid = SpatialGrid::new(100.0);
-    let nodes = pts(5_000, 2);
-    for (i, p) in &nodes {
-        grid.insert(*i as usize, Point::new(p.x * 20.0, p.y * 20.0));
-    }
-    c.bench_function("spatial_grid/query_5k", |b| {
-        b.iter(|| {
+    {
+        let mut grid = SpatialGrid::new(100.0);
+        let nodes = pts(5_000, 2);
+        for (i, p) in &nodes {
+            grid.insert(*i as usize, Point::new(p.x * 20.0, p.y * 20.0));
+        }
+        bench("spatial_grid/query_5k", quick, || {
             let mut count = 0usize;
             grid.for_each_candidate(Point::ORIGIN, 150.0, |_| count += 1);
-            black_box(count)
-        });
-    });
-}
-
-fn bench_cell_spiral(c: &mut Criterion) {
-    c.bench_function("cell_spiral/build_r100_rt10", |b| {
-        b.iter(|| CellSpiral::new(black_box(Point::ORIGIN), 100.0, 10.0, Angle::ZERO));
-    });
-}
-
-fn bench_configuration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("configuration");
-    group.sample_size(10);
-    for n in [300usize, 900] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut net = NetworkBuilder::new()
-                    .mode(Mode::Static)
-                    .ideal_radius(80.0)
-                    .radius_tolerance(18.0)
-                    .area_radius((n as f64).sqrt() * 8.0)
-                    .expected_nodes(n)
-                    .seed(7)
-                    .build()
-                    .expect("valid parameters");
-                net.engine_mut()
-                    .run_until_quiescent(SimTime::ZERO + SimDuration::from_secs(600))
-                    .expect("static diffusion terminates");
-                black_box(net.snapshot().heads().count())
-            });
+            black_box(count);
         });
     }
-    group.finish();
-}
 
-fn bench_invariant_check(c: &mut Criterion) {
-    let mut net = NetworkBuilder::new()
-        .mode(Mode::Static)
-        .ideal_radius(80.0)
-        .radius_tolerance(18.0)
-        .area_radius(250.0)
-        .expected_nodes(900)
-        .seed(7)
-        .build()
-        .expect("valid parameters");
-    net.engine_mut()
-        .run_until_quiescent(SimTime::ZERO + SimDuration::from_secs(600))
-        .expect("terminates");
-    let snap = net.snapshot();
-    c.bench_function("invariant_check/900_nodes", |b| {
-        b.iter(|| black_box(check_all(&snap, Strictness::Static).len()));
+    bench("cell_spiral/build_r100_rt10", quick, || {
+        black_box(CellSpiral::new(black_box(Point::ORIGIN), 100.0, 10.0, Angle::ZERO));
     });
-}
 
-criterion_group!(
-    benches,
-    bench_head_select,
-    bench_event_queue,
-    bench_spatial_grid,
-    bench_cell_spiral,
-    bench_configuration,
-    bench_invariant_check
-);
-criterion_main!(benches);
+    for n in [300usize, 900] {
+        bench(&format!("configuration/{n}"), slow, || {
+            let mut net = NetworkBuilder::new()
+                .mode(Mode::Static)
+                .ideal_radius(80.0)
+                .radius_tolerance(18.0)
+                .area_radius((n as f64).sqrt() * 8.0)
+                .expected_nodes(n)
+                .seed(7)
+                .build()
+                .expect("valid parameters");
+            net.engine_mut()
+                .run_until_quiescent(SimTime::ZERO + SimDuration::from_secs(600))
+                .expect("static diffusion terminates");
+            black_box(net.snapshot().heads().count());
+        });
+    }
+
+    {
+        let mut net = NetworkBuilder::new()
+            .mode(Mode::Static)
+            .ideal_radius(80.0)
+            .radius_tolerance(18.0)
+            .area_radius(250.0)
+            .expected_nodes(900)
+            .seed(7)
+            .build()
+            .expect("valid parameters");
+        net.engine_mut()
+            .run_until_quiescent(SimTime::ZERO + SimDuration::from_secs(600))
+            .expect("terminates");
+        let snap = net.snapshot();
+        bench("invariant_check/900_nodes", quick, || {
+            black_box(check_all(&snap, Strictness::Static).len());
+        });
+    }
+}

@@ -13,6 +13,7 @@
 //! | `structure_quality` | Corollaries 1–2 — realized structure bounds |
 //! | `baseline_compare` | Section 6 — GS³ vs LEACH vs hop clustering |
 //! | `sliding` | §4.3.5.1 — coherent sliding under uniform depletion |
+//! | `chaos_sweep` | robustness — healing latency vs burst loss × churn |
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 

@@ -48,7 +48,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Keys that are boolean flags (take no value).
-const FLAG_KEYS: &[&str] = &["map", "static", "mobile", "quiet", "help"];
+const FLAG_KEYS: &[&str] = &["map", "static", "mobile", "quiet", "help", "json"];
 
 impl Args {
     /// Parses a token stream (`args[0]` must already be stripped).

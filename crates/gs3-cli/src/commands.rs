@@ -3,9 +3,12 @@
 use gs3_analysis::metrics::measure;
 use gs3_analysis::render::{render, RenderOptions};
 use gs3_analysis::report::num;
+use gs3_core::chaos::{Corruption, FaultKind, FaultPlan};
 use gs3_core::harness::{Network, NetworkBuilder, RunOutcome};
 use gs3_core::invariants::{check_all, Strictness};
 use gs3_core::Mode;
+use gs3_geometry::Point;
+use gs3_sim::faults::{BurstLoss, FaultConfig};
 use gs3_sim::radio::EnergyModel;
 use gs3_sim::SimDuration;
 
@@ -22,6 +25,8 @@ pub fn help() {
          \x20 run    configure a field and report the structure\n\
          \x20 heal   configure, kill a disk of nodes, re-heal, report locality\n\
          \x20 watch  run under energy drain and watch the structure slide\n\
+         \x20 chaos  configure, then run a scheduled fault plan (burst loss,\n\
+         \x20        jamming, crash wave, state corruption) and certify healing\n\
          \x20 help   this text\n\
          \n\
          common options (defaults in parentheses):\n\
@@ -45,7 +50,20 @@ pub fn help() {
          watch options:\n\
          \x20 --budget E       per-node energy budget (500)\n\
          \x20 --duration SECS  how long to watch (1200)\n\
-         \x20 --sample SECS    status-line period (60)"
+         \x20 --sample SECS    status-line period (60)\n\
+         \n\
+         chaos options (all deterministic per --seed):\n\
+         \x20 --burst-enter P  Gilbert-Elliott bad-state entry prob (0.02)\n\
+         \x20 --burst-len L    mean burst length in deliveries (4)\n\
+         \x20 --unicast-loss P unicast loss probability (0.02)\n\
+         \x20 --duplicate P    duplication probability (0)\n\
+         \x20 --delay-prob P   extra-delay probability (0)\n\
+         \x20 --delay-max MS   extra-delay bound in ms (0)\n\
+         \x20 --crash N        crash-wave size (10)\n\
+         \x20 --jam X,Y        jam disk center (0.5*area, 0)\n\
+         \x20 --jam-radius M   jam disk radius (80)\n\
+         \x20 --jam-secs S     jam window length (60)\n\
+         \x20 --json           print the ChaosReport as JSON only"
     );
 }
 
@@ -228,6 +246,124 @@ pub fn watch(a: &Args) -> CliResult {
         }
     }
     report(&net, a);
+    Ok(())
+}
+
+/// `gs3 chaos` — configure, then execute a scheduled fault plan while
+/// polling the invariant suite, and report per-fault healing latencies.
+/// Everything is drawn from the seeded RNG: two runs with the same options
+/// print the same digest, delivery for delivery.
+pub fn chaos(a: &Args) -> CliResult {
+    let area: f64 = a.num("area", 320.0)?;
+    let burst_enter: f64 = a.num("burst-enter", 0.02)?;
+    let burst_len: f64 = a.num("burst-len", 4.0)?;
+    let unicast_loss: f64 = a.num("unicast-loss", 0.02)?;
+    let duplicate: f64 = a.num("duplicate", 0.0)?;
+    let delay_prob: f64 = a.num("delay-prob", 0.0)?;
+    let delay_max: u64 = a.num("delay-max", 0)?;
+    let crash: usize = a.num("crash", 10)?;
+    let jam_center = match a.get("jam") {
+        Some(_) => a.point("jam")?,
+        None => Point::new(0.5 * area, 0.0),
+    };
+    let jam_radius: f64 = a.num("jam-radius", 80.0)?;
+    let jam_secs: f64 = a.num("jam-secs", 60.0)?;
+    let json = a.flag("json");
+
+    for (key, p) in [
+        ("burst-enter", burst_enter),
+        ("unicast-loss", unicast_loss),
+        ("duplicate", duplicate),
+        ("delay-prob", delay_prob),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("option --{key}: expected a probability in [0, 1], got {p}").into());
+        }
+    }
+    if unicast_loss >= 1.0 {
+        return Err("option --unicast-loss: 1.0 would sever every link".into());
+    }
+    if burst_enter > 0.0 && burst_len < 1.0 {
+        return Err(
+            format!("option --burst-len: the mean burst is at least 1 attempt, got {burst_len}")
+                .into(),
+        );
+    }
+
+    let mut net = build(a)?;
+    configure(&mut net)?;
+    if !json {
+        println!("configured at {}; unleashing chaos", net.now());
+    }
+
+    let channel = FaultConfig {
+        burst: if burst_enter > 0.0 {
+            BurstLoss::bursty(burst_enter, burst_len)
+        } else {
+            BurstLoss::off()
+        },
+        unicast_loss,
+        duplicate,
+        delay_prob,
+        delay_max: SimDuration::from_millis(delay_max),
+    };
+    let corrupt_near = Point::new(0.4 * area, 0.3 * area);
+    let plan = FaultPlan::new()
+        .at(SimDuration::ZERO, FaultKind::SetChannel { config: channel })
+        .at(SimDuration::from_secs(5), FaultKind::StartJam {
+            label: 0,
+            center: jam_center,
+            radius: jam_radius,
+        })
+        .at(SimDuration::from_secs(10), FaultKind::CrashRandom { count: crash })
+        .at(SimDuration::from_secs(20), FaultKind::CorruptState {
+            near: corrupt_near,
+            corruption: Corruption::Il { offset: gs3_geometry::Vec2::new(150.0, 90.0) },
+        })
+        .at(SimDuration::from_secs_f64(5.0 + jam_secs), FaultKind::StopJam { label: 0 });
+    let rep = net.run_chaos(&plan);
+
+    if json {
+        println!("{}", rep.to_json());
+        return Ok(());
+    }
+    println!();
+    println!("{:>12}  {:>10}  {:>7}  fault", "t(s)", "heal(s)", "killed");
+    for o in &rep.outcomes {
+        let heal = match o.heal_latency {
+            Some(l) => format!("{:.1}", l.as_secs_f64()),
+            None => "never".to_string(),
+        };
+        println!(
+            "{:>12.1}  {:>10}  {:>7}  {} — {}",
+            o.injected_at.as_secs_f64(),
+            heal,
+            o.killed,
+            o.kind,
+            o.detail
+        );
+    }
+    println!();
+    println!(
+        "channel drops:   {} burst, {} jam, {} unicast",
+        rep.dropped_by_burst, rep.dropped_by_jam, rep.dropped_unicast
+    );
+    println!("duplicated:      {}", rep.duplicated);
+    println!("delayed:         {}", rep.delayed);
+    println!("polls:           {} (max {} violations)", rep.polls, rep.max_violations);
+    println!("digest:          {:016x}", rep.digest);
+    println!(
+        "verdict:         {}",
+        if rep.healed() {
+            "HEALED — zero invariant violations"
+        } else {
+            "NOT HEALED within the settle window"
+        }
+    );
+    report(&net, a);
+    if !rep.healed() {
+        return Err("structure did not heal".into());
+    }
     Ok(())
 }
 

@@ -7,6 +7,9 @@
 //! gs3 heal   ... --kill-disk X,Y --kill-radius M        (run, perturb, re-heal)
 //! gs3 watch  ... [--budget E] [--duration SECS] [--sample SECS]
 //!                                    (energy drain / sliding, periodic status)
+//! gs3 chaos  ... [--burst-enter P] [--burst-len L] [--unicast-loss P]
+//!                [--crash N] [--jam X,Y] [--jam-radius M] [--jam-secs S]
+//!                [--json]     (scheduled fault plan + self-healing certificate)
 //! gs3 help
 //! ```
 
@@ -29,6 +32,7 @@ fn main() {
         Some("run") => commands::run(&parsed),
         Some("heal") => commands::heal(&parsed),
         Some("watch") => commands::watch(&parsed),
+        Some("chaos") => commands::chaos(&parsed),
         Some("help") | None => {
             commands::help();
             Ok(())

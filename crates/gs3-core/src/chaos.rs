@@ -1,0 +1,689 @@
+//! Declarative fault plans and the chaos harness.
+//!
+//! GS³'s central claim is *local self-healing*: the structure recovers from
+//! fails, joins, state corruption, and mobility (paper Theorems 8–13). This
+//! module turns that from a hand-tested property into a certified one. A
+//! [`FaultPlan`] is a time-ordered schedule of fault events — crash waves,
+//! jamming windows, state corruption, channel reconfiguration — that
+//! [`Network::run_chaos`] executes at the right simulation times while
+//! polling the invariant suite. The result is a [`ChaosReport`] carrying
+//! per-fault *healing latency* (time from injection until the invariants
+//! are clean again), the adversarial-channel drop counters, and the run's
+//! [`Trace`](gs3_sim::trace::Trace) digest for bit-reproducibility checks.
+//!
+//! Everything is deterministic: the same builder seed and the same plan
+//! produce the same digest and the same report, delivery for delivery.
+//!
+//! ```rust
+//! use gs3_core::chaos::{FaultKind, FaultPlan};
+//! use gs3_core::harness::NetworkBuilder;
+//! use gs3_geometry::Point;
+//! use gs3_sim::SimDuration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net = NetworkBuilder::new()
+//!     .area_radius(200.0)
+//!     .expected_nodes(400)
+//!     .seed(7)
+//!     .build()?;
+//! net.run_to_fixpoint()?;
+//! let plan = FaultPlan::new()
+//!     .at(SimDuration::from_secs(1), FaultKind::CrashRandom { count: 3 })
+//!     .at(SimDuration::from_secs(2), FaultKind::Join { pos: Point::new(50.0, 0.0) });
+//! let report = net.run_chaos(&plan);
+//! assert_eq!(report.outcomes.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use gs3_geometry::{Point, Vec2};
+use gs3_sim::faults::FaultConfig;
+use gs3_sim::{NodeId, SimDuration, SimTime};
+
+use std::collections::BTreeMap;
+
+use crate::harness::Network;
+use crate::invariants::{self, Strictness};
+use crate::snapshot::Snapshot;
+
+/// Which head field a [`FaultKind::CorruptState`] event scrambles.
+///
+/// Each variant violates a different predicate family, exercising a
+/// different repair path: a displaced IL breaks the hexagonal relation
+/// (`SANITY_CHECK` demotes the head), scrambled hops corrupt the
+/// min-distance tree (inter-cell maintenance restores it), and a
+/// self-pointing parent breaks the tree itself (`PARENT_SEEK` re-attaches).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Corruption {
+    /// Displace the head's stored ideal location by `offset`.
+    Il {
+        /// Offset applied to the stored IL.
+        offset: Vec2,
+    },
+    /// Overwrite the head's hop count.
+    Hops {
+        /// The bogus hop count.
+        hops: u32,
+    },
+    /// Point the head's parent pointer at itself (a one-cycle).
+    Parent,
+}
+
+/// One fault event a [`FaultPlan`] can schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Fail-stop every alive small node within `radius` of `center`.
+    CrashDisk {
+        /// Disk center.
+        center: Point,
+        /// Disk radius, meters.
+        radius: f64,
+    },
+    /// Fail-stop `count` uniformly random alive small nodes (drawn from
+    /// the network's seeded RNG — deterministic per seed).
+    CrashRandom {
+        /// How many nodes to kill.
+        count: usize,
+    },
+    /// Spawn (join/recover) a new small node at `pos`.
+    Join {
+        /// Where the newcomer boots.
+        pos: Point,
+    },
+    /// Overwrite the remaining energy of every alive small node within
+    /// `radius` of `center` (only meaningful with energy accounting on).
+    EnergyShock {
+        /// Disk center.
+        center: Point,
+        /// Disk radius, meters.
+        radius: f64,
+        /// The energy level every victim is set to.
+        energy: f64,
+    },
+    /// Corrupt the state of the alive non-big head closest to `near`.
+    CorruptState {
+        /// Picks the victim: the closest currently-serving small head.
+        near: Point,
+        /// What to scramble.
+        corruption: Corruption,
+    },
+    /// Teleport the big node to `to` (GS³-M mobility step).
+    MoveBig {
+        /// Destination.
+        to: Point,
+    },
+    /// Start jamming the disk of `radius` around `center`; `label` names
+    /// the jam for a later [`FaultKind::StopJam`].
+    StartJam {
+        /// Plan-local jam name.
+        label: u32,
+        /// Disk center.
+        center: Point,
+        /// Disk radius, meters.
+        radius: f64,
+    },
+    /// Stop the jam started under `label`.
+    StopJam {
+        /// The [`FaultKind::StartJam`] label to stop.
+        label: u32,
+    },
+    /// Replace the adversarial-channel configuration (burst loss, unicast
+    /// loss, duplication, delay) from this point on.
+    SetChannel {
+        /// The new configuration.
+        config: FaultConfig,
+    },
+}
+
+impl FaultKind {
+    /// A short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::CrashDisk { .. } => "crash_disk",
+            FaultKind::CrashRandom { .. } => "crash_random",
+            FaultKind::Join { .. } => "join",
+            FaultKind::EnergyShock { .. } => "energy_shock",
+            FaultKind::CorruptState { .. } => "corrupt_state",
+            FaultKind::MoveBig { .. } => "move_big",
+            FaultKind::StartJam { .. } => "start_jam",
+            FaultKind::StopJam { .. } => "stop_jam",
+            FaultKind::SetChannel { .. } => "set_channel",
+        }
+    }
+}
+
+/// One scheduled fault: `kind` injected `after` the start of the chaos
+/// run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedFault {
+    /// Offset from the start of [`Network::run_chaos`].
+    pub after: SimDuration,
+    /// The fault to inject.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered schedule of fault events.
+///
+/// Times are offsets from the moment `run_chaos` is called, so a plan is
+/// independent of how long initial configuration took. Events at equal
+/// times fire in insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `kind` to fire `after` the start of the chaos run.
+    #[must_use]
+    pub fn at(mut self, after: SimDuration, kind: FaultKind) -> Self {
+        self.events.push(PlannedFault { after, kind });
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    #[must_use]
+    pub fn events(&self) -> &[PlannedFault] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The offset of the last event (ZERO for an empty plan).
+    #[must_use]
+    pub fn span(&self) -> SimDuration {
+        self.events.iter().map(|e| e.after).max().unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// Pacing knobs for [`Network::run_chaos_with`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOptions {
+    /// How often the oracle (invariant suite) is polled.
+    pub poll: SimDuration,
+    /// How long past the last scheduled event the run keeps polling for
+    /// the structure to heal before giving up.
+    pub settle: SimDuration,
+}
+
+impl ChaosOptions {
+    /// Defaults sized to a configuration: poll every intra-cell heartbeat,
+    /// settle for 300 s (covering the failure-detection and sanity-check
+    /// windows several times over).
+    #[must_use]
+    pub fn for_config(cfg: &crate::config::Gs3Config) -> Self {
+        ChaosOptions { poll: cfg.intra_heartbeat, settle: SimDuration::from_secs(300) }
+    }
+}
+
+/// What happened to one injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultOutcome {
+    /// The fault's stable name (see [`FaultKind::name`]).
+    pub kind: &'static str,
+    /// Human-readable specifics of the injection.
+    pub detail: String,
+    /// Absolute simulation time of injection.
+    pub injected_at: SimTime,
+    /// Nodes this fault killed (crash/shock faults; 0 otherwise).
+    pub killed: usize,
+    /// Time from injection until the oracle next reported zero violations
+    /// — the fault's *healing latency*. `None` when the structure never
+    /// came clean before the settle deadline.
+    pub heal_latency: Option<SimDuration>,
+}
+
+/// The structured result of a chaos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// When the chaos run started.
+    pub started: SimTime,
+    /// When it finished (early when everything healed).
+    pub finished: SimTime,
+    /// Per-fault outcomes, in injection order.
+    pub outcomes: Vec<FaultOutcome>,
+    /// Violations at the final poll.
+    pub final_violations: usize,
+    /// The worst violation count seen at any poll.
+    pub max_violations: usize,
+    /// How many oracle polls ran.
+    pub polls: u32,
+    /// The engine's [`Trace`](gs3_sim::trace::Trace) digest at finish —
+    /// compare across runs to assert bit-reproducibility.
+    pub digest: u64,
+    /// Delivery attempts lost to burst loss during the run.
+    pub dropped_by_burst: u64,
+    /// Delivery attempts blocked by jamming during the run.
+    pub dropped_by_jam: u64,
+    /// Unicast deliveries lost to the unicast-loss knob during the run.
+    pub dropped_unicast: u64,
+    /// Deliveries duplicated during the run.
+    pub duplicated: u64,
+    /// Deliveries held back by extra delay during the run.
+    pub delayed: u64,
+}
+
+impl ChaosReport {
+    /// True when every fault healed and the final poll was clean — the
+    /// self-healing certificate.
+    #[must_use]
+    pub fn healed(&self) -> bool {
+        self.final_violations == 0 && self.outcomes.iter().all(|o| o.heal_latency.is_some())
+    }
+
+    /// The worst per-fault healing latency (None when nothing healed or
+    /// nothing was injected).
+    #[must_use]
+    pub fn max_heal_latency(&self) -> Option<SimDuration> {
+        self.outcomes.iter().filter_map(|o| o.heal_latency).max()
+    }
+
+    /// Serializes the report as a JSON object (stable key order, no
+    /// external dependencies).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        push_kv(&mut out, "started_us", &self.started.as_micros().to_string());
+        out.push(',');
+        push_kv(&mut out, "finished_us", &self.finished.as_micros().to_string());
+        out.push(',');
+        push_kv(&mut out, "healed", if self.healed() { "true" } else { "false" });
+        out.push(',');
+        push_kv(&mut out, "final_violations", &self.final_violations.to_string());
+        out.push(',');
+        push_kv(&mut out, "max_violations", &self.max_violations.to_string());
+        out.push(',');
+        push_kv(&mut out, "polls", &self.polls.to_string());
+        out.push(',');
+        push_kv(&mut out, "digest", &format!("\"{:016x}\"", self.digest));
+        out.push(',');
+        for (key, v) in [
+            ("dropped_by_burst", self.dropped_by_burst),
+            ("dropped_by_jam", self.dropped_by_jam),
+            ("dropped_unicast", self.dropped_unicast),
+            ("duplicated", self.duplicated),
+            ("delayed", self.delayed),
+        ] {
+            push_kv(&mut out, key, &v.to_string());
+            out.push(',');
+        }
+        out.push_str("\"faults\":[");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_kv(&mut out, "kind", &json_string(o.kind));
+            out.push(',');
+            push_kv(&mut out, "detail", &json_string(&o.detail));
+            out.push(',');
+            push_kv(&mut out, "injected_at_us", &o.injected_at.as_micros().to_string());
+            out.push(',');
+            push_kv(&mut out, "killed", &o.killed.to_string());
+            out.push(',');
+            match o.heal_latency {
+                Some(l) => push_kv(&mut out, "heal_latency_us", &l.as_micros().to_string()),
+                None => push_kv(&mut out, "heal_latency_us", "null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_kv(out: &mut String, key: &str, raw_value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(raw_value);
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl Network {
+    /// Runs `plan` against this network, polling the full invariant suite
+    /// at [`Strictness::Dynamic`], and returns the [`ChaosReport`].
+    ///
+    /// Pacing comes from [`ChaosOptions::for_config`]. The run ends early
+    /// once every event fired and the structure polled clean, and gives up
+    /// `settle` after the last event otherwise.
+    pub fn run_chaos(&mut self, plan: &FaultPlan) -> ChaosReport {
+        let opts = ChaosOptions::for_config(self.config());
+        self.run_chaos_with(plan, opts, |snap| {
+            invariants::check_all(snap, Strictness::Dynamic).len()
+        })
+    }
+
+    /// [`Network::run_chaos`] with explicit pacing and a custom oracle.
+    ///
+    /// The oracle maps a snapshot to a violation count; zero means the
+    /// structure is currently sound. Every fault injected since the last
+    /// clean poll is credited with a healing latency at the next clean
+    /// poll.
+    pub fn run_chaos_with<F>(
+        &mut self,
+        plan: &FaultPlan,
+        opts: ChaosOptions,
+        mut oracle: F,
+    ) -> ChaosReport
+    where
+        F: FnMut(&Snapshot) -> usize,
+    {
+        assert!(!opts.poll.is_zero(), "the oracle poll period must be positive");
+        let start = self.now();
+        let trace0 = self.engine().trace().clone();
+        // Stable sort by offset: equal-time events keep insertion order.
+        let mut events: Vec<&PlannedFault> = plan.events().iter().collect();
+        events.sort_by_key(|e| e.after);
+        let deadline = start + plan.span() + opts.settle;
+
+        let mut jams: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut outcomes: Vec<FaultOutcome> = Vec::new();
+        let mut pending: Vec<usize> = Vec::new();
+        let mut next_event = 0usize;
+        let mut next_poll = start + opts.poll;
+        let mut polls = 0u32;
+        let mut max_violations = 0usize;
+        // Every loop exit is dominated by a poll, so this is always
+        // assigned before the report is built.
+        let mut final_violations;
+
+        loop {
+            let event_at = events.get(next_event).map(|e| start + e.after);
+            let target = match event_at {
+                Some(t) if t <= next_poll => t,
+                _ => next_poll.min(deadline),
+            };
+            self.engine_mut().run_until(target);
+            if event_at == Some(target) {
+                while let Some(e) = events.get(next_event) {
+                    if start + e.after != target {
+                        break;
+                    }
+                    let outcome = self.inject(&e.kind, &mut jams);
+                    pending.push(outcomes.len());
+                    outcomes.push(outcome);
+                    next_event += 1;
+                }
+                // Restart the poll clock so healing is never measured at
+                // the injection instant itself (detection timeouts have
+                // had no chance to fire yet).
+                next_poll = target + opts.poll;
+                continue;
+            }
+            polls += 1;
+            let violations = oracle(&self.snapshot());
+            max_violations = max_violations.max(violations);
+            final_violations = violations;
+            if violations == 0 {
+                for &i in &pending {
+                    outcomes[i].heal_latency = Some(target.since(outcomes[i].injected_at));
+                }
+                pending.clear();
+            }
+            if target >= deadline || (next_event >= events.len() && pending.is_empty()) {
+                break;
+            }
+            next_poll = target + opts.poll;
+        }
+
+        let trace = self.engine().trace();
+        ChaosReport {
+            started: start,
+            finished: self.now(),
+            outcomes,
+            final_violations,
+            max_violations,
+            polls,
+            digest: trace.digest(),
+            dropped_by_burst: trace.dropped_by_burst() - trace0.dropped_by_burst(),
+            dropped_by_jam: trace.dropped_by_jam() - trace0.dropped_by_jam(),
+            dropped_unicast: trace.dropped_unicast() - trace0.dropped_unicast(),
+            duplicated: trace.duplicated() - trace0.duplicated(),
+            delayed: trace.delayed() - trace0.delayed(),
+        }
+    }
+
+    /// Executes one fault event now and describes what it did.
+    fn inject(&mut self, kind: &FaultKind, jams: &mut BTreeMap<u32, u64>) -> FaultOutcome {
+        let now = self.now();
+        let (detail, killed) = match kind {
+            FaultKind::CrashDisk { center, radius } => {
+                let victims = self.kill_disk(*center, *radius);
+                (format!("killed {} nodes in r={radius} at {center}", victims.len()), victims.len())
+            }
+            FaultKind::CrashRandom { count } => {
+                let victims = self.kill_random(*count);
+                (format!("killed {} random nodes", victims.len()), victims.len())
+            }
+            FaultKind::Join { pos } => {
+                let id = self.join_node(*pos);
+                (format!("joined {id} at {pos}"), 0)
+            }
+            FaultKind::EnergyShock { center, radius, energy } => {
+                let victims: Vec<NodeId> = self
+                    .engine()
+                    .alive_ids()
+                    .filter(|id| {
+                        !self.big_ids().contains(id)
+                            && self
+                                .engine()
+                                .position(*id)
+                                .map(|p| center.distance(p) <= *radius)
+                                .unwrap_or(false)
+                    })
+                    .collect();
+                for id in &victims {
+                    self.set_energy(*id, *energy);
+                }
+                (format!("set {} nodes in r={radius} at {center} to energy {energy}", victims.len()), 0)
+            }
+            FaultKind::CorruptState { near, corruption } => {
+                let victim = {
+                    let snap = self.snapshot();
+                    let mut best: Option<(NodeId, f64)> = None;
+                    for h in snap.heads().filter(|h| !h.is_big && h.alive) {
+                        let d = near.distance(h.pos);
+                        if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                            best = Some((h.id, d));
+                        }
+                    }
+                    best.map(|(id, _)| id)
+                };
+                match victim {
+                    None => ("no alive small head to corrupt".to_string(), 0),
+                    Some(id) => {
+                        let (what, ok) = match corruption {
+                            Corruption::Il { offset } => {
+                                ("il", self.corrupt_head_il(id, *offset))
+                            }
+                            Corruption::Hops { hops } => {
+                                ("hops", self.corrupt_head_hops(id, *hops))
+                            }
+                            Corruption::Parent => ("parent", self.corrupt_head_parent(id)),
+                        };
+                        debug_assert!(ok, "victim was selected as a head");
+                        (format!("corrupted {what} of head {id}"), 0)
+                    }
+                }
+            }
+            FaultKind::MoveBig { to } => {
+                self.move_big(*to);
+                (format!("moved big node to {to}"), 0)
+            }
+            FaultKind::StartJam { label, center, radius } => {
+                let handle = self.start_jam(*center, *radius);
+                jams.insert(*label, handle);
+                (format!("jam {label}: r={radius} at {center}"), 0)
+            }
+            FaultKind::StopJam { label } => match jams.remove(label) {
+                Some(handle) => {
+                    self.stop_jam(handle);
+                    (format!("stopped jam {label}"), 0)
+                }
+                None => (format!("jam {label} was never started"), 0),
+            },
+            FaultKind::SetChannel { config } => {
+                let desc = format!(
+                    "channel: burst(p_enter={}, mean={:.1}) unicast_loss={} dup={} delay={}",
+                    config.burst.p_enter,
+                    config.burst.mean_burst(),
+                    config.unicast_loss,
+                    config.duplicate,
+                    config.delay_prob
+                );
+                self.set_fault_config(config.clone());
+                (desc, 0)
+            }
+        };
+        FaultOutcome { kind: kind.name(), detail, injected_at: now, killed, heal_latency: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::NetworkBuilder;
+
+    fn small_net(seed: u64) -> Network {
+        NetworkBuilder::new()
+            .ideal_radius(80.0)
+            .radius_tolerance(18.0)
+            .area_radius(180.0)
+            .expected_nodes(320)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_builder_orders_and_spans() {
+        let plan = FaultPlan::new()
+            .at(SimDuration::from_secs(10), FaultKind::CrashRandom { count: 1 })
+            .at(SimDuration::from_secs(5), FaultKind::Join { pos: Point::ORIGIN });
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.span(), SimDuration::from_secs(10));
+        assert_eq!(plan.events()[0].kind.name(), "crash_random");
+    }
+
+    #[test]
+    fn empty_plan_reports_clean_immediately() {
+        let mut net = small_net(21);
+        net.run_to_fixpoint().unwrap();
+        let report = net.run_chaos(&FaultPlan::new());
+        assert!(report.healed());
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.final_violations, 0);
+        assert!(report.polls >= 1);
+    }
+
+    #[test]
+    fn crash_wave_heals_with_latency() {
+        let mut net = small_net(22);
+        net.run_to_fixpoint().unwrap();
+        let plan = FaultPlan::new()
+            .at(SimDuration::from_secs(1), FaultKind::CrashRandom { count: 5 });
+        let report = net.run_chaos(&plan);
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].killed, 5);
+        assert!(report.healed(), "crash wave must heal: {}", report.to_json());
+        assert!(report.outcomes[0].heal_latency.is_some());
+    }
+
+    #[test]
+    fn jam_labels_resolve() {
+        let mut net = small_net(23);
+        net.run_to_fixpoint().unwrap();
+        let plan = FaultPlan::new()
+            .at(SimDuration::from_secs(1), FaultKind::StartJam {
+                label: 7,
+                center: Point::new(120.0, 0.0),
+                radius: 60.0,
+            })
+            .at(SimDuration::from_secs(40), FaultKind::StopJam { label: 7 })
+            .at(SimDuration::from_secs(41), FaultKind::StopJam { label: 9 });
+        let report = net.run_chaos(&plan);
+        assert_eq!(report.outcomes[0].kind, "start_jam");
+        assert_eq!(report.outcomes[1].detail, "stopped jam 7");
+        assert!(report.outcomes[2].detail.contains("never started"));
+        assert!(net.engine().faults().jams().is_empty(), "jam must be lifted");
+        assert!(report.dropped_by_jam > 0, "the jam must have blocked traffic");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = ChaosReport {
+            started: SimTime::from_micros(5),
+            finished: SimTime::from_micros(10),
+            outcomes: vec![FaultOutcome {
+                kind: "join",
+                detail: "say \"hi\"".to_string(),
+                injected_at: SimTime::from_micros(7),
+                killed: 0,
+                heal_latency: None,
+            }],
+            final_violations: 1,
+            max_violations: 2,
+            polls: 3,
+            digest: 0xabc,
+            dropped_by_burst: 0,
+            dropped_by_jam: 0,
+            dropped_unicast: 0,
+            duplicated: 0,
+            delayed: 0,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"healed\":false"));
+        assert!(json.contains("\"digest\":\"0000000000000abc\""));
+        assert!(json.contains("\"heal_latency_us\":null"));
+        assert!(json.contains("say \\\"hi\\\""));
+        assert!(!report.healed());
+        assert_eq!(report.max_heal_latency(), None);
+    }
+
+    #[test]
+    fn corrupt_state_picks_nearest_head() {
+        let mut net = small_net(24);
+        net.run_to_fixpoint().unwrap();
+        let plan = FaultPlan::new().at(
+            SimDuration::from_secs(1),
+            FaultKind::CorruptState { near: Point::ORIGIN, corruption: Corruption::Parent },
+        );
+        let report = net.run_chaos(&plan);
+        assert!(report.outcomes[0].detail.contains("corrupted parent"));
+        assert!(report.healed(), "parent corruption must heal: {}", report.to_json());
+    }
+}

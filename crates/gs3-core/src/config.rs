@@ -1,4 +1,34 @@
 //! Protocol configuration.
+//!
+//! # Adversarial-channel (chaos) parameters
+//!
+//! The channel faults a network runs under are *not* part of [`Gs3Config`]
+//! — they belong to the simulated radio, configured through
+//! [`gs3_sim::faults::FaultConfig`] (via `NetworkBuilder::fault_config`,
+//! `::burst_loss`, `::unicast_loss`, or a scheduled
+//! `FaultKind::SetChannel`). The burst-loss model is Gilbert–Elliott: a
+//! two-state Markov chain advanced once per delivery attempt, with
+//!
+//! * `p_enter` — probability of jumping from the lossless *good* state to
+//!   the *bad* state before an attempt (default `0.0`; the `gs3 chaos` CLI
+//!   uses `0.02`),
+//! * `p_exit = 1 / mean_burst` — probability of leaving the bad state, so
+//!   bursts last `mean_burst` attempts on average (CLI default `4`),
+//! * `loss_good` / `loss_bad` — per-attempt loss in each state (`0`/`1`
+//!   for the classic all-or-nothing channel built by
+//!   [`gs3_sim::faults::BurstLoss::bursty`]).
+//!
+//! The stationary loss rate is `p_enter / (p_enter + p_exit)`. All fault
+//! randomness comes from the engine's seeded RNG, and disabled knobs draw
+//! nothing, so runs stay bit-reproducible and an inert channel is
+//! byte-identical to a fault-free one.
+//!
+//! These interact with the timing knobs below: failure detection needs
+//! `failure_misses` consecutive heartbeats lost, so a mean burst shorter
+//! than `failure_misses × intra_heartbeat` worth of attempts only *delays*
+//! detection — the chaos experiments (`EXPERIMENTS.md § Chaos testing`)
+//! measure healing latency growing by whole heartbeat periods, never
+//! diverging.
 
 use gs3_geometry::{angular_slack, coordination_radius, head_spacing, Angle};
 use gs3_sim::SimDuration;

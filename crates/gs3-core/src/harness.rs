@@ -4,6 +4,7 @@
 
 use gs3_geometry::{Point, Vec2};
 use gs3_sim::deploy::Deployment;
+use gs3_sim::faults::{BurstLoss, FaultConfig};
 use gs3_sim::radio::{EnergyModel, RadioModel};
 use gs3_sim::{Engine, NodeId, SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -48,6 +49,7 @@ pub struct NetworkBuilder {
     config_override: Option<Gs3Config>,
     broadcast_loss: f64,
     traffic_period: Option<SimDuration>,
+    faults: FaultConfig,
 }
 
 impl Default for NetworkBuilder {
@@ -68,6 +70,7 @@ impl Default for NetworkBuilder {
             config_override: None,
             broadcast_loss: 0.0,
             traffic_period: None,
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -152,6 +155,34 @@ impl NetworkBuilder {
         self
     }
 
+    /// Sets the unicast loss probability (in `[0, 1)`) — breaks the
+    /// paper's reliable destination-aware transmission assumption.
+    /// Lost org replies, acks, and handshakes must be recovered by the
+    /// protocol's periodic timers.
+    #[must_use]
+    pub fn unicast_loss(mut self, loss: f64) -> Self {
+        self.faults.unicast_loss = loss;
+        self
+    }
+
+    /// Enables Gilbert–Elliott burst loss: the channel enters a total-loss
+    /// bad state with probability `p_enter` per delivery attempt and stays
+    /// there for bursts of `mean_burst` attempts on average (see
+    /// [`gs3_sim::faults::BurstLoss`]).
+    #[must_use]
+    pub fn burst_loss(mut self, p_enter: f64, mean_burst: f64) -> Self {
+        self.faults.burst = BurstLoss::bursty(p_enter, mean_burst);
+        self
+    }
+
+    /// Installs a full adversarial-channel configuration (overrides any
+    /// individual `unicast_loss` / `burst_loss` knobs set earlier).
+    #[must_use]
+    pub fn fault_config(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Overrides the radio model entirely.
     #[must_use]
     pub fn radio(mut self, radio: RadioModel) -> Self {
@@ -233,6 +264,7 @@ impl NetworkBuilder {
             None => (EnergyModel::disabled(), None),
         };
         let mut eng: Engine<Gs3Node> = Engine::new(radio, energy_model, self.seed);
+        eng.set_fault_config(self.faults);
 
         // The big node anchors the structure; spawn it first so the
         // diffusion starts at t=0. As the gateway/access point it is
@@ -510,9 +542,49 @@ impl Network {
         }
     }
 
+    /// State corruption: points a head's parent pointer at itself,
+    /// breaking the head-graph tree (a cycle of length one). Inter-cell
+    /// maintenance must time the fake parent out and `PARENT_SEEK` a real
+    /// one. Returns false when the node is not currently a head.
+    pub fn corrupt_head_parent(&mut self, id: NodeId) -> bool {
+        match self.eng.node_mut(id) {
+            Ok(node) => match &mut node.role {
+                Role::Head(h) => {
+                    h.parent = id;
+                    true
+                }
+                _ => false,
+            },
+            Err(_) => false,
+        }
+    }
+
     /// Drains a node's battery to `energy` (predictable-death lever).
     pub fn set_energy(&mut self, id: NodeId, energy: f64) {
         let _ = self.eng.set_energy(id, energy);
+    }
+
+    // ------------------------------------------------------------------
+    // Adversarial channel (gs3_sim::faults)
+    // ------------------------------------------------------------------
+
+    /// Replaces the adversarial-channel configuration mid-run (jams and
+    /// the burst-chain state are kept).
+    pub fn set_fault_config(&mut self, config: FaultConfig) {
+        self.eng.set_fault_config(config);
+    }
+
+    /// Starts jamming the disk of `radius` around `center` (no message can
+    /// be sent from or delivered to any node inside); returns a handle for
+    /// [`Network::stop_jam`].
+    pub fn start_jam(&mut self, center: Point, radius: f64) -> u64 {
+        self.eng.faults_mut().start_jam(center, radius)
+    }
+
+    /// Stops a jam started with [`Network::start_jam`]; returns whether it
+    /// existed.
+    pub fn stop_jam(&mut self, jam: u64) -> bool {
+        self.eng.faults_mut().stop_jam(jam)
     }
 }
 

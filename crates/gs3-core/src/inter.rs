@@ -22,6 +22,7 @@ impl Gs3Node {
         let coord = self.cfg.coord_radius();
         let period = self.cfg.inter_heartbeat;
         let proxy_ttl = self.cfg.proxy_ttl;
+        let am_big = self.is_big();
 
         let Role::Head(h) = &mut self.role else {
             return;
@@ -54,9 +55,13 @@ impl Gs3Node {
         h.neighbors.retain(|_, info| now.saturating_since(info.last_heard) <= timeout * 2);
 
         // Parent failure: silence twice over, after which we seek a new
-        // parent among the surviving neighbors.
-        let parent_failed = h.parent != me
-            && now.saturating_since(h.parent_last_heard) > timeout * 2;
+        // parent among the surviving neighbors. A *self-pointing* parent
+        // on a small non-proxy head is structurally illegal (only the big
+        // node and an appointed proxy root the tree) — corrupted state,
+        // repaired through the same seek path immediately.
+        let self_parent_corrupt = h.parent == me && !am_big && !h.is_proxy;
+        let parent_failed = self_parent_corrupt
+            || (h.parent != me && now.saturating_since(h.parent_last_heard) > timeout * 2);
         if parent_failed {
             h.neighbors.remove(&h.parent);
             // The link is broken: inflate our hop count so that any
@@ -93,8 +98,10 @@ impl Gs3Node {
 
         // The root (big node or proxy) anchors the tree at its own
         // position; everyone else forwards the anchor learned from its
-        // parent.
-        if h.parent == me {
+        // parent. A corrupted self-parent must NOT re-anchor here — it
+        // would advertise itself as a fake hops-0 root and poison its
+        // neighbors' parent choices.
+        if h.parent == me && (am_big || h.is_proxy) {
             h.root_pos = pos;
             h.hops = 0;
         }

@@ -26,6 +26,10 @@
 //!   paper's invariant/fixpoint predicates as executable checks.
 //! * [`harness`] — deployment, fixpoint detection, and perturbation
 //!   injection ([`harness::NetworkBuilder`] / [`harness::Network`]).
+//! * [`chaos`] — declarative fault plans ([`chaos::FaultPlan`]) and the
+//!   chaos harness ([`harness::Network::run_chaos`]) that certifies
+//!   self-healing, reporting per-fault healing latency in a
+//!   [`chaos::ChaosReport`].
 //!
 //! ## Example
 //!
@@ -52,6 +56,7 @@
 #![warn(missing_docs)]
 
 mod big;
+pub mod chaos;
 pub mod config;
 pub mod harness;
 mod head_org;
@@ -67,6 +72,7 @@ pub mod state;
 pub mod timers;
 mod workload;
 
+pub use chaos::{ChaosOptions, ChaosReport, Corruption, FaultKind, FaultOutcome, FaultPlan};
 pub use config::{Gs3Config, Mode};
 pub use harness::{Network, NetworkBuilder, RunOutcome};
 pub use node::Gs3Node;

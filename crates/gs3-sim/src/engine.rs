@@ -15,6 +15,7 @@ use rand::SeedableRng;
 use gs3_geometry::Point;
 
 use crate::channel::ChannelManager;
+use crate::faults::{FaultConfig, FaultState};
 use crate::ids::NodeId;
 use crate::queue::EventQueue;
 use crate::radio::{EnergyModel, RadioModel};
@@ -216,6 +217,7 @@ pub struct Engine<N: Node> {
     grid: crate::spatial::SpatialGrid,
     queue: EventQueue<PendingEvent<N::Msg, N::Timer>>,
     channel: ChannelManager,
+    faults: FaultState,
     rng: StdRng,
     trace: Trace,
     now: SimTime,
@@ -239,6 +241,7 @@ impl<N: Node> Engine<N> {
             grid: crate::spatial::SpatialGrid::new(cell),
             queue: EventQueue::new(),
             channel: ChannelManager::new(),
+            faults: FaultState::default(),
             rng: StdRng::seed_from_u64(seed),
             trace: Trace::new(),
             now: SimTime::ZERO,
@@ -251,6 +254,24 @@ impl<N: Node> Engine<N> {
     #[must_use]
     pub fn radio(&self) -> &RadioModel {
         &self.radio
+    }
+
+    /// The live fault-injection state (adversarial channel + jams).
+    #[must_use]
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Mutable access to the fault-injection state (start/stop jams,
+    /// reconfigure mid-run).
+    pub fn faults_mut(&mut self) -> &mut FaultState {
+        &mut self.faults
+    }
+
+    /// Replaces the adversarial-channel configuration (jams and the
+    /// burst-chain state are kept).
+    pub fn set_fault_config(&mut self, config: FaultConfig) {
+        self.faults.set_config(config);
     }
 
     /// The current simulation time.
@@ -592,6 +613,34 @@ impl<N: Node> Engine<N> {
         }
     }
 
+    /// Decides the adversarial fate of one in-range delivery attempt and,
+    /// when it survives, schedules it (and a possible duplicate). Every
+    /// scheduled copy is folded into the trace digest. With an inert fault
+    /// state this draws exactly one latency sample — bit-identical to the
+    /// pre-fault engine.
+    fn schedule_delivery(&mut self, from: NodeId, to: NodeId, dist: f64, msg: &N::Msg) {
+        let copies = if self.faults.duplicated(&mut self.rng) {
+            self.trace.record_duplicated();
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let mut latency = self.radio.latency(dist, &mut self.rng);
+            let extra = self.faults.extra_delay(&mut self.rng);
+            if !extra.is_zero() {
+                self.trace.record_delayed();
+                latency = latency + extra;
+            }
+            let at = self.now + latency;
+            self.trace.record_scheduled_delivery(at.as_micros(), from.raw(), to.raw(), msg.kind());
+            self.queue.schedule(
+                at,
+                PendingEvent { to, kind: EventKind::Deliver { from, msg: msg.clone() } },
+            );
+        }
+    }
+
     fn do_unicast(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
         use crate::engine::Payload as _;
         self.trace.record_unicast(msg.kind());
@@ -600,16 +649,25 @@ impl<N: Node> Engine<N> {
             self.trace.record_unicast_failure();
             return;
         };
-        let dist = from_pos.distance(target.position);
+        let target_pos = target.position;
+        let dist = from_pos.distance(target_pos);
         if !target.alive || dist > self.radio.max_range {
             self.trace.record_unicast_failure();
             // The sender still burned transmit energy.
             self.charge(from, self.energy_model.tx_cost(dist.min(self.radio.max_range)));
             return;
         }
-        let latency = self.radio.latency(dist, &mut self.rng);
-        self.queue
-            .schedule(self.now + latency, PendingEvent { to, kind: EventKind::Deliver { from, msg } });
+        // Adversarial-channel fates. Jamming is geometric (RNG-free); the
+        // rest draw from the engine RNG only when the knob is enabled.
+        if self.faults.jammed(from_pos, target_pos) {
+            self.trace.record_dropped_by_jam();
+        } else if self.faults.burst_dropped(&mut self.rng) {
+            self.trace.record_dropped_by_burst();
+        } else if self.faults.unicast_dropped(&mut self.rng) {
+            self.trace.record_dropped_unicast();
+        } else {
+            self.schedule_delivery(from, to, dist, &msg);
+        }
         self.charge(from, self.energy_model.tx_cost(dist));
     }
 
@@ -631,7 +689,8 @@ impl<N: Node> Engine<N> {
             if !slot.alive {
                 continue;
             }
-            let dist = from_pos.distance(slot.position);
+            let to_pos = slot.position;
+            let dist = from_pos.distance(to_pos);
             if dist > range {
                 continue;
             }
@@ -639,14 +698,15 @@ impl<N: Node> Engine<N> {
                 self.trace.record_broadcast_loss();
                 continue;
             }
-            let latency = self.radio.latency(dist, &mut self.rng);
-            self.queue.schedule(
-                self.now + latency,
-                PendingEvent {
-                    to: NodeId::new(h as u64),
-                    kind: EventKind::Deliver { from, msg: msg.clone() },
-                },
-            );
+            if self.faults.jammed(from_pos, to_pos) {
+                self.trace.record_dropped_by_jam();
+                continue;
+            }
+            if self.faults.burst_dropped(&mut self.rng) {
+                self.trace.record_dropped_by_burst();
+                continue;
+            }
+            self.schedule_delivery(from, NodeId::new(h as u64), dist, &msg);
         }
         self.charge(from, self.energy_model.tx_cost(range));
     }
@@ -881,6 +941,152 @@ mod tests {
         let (mut eng, ids) = line_engine(2, 30.0);
         eng.set_position(ids[1], Point::new(5000.0, 0.0)).unwrap();
         assert_eq!(eng.position(ids[1]).unwrap(), Point::new(5000.0, 0.0));
+    }
+
+    /// A chatty protocol for fault testing: every node unicasts a counter
+    /// to its right neighbor every 100 ms, forever.
+    #[derive(Debug, Default)]
+    struct Chatter {
+        received: u32,
+        sent: u32,
+    }
+
+    impl Node for Chatter {
+        type Msg = Hop;
+        type Timer = T;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Hop, T>) {
+            if ctx.id() == NodeId::new(0) {
+                ctx.set_timer(SimDuration::from_millis(100), T::Tick);
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, _msg: Hop, _ctx: &mut Context<'_, Hop, T>) {
+            self.received += 1;
+        }
+
+        fn on_timer(&mut self, _t: T, ctx: &mut Context<'_, Hop, T>) {
+            let next = NodeId::new(ctx.id().raw() + 1);
+            ctx.unicast(next, Hop(self.sent));
+            self.sent += 1;
+            ctx.set_timer(SimDuration::from_millis(100), T::Tick);
+        }
+    }
+
+    fn chatter_pair(config: crate::faults::FaultConfig) -> Engine<Chatter> {
+        let mut eng = Engine::new(RadioModel::ideal(100.0), EnergyModel::disabled(), 5);
+        eng.set_fault_config(config);
+        eng.spawn(Chatter::default(), Point::ORIGIN);
+        eng.spawn(Chatter::default(), Point::new(50.0, 0.0));
+        eng
+    }
+
+    #[test]
+    fn unicast_loss_drops_at_rate() {
+        use crate::faults::FaultConfig;
+        let mut eng = chatter_pair(FaultConfig { unicast_loss: 0.3, ..FaultConfig::none() });
+        eng.run_for(SimDuration::from_secs(200));
+        let t = eng.trace();
+        assert!(t.dropped_unicast() > 0, "some unicasts must drop");
+        let sent = eng.node(NodeId::new(0)).unwrap().sent + eng.node(NodeId::new(1)).unwrap().sent;
+        let rate = t.dropped_unicast() as f64 / f64::from(sent);
+        assert!((rate - 0.3).abs() < 0.05, "drop rate {rate}");
+        assert_eq!(t.unicast_failures(), 0, "loss is not a range failure");
+    }
+
+    #[test]
+    fn jam_disk_blocks_both_directions() {
+        use crate::faults::FaultConfig;
+        let mut eng = chatter_pair(FaultConfig::none());
+        let jam = eng.faults_mut().start_jam(Point::ORIGIN, 10.0);
+        eng.run_for(SimDuration::from_secs(5));
+        // Node 0 is inside the jam: its sends and its inbound copies are
+        // all suppressed.
+        assert_eq!(eng.node(NodeId::new(0)).unwrap().received, 0);
+        assert_eq!(eng.node(NodeId::new(1)).unwrap().received, 0);
+        assert!(eng.trace().dropped_by_jam() > 0);
+        let blocked = eng.trace().dropped_by_jam();
+        eng.faults_mut().stop_jam(jam);
+        eng.run_for(SimDuration::from_secs(5));
+        assert!(eng.node(NodeId::new(1)).unwrap().received > 0, "heals after jam stops");
+        assert_eq!(eng.trace().dropped_by_jam(), blocked, "no drops after stop");
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        use crate::faults::FaultConfig;
+        let mut eng = chatter_pair(FaultConfig { duplicate: 0.5, ..FaultConfig::none() });
+        eng.run_for(SimDuration::from_secs(50));
+        let t = eng.trace();
+        assert!(t.duplicated() > 100, "duplicates occurred: {}", t.duplicated());
+        let received =
+            eng.node(NodeId::new(0)).unwrap().received + eng.node(NodeId::new(1)).unwrap().received;
+        let sent = eng.node(NodeId::new(0)).unwrap().sent + eng.node(NodeId::new(1)).unwrap().sent;
+        assert!(u64::from(received) > u64::from(sent), "more deliveries than sends");
+    }
+
+    #[test]
+    fn burst_loss_affects_broadcasts_too() {
+        use crate::faults::{BurstLoss, FaultConfig};
+        let mut eng: Engine<Flood> = Engine::new(RadioModel::ideal(100.0), EnergyModel::disabled(), 9);
+        eng.set_fault_config(FaultConfig {
+            burst: BurstLoss { p_enter: 1.0, p_exit: 0.0, loss_good: 0.0, loss_bad: 1.0 },
+            ..FaultConfig::none()
+        });
+        eng.spawn(Flood::default(), Point::ORIGIN);
+        let other = eng.spawn(Flood::default(), Point::new(50.0, 0.0));
+        eng.run_for(SimDuration::from_secs(10));
+        // The chain enters the (permanent) bad state before the first
+        // delivery: nothing gets through.
+        assert_eq!(eng.node(other).unwrap().heard, None);
+        assert!(eng.trace().dropped_by_burst() > 0);
+    }
+
+    #[test]
+    fn extra_delay_stretches_latency() {
+        use crate::faults::FaultConfig;
+        let run = |config: crate::faults::FaultConfig| {
+            let mut eng = chatter_pair(config);
+            eng.run_for(SimDuration::from_secs(20));
+            (eng.trace().delayed(), eng.node(NodeId::new(1)).unwrap().received)
+        };
+        let (delayed, _) = run(FaultConfig {
+            delay_prob: 1.0,
+            delay_max: SimDuration::from_millis(40),
+            ..FaultConfig::none()
+        });
+        assert!(delayed > 0, "every delivery is delayed");
+        let (none_delayed, _) = run(FaultConfig::none());
+        assert_eq!(none_delayed, 0);
+    }
+
+    #[test]
+    fn inert_faults_leave_stream_untouched() {
+        use crate::faults::FaultConfig;
+        // A faulted-but-inert engine must replay the exact event sequence
+        // (and digest) of a plain engine: the hooks draw no RNG.
+        let run = |configure: bool| {
+            let (mut eng, _) = line_engine(20, 40.0);
+            if configure {
+                eng.set_fault_config(FaultConfig::none());
+            }
+            eng.run_until(SimTime::from_micros(5_000_000));
+            (eng.trace().digest(), eng.events_processed())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn digest_distinguishes_fault_configs() {
+        use crate::faults::FaultConfig;
+        let run = |loss: f64| {
+            let mut eng = chatter_pair(FaultConfig { unicast_loss: loss, ..FaultConfig::none() });
+            eng.run_for(SimDuration::from_secs(30));
+            eng.trace().digest()
+        };
+        assert_eq!(run(0.10), run(0.10), "same config, same digest");
+        assert_ne!(run(0.10), run(0.25), "different channel, different digest");
+        assert_ne!(run(0.0), run(0.10));
     }
 
     #[test]

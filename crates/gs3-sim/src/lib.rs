@@ -16,6 +16,10 @@
 //!   exhaustion drives the paper's *cell shift* dynamics).
 //! * [`channel::ChannelManager`] — the area-based channel reservation that
 //!   serializes neighboring `HEAD_ORG` rounds.
+//! * [`faults`] — deterministic adversarial-channel fault injection:
+//!   Gilbert–Elliott burst loss, unicast loss, duplication, extra delay
+//!   and reordering, and geographic jamming disks, all seeded from the
+//!   engine RNG for bit-reproducible chaos runs.
 //! * [`deploy`] — Poisson deployments with `R_t`-gap injection and
 //!   localization noise.
 //! * [`time`], [`queue`], [`spatial`], [`trace`], [`rng`] — supporting
@@ -67,6 +71,7 @@
 pub mod channel;
 pub mod deploy;
 pub mod engine;
+pub mod faults;
 mod ids;
 pub mod queue;
 pub mod radio;
@@ -76,5 +81,6 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Context, Engine, EngineError, Node, Payload};
+pub use faults::{BurstLoss, FaultConfig, FaultState, Jam};
 pub use ids::NodeId;
 pub use time::{SimDuration, SimTime};

@@ -7,8 +7,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// FNV-1a 64-bit offset basis (the initial digest value).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
 /// Counters accumulated over a simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     unicasts_sent: u64,
     broadcasts_sent: u64,
@@ -17,6 +22,37 @@ pub struct Trace {
     unicast_failures: u64,
     per_kind_sent: BTreeMap<&'static str, u64>,
     timers_fired: u64,
+    // Fault-injection accounting (all zero when faults are off).
+    dropped_by_burst: u64,
+    dropped_by_jam: u64,
+    dropped_unicast: u64,
+    duplicated: u64,
+    delayed: u64,
+    scheduled_deliveries: u64,
+    /// Running FNV-1a hash of every scheduled delivery
+    /// (time, sender, receiver, kind).
+    digest: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace {
+            unicasts_sent: 0,
+            broadcasts_sent: 0,
+            deliveries: 0,
+            broadcast_losses: 0,
+            unicast_failures: 0,
+            per_kind_sent: BTreeMap::new(),
+            timers_fired: 0,
+            dropped_by_burst: 0,
+            dropped_by_jam: 0,
+            dropped_unicast: 0,
+            duplicated: 0,
+            delayed: 0,
+            scheduled_deliveries: 0,
+            digest: FNV_OFFSET,
+        }
+    }
 }
 
 impl Trace {
@@ -50,6 +86,50 @@ impl Trace {
 
     pub(crate) fn record_timer(&mut self) {
         self.timers_fired += 1;
+    }
+
+    pub(crate) fn record_dropped_by_burst(&mut self) {
+        self.dropped_by_burst += 1;
+    }
+
+    pub(crate) fn record_dropped_by_jam(&mut self) {
+        self.dropped_by_jam += 1;
+    }
+
+    pub(crate) fn record_dropped_unicast(&mut self) {
+        self.dropped_unicast += 1;
+    }
+
+    pub(crate) fn record_duplicated(&mut self) {
+        self.duplicated += 1;
+    }
+
+    pub(crate) fn record_delayed(&mut self) {
+        self.delayed += 1;
+    }
+
+    /// Folds one scheduled delivery into the digest: delivery time in
+    /// microseconds, sender and receiver raw ids, and the message kind.
+    pub(crate) fn record_scheduled_delivery(
+        &mut self,
+        at_micros: u64,
+        from: u64,
+        to: u64,
+        kind: &str,
+    ) {
+        self.scheduled_deliveries += 1;
+        let mut h = self.digest;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&at_micros.to_le_bytes());
+        eat(&from.to_le_bytes());
+        eat(&to.to_le_bytes());
+        eat(kind.as_bytes());
+        self.digest = h;
     }
 
     /// Total unicast transmissions.
@@ -106,6 +186,54 @@ impl Trace {
     pub fn total_sent(&self) -> u64 {
         self.unicasts_sent + self.broadcasts_sent
     }
+
+    /// Delivery attempts lost to Gilbert–Elliott burst loss.
+    #[must_use]
+    pub fn dropped_by_burst(&self) -> u64 {
+        self.dropped_by_burst
+    }
+
+    /// Delivery attempts blocked by a jamming disk.
+    #[must_use]
+    pub fn dropped_by_jam(&self) -> u64 {
+        self.dropped_by_jam
+    }
+
+    /// Unicast deliveries lost to the unicast-loss fault (distinct from
+    /// [`Trace::unicast_failures`], which counts dead/out-of-range
+    /// destinations).
+    #[must_use]
+    pub fn dropped_unicast(&self) -> u64 {
+        self.dropped_unicast
+    }
+
+    /// Deliveries duplicated by the duplication fault.
+    #[must_use]
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Deliveries held back by the extra-delay fault.
+    #[must_use]
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+
+    /// Deliveries actually scheduled onto the wire (after all fault
+    /// filtering; duplicates count per copy).
+    #[must_use]
+    pub fn scheduled_deliveries(&self) -> u64 {
+        self.scheduled_deliveries
+    }
+
+    /// A stable FNV-1a hash of the full delivery sequence — every
+    /// scheduled delivery's time, sender, receiver, and kind, in schedule
+    /// order. Two runs with the same seed and fault schedule produce the
+    /// same digest; any divergence in channel behavior changes it.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
 }
 
 impl fmt::Display for Trace {
@@ -120,6 +248,20 @@ impl fmt::Display for Trace {
             self.unicast_failures,
             self.timers_fired
         )?;
+        if self.dropped_by_burst + self.dropped_by_jam + self.dropped_unicast + self.duplicated
+            + self.delayed
+            > 0
+        {
+            writeln!(
+                f,
+                "faults: {} burst drops, {} jam drops, {} unicast drops, {} duplicated, {} delayed",
+                self.dropped_by_burst,
+                self.dropped_by_jam,
+                self.dropped_unicast,
+                self.duplicated,
+                self.delayed
+            )?;
+        }
         for (kind, count) in &self.per_kind_sent {
             writeln!(f, "  {kind}: {count}")?;
         }
@@ -159,5 +301,42 @@ mod tests {
         t.record_broadcast("org");
         let s = format!("{t}");
         assert!(s.contains("org: 1"));
+        assert!(!s.contains("faults:"), "fault line only appears when faults fired");
+        t.record_dropped_by_jam();
+        assert!(format!("{t}").contains("1 jam drops"));
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let mut t = Trace::new();
+        t.record_dropped_by_burst();
+        t.record_dropped_by_burst();
+        t.record_dropped_by_jam();
+        t.record_dropped_unicast();
+        t.record_duplicated();
+        t.record_delayed();
+        assert_eq!(t.dropped_by_burst(), 2);
+        assert_eq!(t.dropped_by_jam(), 1);
+        assert_eq!(t.dropped_unicast(), 1);
+        assert_eq!(t.duplicated(), 1);
+        assert_eq!(t.delayed(), 1);
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let fresh = Trace::new().digest();
+        let mut a = Trace::new();
+        a.record_scheduled_delivery(100, 1, 2, "org");
+        a.record_scheduled_delivery(200, 2, 3, "org_reply");
+        let mut b = Trace::new();
+        b.record_scheduled_delivery(200, 2, 3, "org_reply");
+        b.record_scheduled_delivery(100, 1, 2, "org");
+        let mut c = Trace::new();
+        c.record_scheduled_delivery(100, 1, 2, "org");
+        c.record_scheduled_delivery(200, 2, 3, "org_reply");
+        assert_ne!(a.digest(), fresh);
+        assert_ne!(a.digest(), b.digest(), "order must matter");
+        assert_eq!(a.digest(), c.digest(), "same sequence, same digest");
+        assert_eq!(a.scheduled_deliveries(), 2);
     }
 }

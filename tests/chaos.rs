@@ -1,0 +1,144 @@
+//! Chaos-harness integration: bit-reproducibility of fault-injected runs,
+//! the combined-adversity acceptance scenario, and convergence under
+//! honest unicast loss.
+
+use gs3::core::harness::NetworkBuilder;
+use gs3::core::invariants::{self, Strictness};
+use gs3::core::{ChaosOptions, Corruption, FaultKind, FaultPlan};
+use gs3::geometry::{Point, Vec2};
+use gs3::sim::faults::{BurstLoss, FaultConfig};
+use gs3::sim::SimDuration;
+
+fn builder(seed: u64) -> NetworkBuilder {
+    NetworkBuilder::new()
+        .ideal_radius(40.0)
+        .radius_tolerance(14.0)
+        .area_radius(200.0)
+        .expected_nodes(400)
+        .seed(seed)
+}
+
+/// A plan exercising every fault axis at once.
+fn combined_plan() -> FaultPlan {
+    let channel = FaultConfig {
+        burst: BurstLoss::bursty(0.02, 4.0),
+        unicast_loss: 0.02,
+        ..FaultConfig::none()
+    };
+    FaultPlan::new()
+        .at(SimDuration::ZERO, FaultKind::SetChannel { config: channel })
+        .at(
+            SimDuration::from_secs(5),
+            FaultKind::StartJam { label: 0, center: Point::new(100.0, 0.0), radius: 70.0 },
+        )
+        .at(SimDuration::from_secs(10), FaultKind::CrashRandom { count: 10 })
+        .at(
+            SimDuration::from_secs(20),
+            FaultKind::CorruptState {
+                near: Point::new(-60.0, 50.0),
+                corruption: Corruption::Il { offset: Vec2::new(150.0, 90.0) },
+            },
+        )
+        .at(SimDuration::from_secs(45), FaultKind::StopJam { label: 0 })
+}
+
+fn chaos_run(seed: u64) -> (gs3::core::ChaosReport, u64) {
+    let mut net = builder(seed).build().unwrap();
+    net.run_to_fixpoint().unwrap();
+    let report = net.run_chaos(&combined_plan());
+    let signature = net.snapshot().structural_signature();
+    (report, signature)
+}
+
+#[test]
+fn same_seed_chaos_runs_are_bit_identical() {
+    let (a, sig_a) = chaos_run(11);
+    let (b, sig_b) = chaos_run(11);
+    assert_eq!(a.digest, b.digest, "same seed must replay the same delivery sequence");
+    assert_eq!(sig_a, sig_b, "same seed must land in the same final structure");
+    assert_eq!(a.to_json(), b.to_json(), "the whole report must be reproducible");
+}
+
+#[test]
+fn different_seed_chaos_runs_diverge() {
+    let (a, _) = chaos_run(11);
+    let (b, _) = chaos_run(12);
+    assert_ne!(a.digest, b.digest, "different seeds must explore different schedules");
+}
+
+/// The acceptance scenario from the issue: burst loss (mean ≥ 3), one jam
+/// disk, a 10-node crash wave, and one `CorruptState` — the structure must
+/// come back to zero `Dynamic` violations, with a healing latency recorded
+/// for every fault.
+#[test]
+fn combined_adversity_heals_clean() {
+    let (report, _) = chaos_run(11);
+    assert!(
+        report.healed(),
+        "combined chaos must heal: final={} unhealed={:?}",
+        report.final_violations,
+        report
+            .outcomes
+            .iter()
+            .filter(|o| o.heal_latency.is_none())
+            .map(|o| o.kind)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(report.outcomes.len(), 5);
+    for o in &report.outcomes {
+        assert!(o.heal_latency.is_some(), "{} has no healing latency", o.kind);
+    }
+    // The channel really was adversarial.
+    assert!(report.dropped_by_burst > 0, "burst loss never fired");
+    assert!(report.dropped_by_jam > 0, "the jam disk never dropped anything");
+    assert!(report.dropped_unicast > 0, "unicast loss never fired");
+}
+
+/// Oracle polling is observation only: running the same plan with a
+/// different poll period must not change the delivery schedule.
+#[test]
+fn oracle_polling_does_not_perturb_the_run() {
+    // Two runs that differ only in the oracle poll period, both advanced to
+    // the same simulated horizon afterwards: the delivery schedules must be
+    // bit-identical, because polling snapshots state without consuming RNG.
+    let horizon = SimDuration::from_secs(600);
+    let run = |poll_ms: u64| {
+        let mut net = builder(11).build().unwrap();
+        net.run_to_fixpoint().unwrap();
+        let opts = ChaosOptions {
+            poll: SimDuration::from_millis(poll_ms),
+            settle: SimDuration::from_secs(300),
+        };
+        let rep = net.run_chaos_with(&combined_plan(), opts, |snap| {
+            invariants::check_all(snap, Strictness::Dynamic).len()
+        });
+        let elapsed = net.now().since(gs3::sim::SimTime::ZERO);
+        net.run_for(horizon - elapsed);
+        (rep, net.engine().trace().digest())
+    };
+    let (rep_coarse, digest_coarse) = run(2000);
+    let (rep_fine, digest_fine) = run(700);
+    assert!(rep_fine.polls > rep_coarse.polls, "the finer poll clock must poll more often");
+    assert_eq!(digest_coarse, digest_fine, "polling must never consume simulation RNG");
+}
+
+/// Satellite regression: 5% honest unicast loss (acks, org replies, and
+/// handshakes all at risk) must still converge to a clean static structure.
+#[test]
+fn five_percent_unicast_loss_still_converges() {
+    let mut net = builder(51).unicast_loss(0.05).build().unwrap();
+    net.run_for(SimDuration::from_secs(240));
+    let snap = net.snapshot();
+    assert!(snap.heads().count() >= 7, "only {} heads formed", snap.heads().count());
+    let violations = invariants::check_all(&snap, Strictness::Static);
+    assert!(
+        violations.is_empty(),
+        "unicast loss left {} violations: {}",
+        violations.len(),
+        violations.first().map(ToString::to_string).unwrap_or_default()
+    );
+    assert!(
+        net.engine().trace().dropped_unicast() > 0,
+        "the unicast-loss knob never fired"
+    );
+}

@@ -4,7 +4,7 @@
 use gs3::analysis::locality::{changed_nodes, measure_impact};
 use gs3::core::harness::{Network, NetworkBuilder, RunOutcome};
 use gs3::core::invariants::{self, Strictness};
-use gs3::core::RoleView;
+use gs3::core::{FaultKind, FaultPlan, RoleView};
 use gs3::geometry::{Point, Vec2};
 use gs3::sim::{NodeId, SimDuration};
 
@@ -93,13 +93,13 @@ fn head_failure_impact_is_local() {
 #[test]
 fn disk_kill_heals_and_recovers_coverage() {
     let mut net = settled(103);
-    let center = Point::new(100.0, 60.0);
-    let radius = 60.0;
-    let victims = net.kill_disk(center, radius);
-    assert!(victims.len() > 10, "the disk must actually kill a crowd");
-
-    let outcome = net.run_to_fixpoint().unwrap();
-    assert!(matches!(outcome, RunOutcome::Fixpoint { .. }), "must re-stabilize after disk kill");
+    let plan = FaultPlan::new().at(
+        SimDuration::ZERO,
+        FaultKind::CrashDisk { center: Point::new(100.0, 60.0), radius: 60.0 },
+    );
+    let report = net.run_chaos(&plan);
+    assert!(report.outcomes[0].killed > 10, "the disk must actually kill a crowd");
+    assert!(report.healed(), "must re-stabilize after disk kill");
 
     let snap = net.snapshot();
     // Every surviving connected node is re-covered.
@@ -224,16 +224,18 @@ fn corrupted_head_is_demoted_by_sanity_check() {
 #[test]
 fn random_churn_keeps_structure_stable() {
     let mut net = settled(108);
-    for round in 0..5 {
-        let _ = net.kill_random(8);
+    let mut plan = FaultPlan::new();
+    for round in 0..5u64 {
+        let t = SimDuration::from_secs(round * 30);
+        plan = plan.at(t, FaultKind::CrashRandom { count: 8 });
         for i in 0..4 {
-            let ang = gs3::geometry::Angle::from_degrees(f64::from(round * 90 + i * 17));
-            net.join_node(Point::ORIGIN.offset(ang, 40.0 + f64::from(i) * 35.0));
+            let ang = gs3::geometry::Angle::from_degrees(f64::from(round as u32 * 90 + i * 17));
+            let pos = Point::ORIGIN.offset(ang, 40.0 + f64::from(i) * 35.0);
+            plan = plan.at(t, FaultKind::Join { pos });
         }
-        net.run_for(SimDuration::from_secs(30));
     }
-    let outcome = net.run_to_fixpoint().unwrap();
-    assert!(matches!(outcome, RunOutcome::Fixpoint { .. }), "churn must settle");
+    let report = net.run_chaos(&plan);
+    assert!(report.healed(), "churn must settle, final={}", report.final_violations);
     let snap = net.snapshot();
     let tree = invariants::check_head_graph_tree(&snap);
     assert!(tree.is_empty(), "after churn: {:?}", tree.first());

@@ -3,7 +3,7 @@
 
 use gs3::core::harness::{Network, NetworkBuilder, RunOutcome};
 use gs3::core::{Mode, RoleView};
-use gs3::geometry::{head_spacing, Point};
+use gs3::geometry::Point;
 use gs3::sim::SimDuration;
 
 fn settled(seed: u64) -> Network {
@@ -25,11 +25,36 @@ fn surrogate_then_real_head() {
     // range of associates becomes a *surrogate* associate; when the
     // boundary re-organization creates a real head nearby, it upgrades.
     let mut net = settled(401);
-    let area_edge = 320.0;
-    // Place the newcomer just beyond the outermost cells' coordination
-    // reach: far corner. Also seed a bridge of joiners so a future head
-    // can exist there.
-    let lonely = net.join_node(Point::new(area_edge + 120.0, 0.0));
+    // Place the newcomer beyond the outermost cells' coordination reach
+    // but still inside some associate's radio range: walk outward from
+    // the east-most associate until every head is out of coordination
+    // reach. Deriving the spot from the snapshot keeps the scenario
+    // valid for any deployment draw.
+    let coord = net.config().coord_radius();
+    let radio = net.engine().radio().max_range;
+    let spot = {
+        let snap = net.snapshot();
+        let anchor = snap
+            .nodes
+            .iter()
+            .filter(|n| n.alive && matches!(n.role, RoleView::Associate { .. }))
+            .max_by(|a, b| a.pos.x.total_cmp(&b.pos.x))
+            .expect("an associate exists")
+            .pos;
+        let heads: Vec<Point> = snap.heads().map(|h| h.pos).collect();
+        let mut spot = None;
+        let mut d = coord * 0.5;
+        while d < radio {
+            let p = Point::new(anchor.x + d, anchor.y);
+            if heads.iter().all(|hp| hp.distance(p) > coord + 1.0) {
+                spot = Some(p);
+                break;
+            }
+            d += 2.0;
+        }
+        spot.expect("a spot out of head reach but in associate radio range")
+    };
+    let lonely = net.join_node(spot);
     net.run_for(SimDuration::from_secs(40));
     let snap = net.snapshot();
     match &snap.node(lonely).unwrap().role {
@@ -43,12 +68,12 @@ fn surrogate_then_real_head() {
         other => panic!("unexpected role {other:?}"),
     }
 
-    // Now populate a candidate area at the band-3 IL next to it.
-    let spacing = head_spacing(80.0);
-    let il3 = Point::new(3.0 * spacing, 0.0);
+    // Now populate a candidate area around the newcomer so the boundary
+    // re-organization can claim the nearest outer IL and produce a real
+    // head in reach.
     for i in 0..20 {
         let ang = gs3::geometry::Angle::from_degrees(f64::from(i) * 31.0);
-        net.join_node(il3.offset(ang, f64::from(i % 5) * 7.0));
+        net.join_node(spot.offset(ang, f64::from(i % 5) * 7.0));
     }
     net.run_for(SimDuration::from_secs(120));
     let snap = net.snapshot();

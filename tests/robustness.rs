@@ -5,6 +5,7 @@
 
 use gs3::core::harness::{NetworkBuilder, RunOutcome};
 use gs3::core::invariants::{self, Strictness};
+use gs3::core::{ChaosOptions, FaultKind, FaultPlan};
 use gs3::sim::SimDuration;
 
 #[test]
@@ -58,18 +59,27 @@ fn lossless_structure_also_heals_with_loss_enabled() {
         .build()
         .unwrap();
     net.run_for(SimDuration::from_secs(180));
-    // Kill a head; head shift must still work over a lossy channel.
-    let victim = net
+    // Kill a head (a pinpoint crash disk at its position); head shift must
+    // still work over a lossy channel. The oracle only watches the head
+    // graph — under 10% broadcast loss stragglers may still be joining, but
+    // the tree must knit back together.
+    let victim_pos = net
         .snapshot()
         .heads()
         .find(|h| !h.is_big)
-        .map(|h| h.id)
+        .map(|h| h.pos)
         .expect("a small head exists");
-    net.kill(victim);
-    net.run_for(SimDuration::from_secs(120));
-    let snap = net.snapshot();
-    let tree = invariants::check_head_graph_tree(&snap);
-    assert!(tree.is_empty(), "{:?}", tree.first());
+    let plan = FaultPlan::new()
+        .at(SimDuration::ZERO, FaultKind::CrashDisk { center: victim_pos, radius: 0.1 });
+    let opts = ChaosOptions {
+        poll: SimDuration::from_secs(2),
+        settle: SimDuration::from_secs(120),
+    };
+    let report = net.run_chaos_with(&plan, opts, |snap| {
+        invariants::check_head_graph_tree(snap).len()
+    });
+    assert_eq!(report.outcomes[0].killed, 1, "the pinpoint disk kills exactly the head");
+    assert!(report.healed(), "head shift must heal the tree over a lossy channel");
 }
 
 #[test]
