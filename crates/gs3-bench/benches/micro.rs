@@ -10,6 +10,10 @@
 //!   size.
 //! * `invariant_check` — full predicate-suite cost on a configured
 //!   network.
+//! * `snapshot_into/{n}` — zero-realloc snapshot refill at n ∈ {1k, 10k}.
+//! * `check_all_grid/{n}` vs `check_all_naive/{n}` — the spatial-indexed
+//!   invariant engine against the all-pairs reference at n ∈ {1k, 10k};
+//!   a speedup line is printed per size.
 //!
 //! Run with `cargo bench -p gs3-bench`. Reports median wall time per
 //! iteration over a fixed wall-time budget per benchmark.
@@ -18,7 +22,7 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use gs3_core::harness::NetworkBuilder;
-use gs3_core::invariants::{check_all, Strictness};
+use gs3_core::invariants::{check_all, check_all_with, naive, SnapshotIndex, Strictness};
 use gs3_core::Mode;
 use gs3_geometry::rank::best_candidate;
 use gs3_geometry::spiral::CellSpiral;
@@ -30,8 +34,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Runs `f` repeatedly for up to `budget`, printing the median, minimum,
-/// and iteration count.
-fn bench<F: FnMut()>(name: &str, budget: Duration, mut f: F) {
+/// and iteration count. Returns the median for cross-bench comparisons.
+fn bench<F: FnMut()>(name: &str, budget: Duration, mut f: F) -> Duration {
     // One warm-up iteration outside the measurement.
     f();
     let mut samples = Vec::new();
@@ -52,6 +56,7 @@ fn bench<F: FnMut()>(name: &str, budget: Duration, mut f: F) {
         samples[0],
         samples.len()
     );
+    median
 }
 
 fn pts(n: usize, seed: u64) -> Vec<(u64, Point)> {
@@ -134,5 +139,40 @@ fn main() {
         bench("invariant_check/900_nodes", quick, || {
             black_box(check_all(&snap, Strictness::Static).len());
         });
+    }
+
+    // Snapshot reuse and the indexed-vs-naive invariant engine at scale.
+    for n in [1_000usize, 10_000] {
+        let mut net = NetworkBuilder::new()
+            .mode(Mode::Static)
+            .ideal_radius(80.0)
+            .radius_tolerance(18.0)
+            .area_radius((n as f64).sqrt() * 8.0)
+            .expected_nodes(n)
+            .seed(7)
+            .build()
+            .expect("valid parameters");
+        net.engine_mut()
+            .run_until_quiescent(SimTime::ZERO + SimDuration::from_secs(900))
+            .expect("static diffusion terminates");
+
+        let mut buf = net.snapshot();
+        bench(&format!("snapshot_into/{n}"), quick, || {
+            net.snapshot_into(&mut buf);
+            black_box(buf.nodes.len());
+        });
+
+        let snap = net.snapshot();
+        let grid = bench(&format!("check_all_grid/{n}"), quick, || {
+            let idx = SnapshotIndex::build(&snap);
+            black_box(check_all_with(&snap, Strictness::Static, &idx).len());
+        });
+        let naive = bench(&format!("check_all_naive/{n}"), slow, || {
+            black_box(naive::check_all(&snap, Strictness::Static).len());
+        });
+        println!(
+            "check_all/{n:<33} speedup {:.1}x (grid over naive)",
+            naive.as_secs_f64() / grid.as_secs_f64().max(1e-9)
+        );
     }
 }

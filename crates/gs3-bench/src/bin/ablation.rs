@@ -18,6 +18,7 @@
 
 use gs3_analysis::report::{num, Table};
 use gs3_analysis::stats::Summary;
+use gs3_bench::runner::{run_grid, threads_from_args};
 use gs3_bench::banner;
 use gs3_core::harness::NetworkBuilder;
 use gs3_core::{Gs3Config, Mode, RoleView};
@@ -27,8 +28,9 @@ use gs3_sim::{SimDuration, SimTime};
 
 fn main() {
     banner("ABLATION", "the paper's design choices, measured by removal");
-    anchor_ablation();
-    reservation_ablation();
+    let threads = threads_from_args();
+    anchor_ablation(threads);
+    reservation_ablation(threads);
 }
 
 /// Builds, statically configures, and returns per-band head deviations
@@ -65,11 +67,13 @@ fn band_deviations(anchor_ils: bool, seed: u64) -> Vec<Vec<f64>> {
     bands
 }
 
-fn anchor_ablation() {
+fn anchor_ablation(threads: usize) {
     println!("part 1 — IL-anchored selection vs position-anchored (error accumulation)\n");
     println!("head deviation from the true lattice site, by band (R=60, R_t=14):\n");
-    let with = band_deviations(true, 5);
-    let without = band_deviations(false, 5);
+    let variants = [true, false];
+    let mut results = run_grid(&variants, threads, |&anchored| band_deviations(anchored, 5));
+    let without = results.pop().expect("two variants");
+    let with = results.pop().expect("two variants");
     let mut t = Table::new([
         "band",
         "anchored: mean dev (m)",
@@ -97,7 +101,7 @@ fn anchor_ablation() {
     );
 }
 
-fn reservation_ablation() {
+fn reservation_ablation(threads: usize) {
     println!("part 2 — channel reservation vs free-for-all HEAD_ORG\n");
     let mut t = Table::new([
         "reservation",
@@ -106,47 +110,54 @@ fn reservation_ablation() {
         "min head spacing (m)",
         "pairs < spacing/2",
     ]);
+    let mut cells: Vec<(bool, u64)> = Vec::new();
     for &reservation in &[true, false] {
         for seed in [3u64, 9, 27] {
-            let r = 80.0;
-            let mut cfg = Gs3Config::new(r, 18.0).expect("valid").with_mode(Mode::Static);
-            cfg.channel_reservation = reservation;
-            // Lossy broadcasts make concurrent rounds see *different*
-            // reply sets (with perfect symmetric information, concurrent
-            // HEAD_SELECTs deterministically agree and the hazard hides).
-            let mut net = NetworkBuilder::new()
-                .area_radius(300.0)
-                .expected_nodes(1200)
-                .seed(seed)
-                .broadcast_loss(0.15)
-                .config(cfg)
-                .build()
-                .expect("valid");
-            net.engine_mut()
-                .run_until_quiescent(SimTime::ZERO + SimDuration::from_secs(900))
-                .expect("terminates");
-            let snap = net.snapshot();
-            let heads: Vec<Point> = snap.heads().map(|h| h.pos).collect();
-            let spacing = head_spacing(r);
-            let mut min = f64::INFINITY;
-            let mut close_pairs = 0;
-            for (i, a) in heads.iter().enumerate() {
-                for b in &heads[i + 1..] {
-                    let d = a.distance(*b);
-                    min = min.min(d);
-                    if d < spacing / 2.0 {
-                        close_pairs += 1;
-                    }
+            cells.push((reservation, seed));
+        }
+    }
+    let rows = run_grid(&cells, threads, |&(reservation, seed)| {
+        let r = 80.0;
+        let mut cfg = Gs3Config::new(r, 18.0).expect("valid").with_mode(Mode::Static);
+        cfg.channel_reservation = reservation;
+        // Lossy broadcasts make concurrent rounds see *different*
+        // reply sets (with perfect symmetric information, concurrent
+        // HEAD_SELECTs deterministically agree and the hazard hides).
+        let mut net = NetworkBuilder::new()
+            .area_radius(300.0)
+            .expected_nodes(1200)
+            .seed(seed)
+            .broadcast_loss(0.15)
+            .config(cfg)
+            .build()
+            .expect("valid");
+        net.engine_mut()
+            .run_until_quiescent(SimTime::ZERO + SimDuration::from_secs(900))
+            .expect("terminates");
+        let snap = net.snapshot();
+        let heads: Vec<Point> = snap.heads().map(|h| h.pos).collect();
+        let spacing = head_spacing(r);
+        let mut min = f64::INFINITY;
+        let mut close_pairs = 0;
+        for (i, a) in heads.iter().enumerate() {
+            for b in &heads[i + 1..] {
+                let d = a.distance(*b);
+                min = min.min(d);
+                if d < spacing / 2.0 {
+                    close_pairs += 1;
                 }
             }
-            t.row([
-                if reservation { "on" } else { "off" }.to_string(),
-                format!("{seed}"),
-                format!("{}", heads.len()),
-                num(min),
-                format!("{close_pairs}"),
-            ]);
         }
+        [
+            if reservation { "on" } else { "off" }.to_string(),
+            format!("{seed}"),
+            format!("{}", heads.len()),
+            num(min),
+            format!("{close_pairs}"),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     println!(

@@ -9,10 +9,14 @@
 //! claim (§4.3) quantified against message loss it never modelled.
 //!
 //! ```text
-//! cargo run --release -p gs3-bench --bin chaos_sweep
+//! cargo run --release -p gs3-bench --bin chaos_sweep -- [-j N] [--json]
 //! ```
+//!
+//! `--json` replaces the table with a machine-readable document; the
+//! output is byte-identical at any `-j` (cells are seeded and ordered).
 
 use gs3_analysis::report::{num, Table};
+use gs3_bench::runner::{run_grid, threads_from_args};
 use gs3_bench::banner;
 use gs3_core::harness::NetworkBuilder;
 use gs3_core::{FaultKind, FaultPlan};
@@ -36,8 +40,70 @@ struct Churn {
 
 const SEEDS: [u64; 3] = [11, 23, 37];
 
+/// One grid cell's raw result (per seed).
+struct CellResult {
+    healed: bool,
+    latencies: Vec<f64>,
+    burst_drops: u64,
+    unicast_drops: u64,
+}
+
+fn run_cell(sev: &Severity, churn: &Churn, seed: u64) -> CellResult {
+    let mut net = NetworkBuilder::new()
+        .ideal_radius(40.0)
+        .radius_tolerance(14.0)
+        .area_radius(200.0)
+        .expected_nodes(400)
+        .seed(seed)
+        .build()
+        .expect("valid parameters");
+    net.run_to_fixpoint().expect("initial configuration converges");
+
+    let channel = FaultConfig {
+        burst: sev.burst.clone(),
+        unicast_loss: 0.02,
+        ..FaultConfig::none()
+    };
+    let mut plan = FaultPlan::new();
+    plan = plan.at(SimDuration::ZERO, FaultKind::SetChannel { config: channel });
+    for w in 0..churn.waves {
+        plan = plan.at(
+            SimDuration::from_secs_f64(5.0 + f64::from(w) * churn.gap),
+            FaultKind::CrashRandom { count: churn.per_wave },
+        );
+    }
+
+    let rep = net.run_chaos(&plan);
+    let latencies = rep
+        .outcomes
+        .iter()
+        .filter(|o| o.kind == "crash_random")
+        .filter_map(|o| o.heal_latency)
+        .map(|l| l.as_secs_f64())
+        .collect();
+    CellResult {
+        healed: rep.healed(),
+        latencies,
+        burst_drops: rep.dropped_by_burst,
+        unicast_drops: rep.dropped_unicast,
+    }
+}
+
+/// A JSON number for `x`, `null` when it is not representable.
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
 fn main() {
-    banner("CHAOS", "robustness — healing latency vs burst loss × churn");
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let threads = threads_from_args();
+    if !json {
+        banner("CHAOS", "robustness — healing latency vs burst loss × churn");
+    }
 
     let severities = [
         Severity { label: "clean", burst: BurstLoss::off() },
@@ -51,6 +117,20 @@ fn main() {
         Churn { label: "storm", waves: 5, per_wave: 10, gap: 15.0 },
     ];
 
+    // The full (severity × churn × seed) grid as independent cells; each
+    // is a fully seeded single-threaded simulation.
+    let mut cells: Vec<(usize, usize, u64)> = Vec::new();
+    for si in 0..severities.len() {
+        for ci in 0..churns.len() {
+            for &seed in &SEEDS {
+                cells.push((si, ci, seed));
+            }
+        }
+    }
+    let results = run_grid(&cells, threads, |&(si, ci, seed)| {
+        run_cell(&severities[si], &churns[ci], seed)
+    });
+
     let mut t = Table::new([
         "burst",
         "churn",
@@ -60,73 +140,51 @@ fn main() {
         "burst drops",
         "unicast drops",
     ]);
+    let mut json_cells: Vec<String> = Vec::new();
 
-    for sev in &severities {
-        for churn in &churns {
-            let mut healed_runs = 0u32;
-            let mut latencies: Vec<f64> = Vec::new();
-            let mut worst = 0.0f64;
-            let mut burst_drops = 0u64;
-            let mut unicast_drops = 0u64;
-
-            for &seed in &SEEDS {
-                let mut net = NetworkBuilder::new()
-                    .ideal_radius(40.0)
-                    .radius_tolerance(14.0)
-                    .area_radius(200.0)
-                    .expected_nodes(400)
-                    .seed(seed)
-                    .build()
-                    .expect("valid parameters");
-                net.run_to_fixpoint().expect("initial configuration converges");
-
-                let channel = FaultConfig {
-                    burst: sev.burst.clone(),
-                    unicast_loss: 0.02,
-                    ..FaultConfig::none()
-                };
-                let mut plan = FaultPlan::new();
-                plan = plan.at(SimDuration::ZERO, FaultKind::SetChannel { config: channel });
-                for w in 0..churn.waves {
-                    plan = plan.at(
-                        SimDuration::from_secs_f64(5.0 + f64::from(w) * churn.gap),
-                        FaultKind::CrashRandom { count: churn.per_wave },
-                    );
-                }
-
-                let rep = net.run_chaos(&plan);
-                if rep.healed() {
-                    healed_runs += 1;
-                }
-                for o in &rep.outcomes {
-                    if o.kind != "crash_random" {
-                        continue;
-                    }
-                    if let Some(l) = o.heal_latency {
-                        let s = l.as_secs_f64();
-                        latencies.push(s);
-                        worst = worst.max(s);
-                    }
-                }
-                burst_drops += rep.dropped_by_burst;
-                unicast_drops += rep.dropped_unicast;
-            }
-
+    for (si, sev) in severities.iter().enumerate() {
+        for (ci, churn) in churns.iter().enumerate() {
+            let base = (si * churns.len() + ci) * SEEDS.len();
+            let runs = &results[base..base + SEEDS.len()];
+            let healed_runs = runs.iter().filter(|r| r.healed).count();
+            let latencies: Vec<f64> = runs.iter().flat_map(|r| r.latencies.iter().copied()).collect();
+            let worst = latencies.iter().copied().fold(0.0f64, f64::max);
+            let burst_drops: u64 = runs.iter().map(|r| r.burst_drops).sum();
+            let unicast_drops: u64 = runs.iter().map(|r| r.unicast_drops).sum();
             let mean = if latencies.is_empty() {
                 f64::NAN
             } else {
                 latencies.iter().sum::<f64>() / latencies.len() as f64
             };
-            t.row([
-                sev.label.to_string(),
-                churn.label.to_string(),
-                format!("{healed_runs}/{}", SEEDS.len()),
-                num(mean),
-                num(worst),
-                format!("{}", burst_drops / SEEDS.len() as u64),
-                format!("{}", unicast_drops / SEEDS.len() as u64),
-            ]);
+            if json {
+                json_cells.push(format!(
+                    "{{\"burst\":\"{}\",\"churn\":\"{}\",\"healed\":{},\"runs\":{},\"mean_heal_s\":{},\"worst_heal_s\":{},\"burst_drops\":{},\"unicast_drops\":{}}}",
+                    sev.label,
+                    churn.label,
+                    healed_runs,
+                    SEEDS.len(),
+                    json_num(mean),
+                    json_num(worst),
+                    burst_drops / SEEDS.len() as u64,
+                    unicast_drops / SEEDS.len() as u64,
+                ));
+            } else {
+                t.row([
+                    sev.label.to_string(),
+                    churn.label.to_string(),
+                    format!("{healed_runs}/{}", SEEDS.len()),
+                    num(mean),
+                    num(worst),
+                    format!("{}", burst_drops / SEEDS.len() as u64),
+                    format!("{}", unicast_drops / SEEDS.len() as u64),
+                ]);
+            }
         }
+    }
+
+    if json {
+        println!("{{\"experiment\":\"chaos_sweep\",\"cells\":[{}]}}", json_cells.join(","));
+        return;
     }
     println!("{}", t.render());
     println!(

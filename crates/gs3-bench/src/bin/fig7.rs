@@ -18,6 +18,7 @@
 use gs3_analysis::metrics::lattice_occupancy;
 use gs3_analysis::poisson::{expected_nonideal_ratio, figure7_8_sweep};
 use gs3_analysis::report::{num, Table};
+use gs3_bench::runner::{run_grid, threads_from_args};
 use gs3_bench::{banner, SEEDS};
 use gs3_core::harness::NetworkBuilder;
 use gs3_sim::SimDuration;
@@ -43,38 +44,51 @@ fn main() {
     let r_t = 15.0;
     let area = 260.0;
     let mut t = Table::new(["target alpha", "lambda_sim", "nodes", "measured ratio", "sites"]);
-    for target_alpha in [0.30f64, 0.20, 0.10, 0.05, 0.02] {
-        let lambda = -target_alpha.ln() / (r_t * r_t);
-        let mut total_nonideal = 0usize;
-        let mut total_sites = 0usize;
-        let mut total_nodes = 0usize;
+    let alphas = [0.30f64, 0.20, 0.10, 0.05, 0.02];
+    // One cell per (α, seed); each is an independent seeded deployment.
+    let mut cells: Vec<(f64, u64)> = Vec::new();
+    for &target_alpha in &alphas {
         for seed in SEEDS {
-            let mut net = NetworkBuilder::new()
-                .ideal_radius(r)
-                .radius_tolerance(r_t)
-                .area_radius(area)
-                .density(lambda)
-                .seed(seed)
-                .build()
-                .expect("valid parameters");
-            total_nodes += net.engine().node_count();
-            net.run_for(SimDuration::from_secs(240));
-            let snap = net.snapshot();
-            // Interior sites only: a site whose whole hexagon lies inside
-            // the deployment disk.
-            for site in lattice_occupancy(&snap) {
-                if site.center.distance(gs3_geometry::Point::ORIGIN) > area - r {
-                    continue;
-                }
-                if site.nodes == 0 {
-                    continue;
-                }
-                total_sites += 1;
-                if !site.has_head {
-                    total_nonideal += 1;
-                }
+            cells.push((target_alpha, seed));
+        }
+    }
+    let results = run_grid(&cells, threads_from_args(), |&(target_alpha, seed)| {
+        let lambda = -target_alpha.ln() / (r_t * r_t);
+        let mut net = NetworkBuilder::new()
+            .ideal_radius(r)
+            .radius_tolerance(r_t)
+            .area_radius(area)
+            .density(lambda)
+            .seed(seed)
+            .build()
+            .expect("valid parameters");
+        let nodes = net.engine().node_count();
+        net.run_for(SimDuration::from_secs(240));
+        let snap = net.snapshot();
+        // Interior sites only: a site whose whole hexagon lies inside
+        // the deployment disk.
+        let mut sites = 0usize;
+        let mut nonideal = 0usize;
+        for site in lattice_occupancy(&snap) {
+            if site.center.distance(gs3_geometry::Point::ORIGIN) > area - r {
+                continue;
+            }
+            if site.nodes == 0 {
+                continue;
+            }
+            sites += 1;
+            if !site.has_head {
+                nonideal += 1;
             }
         }
+        (nodes, sites, nonideal)
+    });
+    for (ai, &target_alpha) in alphas.iter().enumerate() {
+        let lambda = -target_alpha.ln() / (r_t * r_t);
+        let runs = &results[ai * SEEDS.len()..(ai + 1) * SEEDS.len()];
+        let total_nodes: usize = runs.iter().map(|r| r.0).sum();
+        let total_sites: usize = runs.iter().map(|r| r.1).sum();
+        let total_nonideal: usize = runs.iter().map(|r| r.2).sum();
         let measured = if total_sites == 0 {
             0.0
         } else {

@@ -14,6 +14,7 @@ use gs3_analysis::metrics::lattice_occupancy;
 use gs3_geometry::hex::Axial;
 use gs3_analysis::poisson::{expected_gap_region_diameter, figure7_8_sweep};
 use gs3_analysis::report::{num, Table};
+use gs3_bench::runner::{run_grid, threads_from_args};
 use gs3_bench::{banner, SEEDS};
 use gs3_core::harness::NetworkBuilder;
 use gs3_sim::SimDuration;
@@ -49,36 +50,43 @@ fn main() {
         "measured gap fraction",
         "regions",
     ]);
-    for target_alpha in [0.30f64, 0.20, 0.10, 0.05] {
-        let lambda = -target_alpha.ln() / (r_t * r_t);
-        let mut spans = Vec::new();
-        let mut gap_sites = 0usize;
-        let mut interior_sites = 0usize;
+    let alphas = [0.30f64, 0.20, 0.10, 0.05];
+    // One cell per (α, seed); each is an independent seeded deployment.
+    let mut cells: Vec<(f64, u64)> = Vec::new();
+    for &target_alpha in &alphas {
         for seed in SEEDS {
-            let mut net = NetworkBuilder::new()
-                .ideal_radius(r)
-                .radius_tolerance(r_t)
-                .area_radius(area)
-                .density(lambda)
-                .seed(seed)
-                .build()
-                .expect("valid parameters");
-            net.run_for(SimDuration::from_secs(240));
-            let snap = net.snapshot();
-            // Interior populated-but-headless sites.
-            let occupancy = lattice_occupancy(&snap);
-            let interior: Vec<_> = occupancy
-                .iter()
-                .filter(|s| {
-                    s.center.distance(gs3_geometry::Point::ORIGIN) <= area - r && s.nodes > 0
-                })
-                .collect();
-            interior_sites += interior.len();
-            let gaps: Vec<Axial> =
-                interior.iter().filter(|s| !s.has_head).map(|s| s.site).collect();
-            gap_sites += gaps.len();
-            spans.extend(component_spans(&gaps));
+            cells.push((target_alpha, seed));
         }
+    }
+    let results = run_grid(&cells, threads_from_args(), |&(target_alpha, seed)| {
+        let lambda = -target_alpha.ln() / (r_t * r_t);
+        let mut net = NetworkBuilder::new()
+            .ideal_radius(r)
+            .radius_tolerance(r_t)
+            .area_radius(area)
+            .density(lambda)
+            .seed(seed)
+            .build()
+            .expect("valid parameters");
+        net.run_for(SimDuration::from_secs(240));
+        let snap = net.snapshot();
+        // Interior populated-but-headless sites.
+        let occupancy = lattice_occupancy(&snap);
+        let interior: Vec<_> = occupancy
+            .iter()
+            .filter(|s| {
+                s.center.distance(gs3_geometry::Point::ORIGIN) <= area - r && s.nodes > 0
+            })
+            .collect();
+        let gaps: Vec<Axial> =
+            interior.iter().filter(|s| !s.has_head).map(|s| s.site).collect();
+        (interior.len(), gaps.len(), component_spans(&gaps))
+    });
+    for (ai, &target_alpha) in alphas.iter().enumerate() {
+        let runs = &results[ai * SEEDS.len()..(ai + 1) * SEEDS.len()];
+        let interior_sites: usize = runs.iter().map(|r| r.0).sum();
+        let gap_sites: usize = runs.iter().map(|r| r.1).sum();
+        let spans: Vec<f64> = runs.iter().flat_map(|r| r.2.iter().copied()).collect();
         let measured_span = if spans.is_empty() {
             0.0
         } else {

@@ -1,0 +1,269 @@
+//! **PERF** — engine performance suite, emitting `BENCH_core.json`.
+//!
+//! Times the simulator's hot paths end-to-end on seeded scenarios and
+//! writes a machine-readable artifact (events per second, wall-clock per
+//! scenario, peak event-queue depth) so CI can track performance across
+//! commits. The scenarios are the same seeded workloads the experiments
+//! run, so the numbers reflect real GS³ traffic, not synthetic loops.
+//!
+//! ```text
+//! cargo run --release -p gs3-bench --bin perf_suite -- [--smoke] [-j N] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks every scenario so the suite finishes in seconds —
+//! CI runs it on every push to prove the suite itself works and to
+//! archive the artifact; real measurements come from a full run.
+
+use std::time::Instant;
+
+use gs3_bench::runner::{run_grid, threads_from_args};
+use gs3_core::harness::{Network, NetworkBuilder};
+use gs3_core::invariants::{check_all_with, SnapshotIndex, Strictness};
+use gs3_core::{FaultKind, FaultPlan};
+use gs3_sim::faults::{BurstLoss, FaultConfig};
+use gs3_sim::SimDuration;
+
+/// One timed scenario's measurements.
+struct Measurement {
+    scenario: &'static str,
+    wall_ms: f64,
+    events: u64,
+    peak_queue_depth: usize,
+    extra: Vec<(&'static str, f64)>,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / (self.wall_ms / 1000.0)
+        }
+    }
+}
+
+/// Scenario scale knobs; `--smoke` shrinks everything.
+struct Scale {
+    nodes_mid: usize,
+    area_mid: f64,
+    nodes_large: usize,
+    area_large: f64,
+    chaos_nodes: usize,
+    chaos_area: f64,
+    check_iters: u32,
+    snapshot_iters: u32,
+}
+
+const FULL: Scale = Scale {
+    nodes_mid: 1400,
+    area_mid: 320.0,
+    nodes_large: 10_000,
+    area_large: 860.0,
+    chaos_nodes: 400,
+    chaos_area: 200.0,
+    check_iters: 50,
+    snapshot_iters: 200,
+};
+
+const SMOKE: Scale = Scale {
+    nodes_mid: 300,
+    area_mid: 170.0,
+    nodes_large: 900,
+    area_large: 270.0,
+    chaos_nodes: 150,
+    chaos_area: 130.0,
+    check_iters: 5,
+    snapshot_iters: 20,
+};
+
+fn build(nodes: usize, area: f64, seed: u64) -> Network {
+    NetworkBuilder::new()
+        .ideal_radius(80.0)
+        .radius_tolerance(18.0)
+        .area_radius(area)
+        .expected_nodes(nodes)
+        .seed(seed)
+        .build()
+        .expect("valid parameters")
+}
+
+/// Initial self-configuration to a stable structure.
+fn scenario_configure(scale: &Scale) -> Measurement {
+    let mut net = build(scale.nodes_mid, scale.area_mid, 42);
+    let start = Instant::now();
+    let _ = net.run_to_fixpoint();
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    Measurement {
+        scenario: "configure",
+        wall_ms,
+        events: net.engine().events_processed(),
+        peak_queue_depth: net.engine().peak_queue_depth(),
+        extra: vec![("nodes", scale.nodes_mid as f64)],
+    }
+}
+
+/// Steady-state maintenance: a converged network running heartbeats.
+fn scenario_steady_state(scale: &Scale) -> Measurement {
+    let mut net = build(scale.nodes_mid, scale.area_mid, 42);
+    let _ = net.run_to_fixpoint();
+    let before = net.engine().events_processed();
+    let start = Instant::now();
+    net.run_for(SimDuration::from_secs(120));
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    Measurement {
+        scenario: "steady_state_120s",
+        wall_ms,
+        events: net.engine().events_processed() - before,
+        peak_queue_depth: net.engine().peak_queue_depth(),
+        extra: vec![("nodes", scale.nodes_mid as f64)],
+    }
+}
+
+/// Self-healing under a lossy channel and crash waves.
+fn scenario_chaos(scale: &Scale) -> Measurement {
+    let mut net = build(scale.chaos_nodes, scale.chaos_area, 23);
+    let _ = net.run_to_fixpoint();
+    let channel = FaultConfig {
+        burst: BurstLoss::bursty(0.03, 4.0),
+        unicast_loss: 0.02,
+        ..FaultConfig::none()
+    };
+    let mut plan = FaultPlan::new().at(SimDuration::ZERO, FaultKind::SetChannel { config: channel });
+    for w in 0..3u32 {
+        plan = plan.at(
+            SimDuration::from_secs_f64(5.0 + f64::from(w) * 20.0),
+            FaultKind::CrashRandom { count: 5 },
+        );
+    }
+    let before = net.engine().events_processed();
+    let start = Instant::now();
+    let rep = net.run_chaos(&plan);
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    Measurement {
+        scenario: "chaos_heal",
+        wall_ms,
+        events: net.engine().events_processed() - before,
+        peak_queue_depth: net.engine().peak_queue_depth(),
+        extra: vec![
+            ("nodes", scale.chaos_nodes as f64),
+            ("healed", if rep.healed() { 1.0 } else { 0.0 }),
+        ],
+    }
+}
+
+/// The spatial-indexed invariant engine over a large converged snapshot.
+fn scenario_invariants(scale: &Scale) -> Measurement {
+    let mut net = build(scale.nodes_large, scale.area_large, 7);
+    let _ = net.run_to_fixpoint();
+    let snap = net.snapshot();
+    let start = Instant::now();
+    let mut violations = 0usize;
+    for _ in 0..scale.check_iters {
+        let idx = SnapshotIndex::build(&snap);
+        violations = check_all_with(&snap, Strictness::Dynamic, &idx).len();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    Measurement {
+        scenario: "check_all",
+        wall_ms,
+        events: u64::from(scale.check_iters) * snap.nodes.len() as u64,
+        peak_queue_depth: net.engine().peak_queue_depth(),
+        extra: vec![
+            ("nodes", snap.nodes.len() as f64),
+            ("iters", f64::from(scale.check_iters)),
+            ("violations", violations as f64),
+        ],
+    }
+}
+
+/// Zero-realloc polling: `snapshot_into` reusing one buffer.
+fn scenario_snapshot(scale: &Scale) -> Measurement {
+    let mut net = build(scale.nodes_large, scale.area_large, 7);
+    let _ = net.run_to_fixpoint();
+    let mut snap = net.snapshot();
+    let start = Instant::now();
+    for _ in 0..scale.snapshot_iters {
+        net.snapshot_into(&mut snap);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    Measurement {
+        scenario: "snapshot_into",
+        wall_ms,
+        events: u64::from(scale.snapshot_iters) * snap.nodes.len() as u64,
+        peak_queue_depth: net.engine().peak_queue_depth(),
+        extra: vec![
+            ("nodes", snap.nodes.len() as f64),
+            ("iters", f64::from(scale.snapshot_iters)),
+        ],
+    }
+}
+
+fn to_json(measurements: &[Measurement], smoke: bool, threads: usize) -> String {
+    let mut out = String::from("{\"suite\":\"BENCH_core\",");
+    out.push_str(&format!("\"smoke\":{smoke},\"threads\":{threads},\"scenarios\":["));
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"scenario\":\"{}\",\"wall_ms\":{:.3},\"events\":{},\"events_per_sec\":{:.1},\"peak_queue_depth\":{}",
+            m.scenario,
+            m.wall_ms,
+            m.events,
+            m.events_per_sec(),
+            m.peak_queue_depth,
+        ));
+        for (k, v) in &m.extra {
+            out.push_str(&format!(",\"{k}\":{v}"));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_core.json".to_string());
+    let threads = threads_from_args();
+    let scale = if smoke { &SMOKE } else { &FULL };
+
+    eprintln!(
+        "perf_suite: {} mode, {} threads → {}",
+        if smoke { "smoke" } else { "full" },
+        threads,
+        out_path
+    );
+
+    // Scenarios are independent seeded workloads; fan them out like any
+    // other experiment grid. Wall-clock numbers are only comparable
+    // across commits when measured at the same -j.
+    let scenarios: [fn(&Scale) -> Measurement; 5] = [
+        scenario_configure,
+        scenario_steady_state,
+        scenario_chaos,
+        scenario_invariants,
+        scenario_snapshot,
+    ];
+    let measurements = run_grid(&scenarios, threads, |f| f(scale));
+
+    for m in &measurements {
+        eprintln!(
+            "  {:<18} {:>10.1} ms  {:>12} events  {:>12.0} ev/s  peak queue {}",
+            m.scenario,
+            m.wall_ms,
+            m.events,
+            m.events_per_sec(),
+            m.peak_queue_depth
+        );
+    }
+
+    let json = to_json(&measurements, smoke, threads);
+    std::fs::write(&out_path, &json).expect("write BENCH_core.json");
+    println!("{json}");
+}

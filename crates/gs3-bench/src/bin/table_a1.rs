@@ -17,6 +17,7 @@ use gs3_analysis::convergence::{max_distance_from_big, measure_configuration};
 use gs3_analysis::lifetime::run_lifetime;
 use gs3_analysis::locality::measure_impact;
 use gs3_analysis::report::{num, Table};
+use gs3_bench::runner::{run_grid, threads_from_args};
 use gs3_bench::banner;
 use gs3_core::harness::NetworkBuilder;
 use gs3_core::{Mode, RoleView};
@@ -26,19 +27,21 @@ use gs3_sim::SimDuration;
 
 fn main() {
     banner("TBL-A1", "Appendix 1 — complexity and convergence properties of GS3");
-    row1_information_per_node();
-    row2_lifetime_factor();
-    row3_perturbation_convergence();
-    row4_static_convergence();
-    row5_arbitrary_state_convergence();
+    let threads = threads_from_args();
+    row1_information_per_node(threads);
+    row2_lifetime_factor(threads);
+    row3_perturbation_convergence(threads);
+    row4_static_convergence(threads);
+    row5_arbitrary_state_convergence(threads);
 }
 
 /// Row 1: per-node information is θ(log n) — a *constant number of
 /// identities* regardless of network size (each id being log n bits).
-fn row1_information_per_node() {
+fn row1_information_per_node(threads: usize) {
     println!("row 1 — information maintained at each node: θ(log n)\n");
     let mut t = Table::new(["n (nodes)", "max ids @ associate", "max ids @ head", "mean ids"]);
-    for &n in &[400usize, 800, 1600, 3200] {
+    let sizes = [400usize, 800, 1600, 3200];
+    let rows = run_grid(&sizes, threads, |&n| {
         let area = (n as f64).sqrt() * 8.0;
         let mut net = NetworkBuilder::new()
             .ideal_radius(80.0)
@@ -66,12 +69,15 @@ fn row1_information_per_node() {
             total += v.ids_stored;
             count += 1;
         }
-        t.row([
+        [
             format!("{}", snap.nodes.len()),
             format!("{assoc_max}"),
             format!("{head_max}"),
             num(total as f64 / count.max(1) as f64),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     println!(
@@ -83,7 +89,7 @@ fn row1_information_per_node() {
 
 /// Row 2: intra-/inter-cell maintenance lengthens the structure lifetime
 /// by a factor Ω(n_c).
-fn row2_lifetime_factor() {
+fn row2_lifetime_factor(threads: usize) {
     println!("row 2 — lifetime of the head structure: lengthened Ω(n_c) by maintenance\n");
     let mut t = Table::new([
         "n_c (per cell)",
@@ -93,7 +99,8 @@ fn row2_lifetime_factor() {
         "head turnovers",
         "cell shifts",
     ]);
-    for &target_nc in &[12usize, 25, 50] {
+    let populations = [12usize, 25, 50];
+    let rows = run_grid(&populations, threads, |&target_nc| {
         // Fix geometry; scale density to hit the target cell population.
         let cells = 7.0; // one band
         let builder = NetworkBuilder::new()
@@ -115,14 +122,17 @@ fn row2_lifetime_factor() {
             SimDuration::from_secs(15),
             0.5,
         );
-        t.row([
+        [
             num(res.mean_cell_population),
             res.first_head_death.map_or("-".into(), |x| num(x.as_secs_f64())),
             res.maintained_lifetime.map_or(">6000".into(), |x| num(x.as_secs_f64())),
             res.lengthening_factor.map_or("-".into(), num),
             format!("{}", res.head_turnovers),
             format!("{}", res.cell_shifts),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     println!(
@@ -137,47 +147,54 @@ fn row2_lifetime_factor() {
 
 /// Row 3: convergence under a perturbation is O(D_p) — proportional to the
 /// perturbed diameter, independent of total network size.
-fn row3_perturbation_convergence() {
+fn row3_perturbation_convergence(threads: usize) {
     println!("row 3 — convergence under perturbation: O(D_p), independent of n\n");
     let mut t = Table::new(["n", "D_p (kill diam, m)", "killed", "heal time (s)", "impact radius (m)"]);
+    let mut cells: Vec<(usize, f64, f64)> = Vec::new();
     for &(n, area) in &[(1500usize, 330.0f64), (3000, 470.0)] {
         for &dp in &[120.0f64, 240.0, 360.0] {
-            let mut net = NetworkBuilder::new()
-                .ideal_radius(80.0)
-                .radius_tolerance(18.0)
-                .area_radius(area)
-                .expected_nodes(n)
-                .seed(5)
-                .build()
-                .expect("valid parameters");
-            let _ = net.run_to_fixpoint();
-            // Center the kill on an actual head so every D_p kills at
-            // least one cell nucleus.
-            let nominal = Point::new(area / 2.5, 0.0);
-            let center = net
-                .snapshot()
-                .heads()
-                .map(|h| h.pos)
-                .min_by(|a, b| nominal.distance(*a).total_cmp(&nominal.distance(*b)))
-                .unwrap_or(nominal);
-            let mut killed = 0usize;
-            let report = measure_impact(
-                &mut net,
-                center,
-                SimDuration::from_secs(1),
-                SimDuration::from_secs(400),
-                |net| {
-                    killed = net.kill_disk(center, dp / 2.0).len();
-                },
-            );
-            t.row([
-                format!("{n}"),
-                num(dp),
-                format!("{killed}"),
-                report.heal_time.map_or("-".into(), |x| num(x.as_secs_f64())),
-                num(report.impact_radius),
-            ]);
+            cells.push((n, area, dp));
         }
+    }
+    let rows = run_grid(&cells, threads, |&(n, area, dp)| {
+        let mut net = NetworkBuilder::new()
+            .ideal_radius(80.0)
+            .radius_tolerance(18.0)
+            .area_radius(area)
+            .expected_nodes(n)
+            .seed(5)
+            .build()
+            .expect("valid parameters");
+        let _ = net.run_to_fixpoint();
+        // Center the kill on an actual head so every D_p kills at
+        // least one cell nucleus.
+        let nominal = Point::new(area / 2.5, 0.0);
+        let center = net
+            .snapshot()
+            .heads()
+            .map(|h| h.pos)
+            .min_by(|a, b| nominal.distance(*a).total_cmp(&nominal.distance(*b)))
+            .unwrap_or(nominal);
+        let mut killed = 0usize;
+        let report = measure_impact(
+            &mut net,
+            center,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(400),
+            |net| {
+                killed = net.kill_disk(center, dp / 2.0).len();
+            },
+        );
+        [
+            format!("{n}"),
+            num(dp),
+            format!("{killed}"),
+            report.heal_time.map_or("-".into(), |x| num(x.as_secs_f64())),
+            num(report.impact_radius),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     println!(
@@ -187,10 +204,11 @@ fn row3_perturbation_convergence() {
 }
 
 /// Row 4: static-network convergence is θ(D_b).
-fn row4_static_convergence() {
+fn row4_static_convergence(threads: usize) {
     println!("row 4 — convergence in static networks: θ(D_b)\n");
     let mut t = Table::new(["area radius (m)", "D_b (m)", "n", "diffusion time (s)", "messages"]);
-    for &area in &[160.0f64, 240.0, 320.0, 400.0] {
+    let areas = [160.0f64, 240.0, 320.0, 400.0];
+    let rows = run_grid(&areas, threads, |&area| {
         let n = (area * area * 0.014) as usize;
         let builder = NetworkBuilder::new()
             .mode(Mode::Static)
@@ -200,13 +218,16 @@ fn row4_static_convergence() {
             .expected_nodes(n)
             .seed(3);
         let res = measure_configuration(builder, SimDuration::from_secs(900));
-        t.row([
+        [
             num(area),
             num(res.d_b),
             format!("{}", res.nodes),
             num(res.time.as_secs_f64()),
             format!("{}", res.messages),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     println!(
@@ -217,7 +238,7 @@ fn row4_static_convergence() {
 
 /// Row 5: from an arbitrary (mass-corrupted) state, dynamic networks
 /// stabilize in O(D_d).
-fn row5_arbitrary_state_convergence() {
+fn row5_arbitrary_state_convergence(threads: usize) {
     println!("row 5 — convergence from an arbitrary state: O(D_d)\n");
     let mut t = Table::new([
         "area radius (m)",
@@ -226,7 +247,8 @@ fn row5_arbitrary_state_convergence() {
         "last repair (s)",
         "violations left",
     ]);
-    for &area in &[200.0f64, 300.0] {
+    let areas = [200.0f64, 300.0];
+    let rows = run_grid(&areas, threads, |&area| {
         let n = (area * area * 0.014) as usize;
         let mut net = NetworkBuilder::new()
             .ideal_radius(80.0)
@@ -261,13 +283,16 @@ fn row5_arbitrary_state_convergence() {
         let d_d = 2.0 * max_distance_from_big(&net);
         let violations =
             gs3_core::invariants::check_all(&net.snapshot(), gs3_core::invariants::Strictness::Dynamic);
-        t.row([
+        [
             num(area),
             num(d_d),
             format!("{}", heads.len()),
             report.heal_time.map_or("-".into(), |x| num(x.as_secs_f64())),
             format!("{}", violations.len()),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     println!(

@@ -14,11 +14,18 @@
 //! | `baseline_compare` | Section 6 — GS³ vs LEACH vs hop clustering |
 //! | `sliding` | §4.3.5.1 — coherent sliding under uniform depletion |
 //! | `chaos_sweep` | robustness — healing latency vs burst loss × churn |
+//! | `perf_suite` | engine performance — `BENCH_core.json` |
 //!
-//! Criterion micro-benchmarks live under `benches/`.
+//! Every experiment accepts `--threads N` / `-j N`: the (seed × parameter)
+//! grid fans out over OS threads via [`runner::run_grid`] with cell-order
+//! results, so output artifacts are byte-identical at any thread count.
+//! Hand-rolled micro-benchmarks (no external harness) live under
+//! `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod runner;
 
 use gs3_core::harness::NetworkBuilder;
 

@@ -73,6 +73,16 @@ impl Args {
                         return Err(ArgError::Duplicate(key));
                     }
                 }
+            } else if let Some(rest) = tok.strip_prefix("-j") {
+                // `-j N` / `-jN`: alias for `--threads N`.
+                let value = if rest.is_empty() {
+                    it.next().unwrap_or_default()
+                } else {
+                    rest.to_string()
+                };
+                if out.options.insert("threads".to_string(), value).is_some() {
+                    return Err(ArgError::Duplicate("threads".to_string()));
+                }
             } else if out.command.is_none() {
                 out.command = Some(tok);
             } else {
@@ -108,6 +118,16 @@ impl Args {
                 expected: std::any::type_name::<T>(),
             }),
         }
+    }
+
+    /// The worker-thread count: `--threads N` or `-j N` / `-jN`,
+    /// defaulting to the machine's available parallelism, never zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when the value does not parse.
+    pub fn threads(&self) -> Result<usize, ArgError> {
+        Ok(self.num("threads", gs3_bench::runner::default_threads())?.max(1))
     }
 
     /// A parsed `x,y` point option.

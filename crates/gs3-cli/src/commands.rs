@@ -3,6 +3,7 @@
 use gs3_analysis::metrics::measure;
 use gs3_analysis::render::{render, RenderOptions};
 use gs3_analysis::report::num;
+use gs3_bench::runner::run_grid;
 use gs3_core::chaos::{Corruption, FaultKind, FaultPlan};
 use gs3_core::harness::{Network, NetworkBuilder, RunOutcome};
 use gs3_core::invariants::{check_all, Strictness};
@@ -63,16 +64,23 @@ pub fn help() {
          \x20 --jam X,Y        jam disk center (0.5*area, 0)\n\
          \x20 --jam-radius M   jam disk radius (80)\n\
          \x20 --jam-secs S     jam window length (60)\n\
-         \x20 --json           print the ChaosReport as JSON only"
+         \x20 --json           print the ChaosReport as JSON only\n\
+         \x20 --runs N         repeat against N consecutive seeds (1)\n\
+         \x20 --threads N, -j N  worker threads for --runs > 1 (all cores);\n\
+         \x20                  output is identical at any thread count"
     );
 }
 
 fn build(a: &Args) -> Result<Network, Box<dyn std::error::Error>> {
+    let seed: u64 = a.num("seed", 2002)?;
+    build_seeded(a, seed)
+}
+
+fn build_seeded(a: &Args, seed: u64) -> Result<Network, Box<dyn std::error::Error>> {
     let nodes: usize = a.num("nodes", 1400)?;
     let radius: f64 = a.num("radius", 80.0)?;
     let tolerance: f64 = a.num("tolerance", 18.0)?;
     let area: f64 = a.num("area", 320.0)?;
-    let seed: u64 = a.num("seed", 2002)?;
     let loss: f64 = a.num("loss", 0.0)?;
     let noise: f64 = a.num("noise", 0.0)?;
     let mode = if a.flag("static") {
@@ -290,12 +298,6 @@ pub fn chaos(a: &Args) -> CliResult {
         );
     }
 
-    let mut net = build(a)?;
-    configure(&mut net)?;
-    if !json {
-        println!("configured at {}; unleashing chaos", net.now());
-    }
-
     let channel = FaultConfig {
         burst: if burst_enter > 0.0 {
             BurstLoss::bursty(burst_enter, burst_len)
@@ -308,19 +310,33 @@ pub fn chaos(a: &Args) -> CliResult {
         delay_max: SimDuration::from_millis(delay_max),
     };
     let corrupt_near = Point::new(0.4 * area, 0.3 * area);
-    let plan = FaultPlan::new()
-        .at(SimDuration::ZERO, FaultKind::SetChannel { config: channel })
-        .at(SimDuration::from_secs(5), FaultKind::StartJam {
-            label: 0,
-            center: jam_center,
-            radius: jam_radius,
-        })
-        .at(SimDuration::from_secs(10), FaultKind::CrashRandom { count: crash })
-        .at(SimDuration::from_secs(20), FaultKind::CorruptState {
-            near: corrupt_near,
-            corruption: Corruption::Il { offset: gs3_geometry::Vec2::new(150.0, 90.0) },
-        })
-        .at(SimDuration::from_secs_f64(5.0 + jam_secs), FaultKind::StopJam { label: 0 });
+    let make_plan = || {
+        FaultPlan::new()
+            .at(SimDuration::ZERO, FaultKind::SetChannel { config: channel.clone() })
+            .at(SimDuration::from_secs(5), FaultKind::StartJam {
+                label: 0,
+                center: jam_center,
+                radius: jam_radius,
+            })
+            .at(SimDuration::from_secs(10), FaultKind::CrashRandom { count: crash })
+            .at(SimDuration::from_secs(20), FaultKind::CorruptState {
+                near: corrupt_near,
+                corruption: Corruption::Il { offset: gs3_geometry::Vec2::new(150.0, 90.0) },
+            })
+            .at(SimDuration::from_secs_f64(5.0 + jam_secs), FaultKind::StopJam { label: 0 })
+    };
+
+    let runs: usize = a.num("runs", 1)?;
+    if runs > 1 {
+        return chaos_multi(a, runs, json, &make_plan);
+    }
+
+    let mut net = build(a)?;
+    configure(&mut net)?;
+    if !json {
+        println!("configured at {}; unleashing chaos", net.now());
+    }
+    let plan = make_plan();
     let rep = net.run_chaos(&plan);
 
     if json {
@@ -363,6 +379,55 @@ pub fn chaos(a: &Args) -> CliResult {
     report(&net, a);
     if !rep.healed() {
         return Err("structure did not heal".into());
+    }
+    Ok(())
+}
+
+/// `gs3 chaos --runs N`: the same fault plan against `N` consecutive
+/// seeds, fanned out over `--threads`/`-j` worker threads. Results print
+/// in seed order, so the output is identical at any thread count.
+fn chaos_multi(
+    a: &Args,
+    runs: usize,
+    json: bool,
+    make_plan: &(dyn Fn() -> FaultPlan + Sync),
+) -> CliResult {
+    let base_seed: u64 = a.num("seed", 2002)?;
+    let seeds: Vec<u64> = (0..runs as u64).map(|i| base_seed.wrapping_add(i)).collect();
+    let results = run_grid(&seeds, a.threads()?, |&seed| -> Result<_, String> {
+        let mut net = build_seeded(a, seed).map_err(|e| e.to_string())?;
+        configure(&mut net).map_err(|e| e.to_string())?;
+        Ok(net.run_chaos(&make_plan()))
+    });
+
+    if json {
+        let mut docs = Vec::with_capacity(results.len());
+        for (seed, res) in seeds.iter().zip(&results) {
+            match res {
+                Ok(rep) => docs.push(format!("{{\"seed\":{seed},\"report\":{}}}", rep.to_json())),
+                Err(e) => docs.push(format!("{{\"seed\":{seed},\"error\":{e:?}}}")),
+            }
+        }
+        println!("{{\"runs\":[{}]}}", docs.join(","));
+    } else {
+        println!("{:>8}  {:>16}  verdict", "seed", "digest");
+        for (seed, res) in seeds.iter().zip(&results) {
+            match res {
+                Ok(rep) => println!(
+                    "{seed:>8}  {:016x}  {}",
+                    rep.digest,
+                    if rep.healed() { "HEALED" } else { "NOT HEALED" }
+                ),
+                Err(e) => println!("{seed:>8}  {:>16}  error: {e}", "-"),
+            }
+        }
+    }
+    let failed = results
+        .iter()
+        .filter(|r| !matches!(r, Ok(rep) if rep.healed()))
+        .count();
+    if failed > 0 {
+        return Err(format!("{failed}/{runs} chaos runs did not heal").into());
     }
     Ok(())
 }

@@ -419,6 +419,9 @@ impl Network {
         // Every loop exit is dominated by a poll, so this is always
         // assigned before the report is built.
         let mut final_violations;
+        // One snapshot buffer for the whole run; each poll refills it
+        // in place instead of allocating a fresh node list.
+        let mut snap = self.snapshot();
 
         loop {
             let event_at = events.get(next_event).map(|e| start + e.after);
@@ -444,7 +447,8 @@ impl Network {
                 continue;
             }
             polls += 1;
-            let violations = oracle(&self.snapshot());
+            self.snapshot_into(&mut snap);
+            let violations = oracle(&snap);
             max_violations = max_violations.max(violations);
             final_violations = violations;
             if violations == 0 {

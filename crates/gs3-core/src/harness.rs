@@ -376,14 +376,13 @@ impl Network {
         stable_polls: u32,
         deadline: SimTime,
     ) -> RunOutcome {
-        let mut last_sig = self.snapshot().structural_signature();
+        let mut last_sig = self.structural_signature();
         let mut stable = 0u32;
         let mut polls = 0u32;
         while self.eng.now() < deadline {
             self.eng.run_for(poll);
             polls += 1;
-            let snap = self.snapshot();
-            let sig = snap.structural_signature();
+            let sig = self.structural_signature();
             if sig == last_sig {
                 stable += 1;
                 if stable >= stable_polls {
@@ -420,8 +419,30 @@ impl Network {
     /// Extracts a full structural snapshot.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
+        let mut out = Snapshot {
+            r: 0.0,
+            r_t: 0.0,
+            big: self.big,
+            max_range: 0.0,
+            gr: self.cfg.gr,
+            nodes: Vec::new(),
+        };
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Extracts a snapshot into `out`, reusing its `nodes` buffer. Polling
+    /// loops (fixpoint detection, chaos oracles) call this once per tick;
+    /// reuse keeps the outer allocation out of the hot path.
+    pub fn snapshot_into(&self, out: &mut Snapshot) {
         let r_t = self.cfg.r_t;
-        let mut nodes = Vec::with_capacity(self.eng.node_count());
+        out.r = self.cfg.r;
+        out.r_t = r_t;
+        out.big = self.big;
+        out.max_range = self.eng.radio().max_range;
+        out.gr = self.cfg.gr;
+        out.nodes.clear();
+        out.nodes.reserve(self.eng.node_count());
         for id in self.eng.ids() {
             let node = self.eng.node(id).expect("ids() yields valid ids");
             let pos = self.eng.position(id).expect("valid id");
@@ -430,16 +451,48 @@ impl Network {
             if let RoleView::Associate { cell_il, is_candidate, surrogate, .. } = &mut role {
                 *is_candidate = !*surrogate && pos.distance(*cell_il) <= r_t;
             }
-            nodes.push(NodeView { id, pos, alive, is_big: node.is_big(), role, ids_stored });
+            out.nodes.push(NodeView { id, pos, alive, is_big: node.is_big(), role, ids_stored });
         }
-        Snapshot {
-            r: self.cfg.r,
-            r_t,
-            big: self.big,
-            max_range: self.eng.radio().max_range,
-            gr: self.cfg.gr,
-            nodes,
+    }
+
+    /// The structural signature of the current state, computed straight
+    /// from engine state with no allocation — bit-identical to
+    /// `self.snapshot().structural_signature()`. The fixpoint detector
+    /// polls this every tick; none of the hashed fields require the
+    /// collection clones a full snapshot makes.
+    #[must_use]
+    pub fn structural_signature(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut hasher = DefaultHasher::new();
+        for id in self.eng.ids() {
+            let node = self.eng.node(id).expect("ids() yields valid ids");
+            id.raw().hash(&mut hasher);
+            self.eng.is_alive(id).expect("valid id").hash(&mut hasher);
+            match &node.role {
+                Role::Bootup(_) => 0u8.hash(&mut hasher),
+                Role::Head(h) => {
+                    1u8.hash(&mut hasher);
+                    h.parent.raw().hash(&mut hasher);
+                    h.hops.hash(&mut hasher);
+                    h.icc_icp.icc.hash(&mut hasher);
+                    h.icc_icp.icp.hash(&mut hasher);
+                    ((h.il.x * 1000.0).round() as i64).hash(&mut hasher);
+                    ((h.il.y * 1000.0).round() as i64).hash(&mut hasher);
+                }
+                Role::Associate(a) => {
+                    2u8.hash(&mut hasher);
+                    a.head.raw().hash(&mut hasher);
+                    a.surrogate.hash(&mut hasher);
+                }
+                Role::BigAway(b) => {
+                    3u8.hash(&mut hasher);
+                    b.proxy.map(NodeId::raw).hash(&mut hasher);
+                    b.mobile.hash(&mut hasher);
+                }
+            }
         }
+        hasher.finish()
     }
 
     /// Runs the full invariant suite against the current state.
@@ -615,6 +668,46 @@ mod tests {
     #[test]
     fn builder_rejects_bad_geometry() {
         assert!(NetworkBuilder::new().ideal_radius(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn direct_signature_matches_snapshot_signature() {
+        let mut net = NetworkBuilder::new()
+            .area_radius(150.0)
+            .expected_nodes(200)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(net.structural_signature(), net.snapshot().structural_signature());
+        net.run_for(SimDuration::from_secs(30));
+        assert_eq!(net.structural_signature(), net.snapshot().structural_signature());
+        net.kill_random(5);
+        net.run_for(SimDuration::from_secs(10));
+        assert_eq!(net.structural_signature(), net.snapshot().structural_signature());
+    }
+
+    #[test]
+    fn snapshot_into_reuses_buffer_and_matches() {
+        let mut net = NetworkBuilder::new()
+            .area_radius(150.0)
+            .expected_nodes(200)
+            .seed(9)
+            .build()
+            .unwrap();
+        net.run_for(SimDuration::from_secs(20));
+        let mut buf = Snapshot {
+            r: 0.0,
+            r_t: 0.0,
+            big: NodeId::new(0),
+            max_range: 0.0,
+            gr: gs3_geometry::Angle::ZERO,
+            nodes: Vec::new(),
+        };
+        net.snapshot_into(&mut buf);
+        assert_eq!(buf, net.snapshot());
+        net.run_for(SimDuration::from_secs(10));
+        net.snapshot_into(&mut buf);
+        assert_eq!(buf, net.snapshot(), "refill after state change");
     }
 
     #[test]

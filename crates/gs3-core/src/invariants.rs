@@ -10,6 +10,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use gs3_geometry::{head_spacing, Point, SQRT_3};
+use gs3_sim::spatial::SpatialGrid;
 use gs3_sim::NodeId;
 
 use crate::snapshot::{NodeView, RoleView, Snapshot};
@@ -70,6 +71,106 @@ fn head_fields(n: &NodeView) -> Option<(Point, NodeId, u32, &Vec<NodeId>)> {
         RoleView::Head { il, parent, hops, children, .. } => Some((*il, *parent, *hops, children)),
         _ => None,
     }
+}
+
+/// A per-snapshot spatial index shared by all geometric checks.
+///
+/// Built once in `O(n)`, it replaces the all-pairs scans inside the
+/// distance predicates with hash-grid range queries, making [`check_all`]
+/// near-linear in network size. Grid handles are indices into
+/// `Snapshot::nodes`, so every query resolves to a `NodeView` without a
+/// map lookup.
+#[derive(Debug)]
+pub struct SnapshotIndex {
+    /// Indices of alive heads, ascending (snapshot order).
+    heads: Vec<usize>,
+    /// Alive-head positions; cell edge = lattice spacing.
+    head_pos: SpatialGrid,
+    /// Alive-head ILs; cell edge = lattice spacing.
+    head_il: SpatialGrid,
+    /// All alive nodes; cell edge = `max_range` (physical connectivity).
+    alive: SpatialGrid,
+    /// The lattice spacing `√3·R` the head grids quantize by.
+    spacing: f64,
+    /// Heads whose six lattice-neighbor ILs are all occupied (inner cells).
+    inner: BTreeSet<NodeId>,
+    /// `inner` as a by-node-index mask for O(1) lookups on hot paths.
+    inner_mask: Vec<bool>,
+}
+
+impl SnapshotIndex {
+    /// Indexes `snap`: one pass over the nodes plus the inner-cell
+    /// classification.
+    #[must_use]
+    pub fn build(snap: &Snapshot) -> Self {
+        let spacing = head_spacing(snap.r);
+        let head_cell = spacing.max(1.0);
+        let mut heads = Vec::new();
+        let mut head_pos = SpatialGrid::new(head_cell);
+        let mut head_il = SpatialGrid::new(head_cell);
+        // Cell edge `max_range/√2` makes a cell's diagonal exactly
+        // `max_range`: nodes sharing a cell are directly connected, which
+        // lets the connectivity pass union whole cells at once.
+        let mut alive = SpatialGrid::new((snap.max_range / std::f64::consts::SQRT_2).max(1.0));
+        for (i, n) in snap.nodes.iter().enumerate() {
+            if !n.alive {
+                continue;
+            }
+            alive.insert(i, n.pos);
+            if let Some((il, ..)) = head_fields(n) {
+                heads.push(i);
+                head_pos.insert(i, n.pos);
+                head_il.insert(i, il);
+            }
+        }
+        let inner = classify_inner(snap, &heads, &head_il, spacing);
+        let mut inner_mask = vec![false; snap.nodes.len()];
+        for id in &inner {
+            if let Some(slot) = inner_mask.get_mut(id.raw() as usize) {
+                *slot = true;
+            }
+        }
+        SnapshotIndex { heads, head_pos, head_il, alive, spacing, inner, inner_mask }
+    }
+
+    /// The inner-cell heads of the indexed snapshot (see [`inner_heads`]).
+    #[must_use]
+    pub fn inner_heads(&self) -> &BTreeSet<NodeId> {
+        &self.inner
+    }
+
+    /// True when `id` is an inner-cell head (O(1)).
+    #[must_use]
+    pub fn is_inner(&self, id: NodeId) -> bool {
+        self.inner_mask.get(id.raw() as usize).copied().unwrap_or(false)
+    }
+}
+
+/// Heads with ≥6 lattice neighbors, via IL-grid range queries.
+fn classify_inner(
+    snap: &Snapshot,
+    heads: &[usize],
+    head_il: &SpatialGrid,
+    spacing: f64,
+) -> BTreeSet<NodeId> {
+    let mut inner = BTreeSet::new();
+    for &i in heads {
+        let (il, ..) = head_fields(&snap.nodes[i]).expect("indexed heads are heads");
+        let mut count = 0usize;
+        head_il.for_each_candidate(il, 1.25 * spacing, |j| {
+            if j == i {
+                return;
+            }
+            let (o_il, ..) = head_fields(&snap.nodes[j]).expect("indexed heads are heads");
+            if (il.distance(o_il) - spacing).abs() <= spacing * 0.25 {
+                count += 1;
+            }
+        });
+        if count >= 6 {
+            inner.insert(snap.nodes[i].id);
+        }
+    }
+    inner
 }
 
 /// I₁.₂: the head graph is a tree rooted at the big node (or at its proxy
@@ -210,13 +311,31 @@ pub fn check_head_graph_physical(snap: &Snapshot) -> Vec<Violation> {
 /// neighbors when their ILs are within 1.25 lattice spacings.
 #[must_use]
 pub fn check_neighbor_distances(snap: &Snapshot) -> Vec<Violation> {
+    check_neighbor_distances_with(snap, &SnapshotIndex::build(snap))
+}
+
+/// [`check_neighbor_distances`] against a prebuilt index: each head range-
+/// queries the IL grid for lattice neighbors instead of scanning all pairs.
+#[must_use]
+pub fn check_neighbor_distances_with(snap: &Snapshot, idx: &SnapshotIndex) -> Vec<Violation> {
     let mut out = Vec::new();
-    let spacing = head_spacing(snap.r);
-    let heads: Vec<&NodeView> = snap.heads().collect();
-    for (i, a) in heads.iter().enumerate() {
-        let (il_a, ..) = head_fields(a).expect("head");
-        for b in &heads[i + 1..] {
-            let (il_b, ..) = head_fields(b).expect("head");
+    let spacing = idx.spacing;
+    let mut cand: Vec<usize> = Vec::new();
+    for &i in &idx.heads {
+        let a = &snap.nodes[i];
+        let (il_a, ..) = head_fields(a).expect("indexed heads are heads");
+        cand.clear();
+        idx.head_il.for_each_candidate(il_a, 1.25 * spacing, |j| {
+            // Each unordered pair is judged once, from its lower index.
+            if j > i {
+                cand.push(j);
+            }
+        });
+        // Ascending order reproduces the all-pairs enumeration exactly.
+        cand.sort_unstable();
+        for &j in &cand {
+            let b = &snap.nodes[j];
+            let (il_b, ..) = head_fields(b).expect("indexed heads are heads");
             let ideal = il_a.distance(il_b);
             if ideal > 1.25 * spacing || ideal < EPS {
                 continue;
@@ -270,9 +389,18 @@ pub fn check_children_counts(snap: &Snapshot, strictness: Strictness) -> Vec<Vio
 /// and are excluded by the caller supplying `boundary_slack`).
 #[must_use]
 pub fn check_cell_radius(snap: &Snapshot, boundary_slack: f64) -> Vec<Violation> {
+    check_cell_radius_with(snap, boundary_slack, &SnapshotIndex::build(snap))
+}
+
+/// [`check_cell_radius`] against a prebuilt index (reuses the inner-cell
+/// classification instead of recomputing it).
+#[must_use]
+pub fn check_cell_radius_with(
+    snap: &Snapshot,
+    boundary_slack: f64,
+    idx: &SnapshotIndex,
+) -> Vec<Violation> {
     let mut out = Vec::new();
-    let heads: BTreeMap<NodeId, &NodeView> = snap.heads().map(|n| (n.id, n)).collect();
-    let inner = inner_heads(snap);
     let inner_bound = snap.r + 2.0 * snap.r_t / SQRT_3;
     let boundary_bound = SQRT_3 * snap.r + 2.0 * snap.r_t + boundary_slack;
     for n in snap.associates() {
@@ -282,11 +410,11 @@ pub fn check_cell_radius(snap: &Snapshot, boundary_slack: f64) -> Vec<Violation>
         if *surrogate {
             continue; // surrogate distance is bounded by radio range only
         }
-        let Some(h) = heads.get(head) else {
+        let Some(h) = snap.node(*head).filter(|h| h.alive && h.is_head()) else {
             continue; // dangling pointer is reported by coverage/tree checks
         };
         let d = n.pos.distance(h.pos);
-        let bound = if inner.contains(head) { inner_bound } else { boundary_bound };
+        let bound = if idx.is_inner(*head) { inner_bound } else { boundary_bound };
         if d > bound + EPS {
             out.push(Violation {
                 kind: ViolationKind::CellRadius,
@@ -305,10 +433,23 @@ pub fn check_cell_radius(snap: &Snapshot, boundary_slack: f64) -> Vec<Violation>
 /// areas while the associate's choice was made against an earlier position.
 #[must_use]
 pub fn check_best_head(snap: &Snapshot, inner_only: bool) -> Vec<Violation> {
+    check_best_head_with(snap, inner_only, &SnapshotIndex::build(snap))
+}
+
+/// [`check_best_head`] against a prebuilt index.
+///
+/// The associate's own head lies at distance `mine`, so the minimum over
+/// heads the grid reports within radius `mine` *is* the global minimum —
+/// no full scan needed. Two degenerate inputs are settled up front: a
+/// non-finite `mine` (corrupted position) can never satisfy the violation
+/// comparison, and `mine ≤ 2R_t` cannot exceed `best + 2R_t` for any
+/// `best ≥ 0` — this includes a head sharing the associate's exact
+/// position (`best = 0`), which previously relied on float comparison
+/// behavior to come out right.
+#[must_use]
+pub fn check_best_head_with(snap: &Snapshot, inner_only: bool, idx: &SnapshotIndex) -> Vec<Violation> {
     let mut out = Vec::new();
-    let heads: Vec<&NodeView> = snap.heads().collect();
-    let head_map: BTreeMap<NodeId, &NodeView> = heads.iter().map(|n| (n.id, *n)).collect();
-    let inner = inner_heads(snap);
+    let tol = 2.0 * snap.r_t + EPS;
     for n in snap.associates() {
         let RoleView::Associate { head, surrogate, .. } = &n.role else {
             continue;
@@ -316,27 +457,35 @@ pub fn check_best_head(snap: &Snapshot, inner_only: bool) -> Vec<Violation> {
         if *surrogate {
             continue;
         }
-        if inner_only && !inner.contains(head) {
+        if inner_only && !idx.is_inner(*head) {
             continue;
         }
-        let Some(h) = head_map.get(head) else {
+        let Some(h) = snap.node(*head).filter(|h| h.alive && h.is_head()) else {
             continue;
         };
         let mine = n.pos.distance(h.pos);
-        if let Some(best) = heads
-            .iter()
-            .map(|c| n.pos.distance(c.pos))
-            .min_by(f64::total_cmp)
-        {
-            if mine > best + 2.0 * snap.r_t + EPS {
-                out.push(Violation {
-                    kind: ViolationKind::NotBestHead,
-                    detail: format!(
-                        "associate {}: its head {} is {mine:.1} away but the closest head is {best:.1}",
-                        n.id, h.id
-                    ),
-                });
+        if !mine.is_finite() || mine <= tol {
+            continue;
+        }
+        let own = head.raw() as usize;
+        let mut best = mine;
+        idx.head_pos.for_each_candidate(n.pos, mine, |j| {
+            if j == own {
+                return; // `mine` is already the distance to the own head
             }
+            let d = n.pos.distance(snap.nodes[j].pos);
+            if d < best {
+                best = d;
+            }
+        });
+        if mine > best + tol {
+            out.push(Violation {
+                kind: ViolationKind::NotBestHead,
+                detail: format!(
+                    "associate {}: its head {} is {mine:.1} away but the closest head is {best:.1}",
+                    n.id, h.id
+                ),
+            });
         }
     }
     out
@@ -346,10 +495,17 @@ pub fn check_best_head(snap: &Snapshot, inner_only: bool) -> Vec<Violation> {
 /// (head or associate).
 #[must_use]
 pub fn check_coverage(snap: &Snapshot) -> Vec<Violation> {
-    let reachable = physically_connected_to_big(snap);
+    check_coverage_with(snap, &SnapshotIndex::build(snap))
+}
+
+/// [`check_coverage`] against a prebuilt index (the BFS reuses the
+/// index's alive-node grid).
+#[must_use]
+pub fn check_coverage_with(snap: &Snapshot, idx: &SnapshotIndex) -> Vec<Violation> {
+    let reachable = connectivity_mask(snap, idx);
     let mut out = Vec::new();
-    for n in &snap.nodes {
-        if !n.alive || !reachable.contains(&n.id) {
+    for (i, n) in snap.nodes.iter().enumerate() {
+        if !reachable[i] {
             continue;
         }
         if matches!(n.role, RoleView::Bootup) {
@@ -380,17 +536,25 @@ pub fn check_heads_on_ideal(snap: &Snapshot) -> Vec<Violation> {
     out
 }
 
-/// The full predicate suite.
+/// The full predicate suite. Builds one [`SnapshotIndex`] and shares it
+/// across every geometric check.
 #[must_use]
 pub fn check_all(snap: &Snapshot, strictness: Strictness) -> Vec<Violation> {
+    check_all_with(snap, strictness, &SnapshotIndex::build(snap))
+}
+
+/// [`check_all`] against a caller-supplied index (for callers that keep
+/// the index alive across several checks of the same snapshot).
+#[must_use]
+pub fn check_all_with(snap: &Snapshot, strictness: Strictness, idx: &SnapshotIndex) -> Vec<Violation> {
     let mut out = Vec::new();
     out.extend(check_head_graph_tree(snap));
     out.extend(check_head_graph_physical(snap));
-    out.extend(check_neighbor_distances(snap));
+    out.extend(check_neighbor_distances_with(snap, idx));
     out.extend(check_children_counts(snap, strictness));
-    out.extend(check_cell_radius(snap, 0.0));
-    out.extend(check_best_head(snap, true));
-    out.extend(check_coverage(snap));
+    out.extend(check_cell_radius_with(snap, 0.0, idx));
+    out.extend(check_best_head_with(snap, true, idx));
+    out.extend(check_coverage_with(snap, idx));
     out.extend(check_heads_on_ideal(snap));
     out
 }
@@ -399,70 +563,341 @@ pub fn check_all(snap: &Snapshot, strictness: Strictness) -> Vec<Violation> {
 /// the paper's *inner* cells. Everything else is a boundary cell.
 #[must_use]
 pub fn inner_heads(snap: &Snapshot) -> BTreeSet<NodeId> {
-    let spacing = head_spacing(snap.r);
-    let heads: Vec<(NodeId, Point)> = snap
-        .heads()
-        .filter_map(|n| head_fields(n).map(|(il, ..)| (n.id, il)))
-        .collect();
-    let mut inner = BTreeSet::new();
-    for (id, il) in &heads {
-        let neighbor_count = heads
-            .iter()
-            .filter(|(other, o_il)| {
-                other != id && (il.distance(*o_il) - spacing).abs() <= spacing * 0.25
-            })
-            .count();
-        if neighbor_count >= 6 {
-            inner.insert(*id);
-        }
-    }
-    inner
+    SnapshotIndex::build(snap).inner
 }
 
 /// The set of alive nodes physically connected (multi-hop, links =
-/// `max_range`) to the big node. BFS over a grid-bucketed adjacency to stay
-/// near-linear.
+/// `max_range`) to the big node. BFS over the index's alive-node grid to
+/// stay near-linear.
 #[must_use]
 pub fn physically_connected_to_big(snap: &Snapshot) -> BTreeSet<NodeId> {
-    let alive: Vec<&NodeView> = snap.nodes.iter().filter(|n| n.alive).collect();
+    physically_connected_to_big_with(snap, &SnapshotIndex::build(snap))
+}
+
+/// [`physically_connected_to_big`] against a prebuilt index.
+///
+/// Connectivity is computed as union-find over the alive-node grid's
+/// cells rather than a per-node BFS: nodes sharing a cell are within
+/// `max_range` by construction (cell diagonal = `max_range`), so each
+/// cell unions wholesale, and each pair of nearby cells needs at most one
+/// witnessing edge before the whole pair is settled. Union order never
+/// leaks into the result — components are a property of the edge set.
+#[must_use]
+pub fn physically_connected_to_big_with(snap: &Snapshot, idx: &SnapshotIndex) -> BTreeSet<NodeId> {
+    let mask = connectivity_mask(snap, idx);
     let mut reachable = BTreeSet::new();
-    if snap.nodes.get(snap.big.raw() as usize).is_none_or(|b| !b.alive) {
-        return reachable;
+    for (i, n) in snap.nodes.iter().enumerate() {
+        if mask[i] {
+            reachable.insert(n.id);
+        }
     }
-    // Bucket by grid cell of edge max_range.
-    let cell = snap.max_range.max(1.0);
-    let key = |p: Point| ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
-    let mut grid: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
-    for (idx, n) in alive.iter().enumerate() {
-        grid.entry(key(n.pos)).or_default().push(idx);
+    reachable
+}
+
+/// `mask[i]` = node `i` is alive and physically connected to the big node.
+/// All-false when the big node is dead or out of range of the snapshot.
+fn connectivity_mask(snap: &Snapshot, idx: &SnapshotIndex) -> Vec<bool> {
+    let big_idx = snap.big.raw() as usize;
+    if snap.nodes.get(big_idx).is_none_or(|b| !b.alive) {
+        return vec![false; snap.nodes.len()];
     }
-    let mut visited = vec![false; alive.len()];
-    let start = alive
-        .iter()
-        .position(|n| n.id == snap.big)
-        .expect("big node is alive by the guard above");
-    visited[start] = true;
-    reachable.insert(snap.big);
-    let mut queue = VecDeque::from([start]);
-    while let Some(cur) = queue.pop_front() {
-        let p = alive[cur].pos;
-        let (cx, cy) = key(p);
-        for dx in -1..=1 {
-            for dy in -1..=1 {
-                let Some(bucket) = grid.get(&(cx + dx, cy + dy)) else {
-                    continue;
-                };
-                for &cand in bucket {
-                    if !visited[cand] && p.distance(alive[cand].pos) <= snap.max_range + EPS {
-                        visited[cand] = true;
-                        reachable.insert(alive[cand].id);
-                        queue.push_back(cand);
+    let range = snap.max_range + EPS;
+    let mut parent: Vec<usize> = (0..snap.nodes.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    fn union(parent: &mut [usize], a: usize, b: usize) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[rb] = ra;
+        }
+    }
+
+    // Pass 1 — within-cell edges. The `max_range/√2` edge guarantees
+    // same-cell adjacency unless the edge was clamped (degenerate tiny
+    // ranges), in which case fall back to checked pairs.
+    let wholesale = idx.alive.cell_edge() * std::f64::consts::SQRT_2 <= range;
+    idx.alive.for_each_cell(|_, members| {
+        if wholesale {
+            for &m in &members[1..] {
+                union(&mut parent, members[0], m);
+            }
+        } else {
+            for (k, &a) in members.iter().enumerate() {
+                for &b in &members[k + 1..] {
+                    if snap.nodes[a].pos.distance(snap.nodes[b].pos) <= range {
+                        union(&mut parent, a, b);
                     }
                 }
             }
         }
+    });
+
+    // Pass 2 — cross-cell edges. Cells at Chebyshev distance ≤ 2 are the
+    // only ones whose gap can be ≤ `max_range`; each unordered pair is
+    // visited once via the half-plane offsets, and one witnessing edge
+    // settles the pair.
+    const OFFSETS: [(i64, i64); 12] = [
+        (0, 1),
+        (0, 2),
+        (1, -2),
+        (1, -1),
+        (1, 0),
+        (1, 1),
+        (1, 2),
+        (2, -2),
+        (2, -1),
+        (2, 0),
+        (2, 1),
+        (2, 2),
+    ];
+    idx.alive.for_each_cell(|key, members| {
+        for (dx, dy) in OFFSETS {
+            let Some(other) = idx.alive.cell((key.0 + dx, key.1 + dy)) else {
+                continue;
+            };
+            if find(&mut parent, members[0]) == find(&mut parent, other[0])
+                && wholesale
+            {
+                continue; // both cells already fully in one component
+            }
+            'pair: for &a in members {
+                for &b in other {
+                    if snap.nodes[a].pos.distance(snap.nodes[b].pos) <= range {
+                        union(&mut parent, a, b);
+                        if wholesale {
+                            break 'pair; // one edge settles the cell pair
+                        }
+                    }
+                }
+            }
+        }
+    });
+
+    let big_root = find(&mut parent, big_idx);
+    let mut mask = vec![false; snap.nodes.len()];
+    for (i, n) in snap.nodes.iter().enumerate() {
+        if n.alive && find(&mut parent, i) == big_root {
+            mask[i] = true;
+        }
     }
-    reachable
+    mask
+}
+
+/// Reference `O(n²)` / BTreeMap implementations of the grid-accelerated
+/// checks, retained for differential testing and the micro-benchmarks.
+/// Enable the `naive-checks` feature to use them outside this crate's
+/// tests.
+#[cfg(any(test, feature = "naive-checks"))]
+pub mod naive {
+    use super::*;
+
+    /// All-pairs version of [`check_neighbor_distances`](super::check_neighbor_distances).
+    #[must_use]
+    pub fn check_neighbor_distances(snap: &Snapshot) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let spacing = head_spacing(snap.r);
+        let heads: Vec<&NodeView> = snap.heads().collect();
+        for (i, a) in heads.iter().enumerate() {
+            let (il_a, ..) = head_fields(a).expect("head");
+            for b in &heads[i + 1..] {
+                let (il_b, ..) = head_fields(b).expect("head");
+                let ideal = il_a.distance(il_b);
+                if ideal > 1.25 * spacing || ideal < EPS {
+                    continue;
+                }
+                let actual = a.pos.distance(b.pos);
+                if (actual - ideal).abs() > 2.0 * snap.r_t + EPS {
+                    out.push(Violation {
+                        kind: ViolationKind::NeighborDistance,
+                        detail: format!(
+                            "heads {} and {}: |{actual:.1} − {ideal:.1}| > 2·R_t = {:.1}",
+                            a.id,
+                            b.id,
+                            2.0 * snap.r_t
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Full-scan version of [`check_best_head`](super::check_best_head).
+    #[must_use]
+    pub fn check_best_head(snap: &Snapshot, inner_only: bool) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let heads: Vec<&NodeView> = snap.heads().collect();
+        let head_map: BTreeMap<NodeId, &NodeView> = heads.iter().map(|n| (n.id, *n)).collect();
+        let inner = inner_heads(snap);
+        for n in snap.associates() {
+            let RoleView::Associate { head, surrogate, .. } = &n.role else {
+                continue;
+            };
+            if *surrogate {
+                continue;
+            }
+            if inner_only && !inner.contains(head) {
+                continue;
+            }
+            let Some(h) = head_map.get(head) else {
+                continue;
+            };
+            let mine = n.pos.distance(h.pos);
+            if let Some(best) = heads.iter().map(|c| n.pos.distance(c.pos)).min_by(f64::total_cmp) {
+                if mine > best + 2.0 * snap.r_t + EPS {
+                    out.push(Violation {
+                        kind: ViolationKind::NotBestHead,
+                        detail: format!(
+                            "associate {}: its head {} is {mine:.1} away but the closest head is {best:.1}",
+                            n.id, h.id
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// All-pairs version of [`inner_heads`](super::inner_heads).
+    #[must_use]
+    pub fn inner_heads(snap: &Snapshot) -> BTreeSet<NodeId> {
+        let spacing = head_spacing(snap.r);
+        let heads: Vec<(NodeId, Point)> = snap
+            .heads()
+            .filter_map(|n| head_fields(n).map(|(il, ..)| (n.id, il)))
+            .collect();
+        let mut inner = BTreeSet::new();
+        for (id, il) in &heads {
+            let neighbor_count = heads
+                .iter()
+                .filter(|(other, o_il)| {
+                    other != id && (il.distance(*o_il) - spacing).abs() <= spacing * 0.25
+                })
+                .count();
+            if neighbor_count >= 6 {
+                inner.insert(*id);
+            }
+        }
+        inner
+    }
+
+    /// BTreeMap-bucketed version of
+    /// [`physically_connected_to_big`](super::physically_connected_to_big).
+    #[must_use]
+    pub fn physically_connected_to_big(snap: &Snapshot) -> BTreeSet<NodeId> {
+        let alive: Vec<&NodeView> = snap.nodes.iter().filter(|n| n.alive).collect();
+        let mut reachable = BTreeSet::new();
+        if snap.nodes.get(snap.big.raw() as usize).is_none_or(|b| !b.alive) {
+            return reachable;
+        }
+        let cell = snap.max_range.max(1.0);
+        let key = |p: Point| ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+        let mut grid: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
+        for (idx, n) in alive.iter().enumerate() {
+            grid.entry(key(n.pos)).or_default().push(idx);
+        }
+        let mut visited = vec![false; alive.len()];
+        let start = alive
+            .iter()
+            .position(|n| n.id == snap.big)
+            .expect("big node is alive by the guard above");
+        visited[start] = true;
+        reachable.insert(snap.big);
+        let mut queue = VecDeque::from([start]);
+        while let Some(cur) = queue.pop_front() {
+            let p = alive[cur].pos;
+            let (cx, cy) = key(p);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(bucket) = grid.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &cand in bucket {
+                        if !visited[cand] && p.distance(alive[cand].pos) <= snap.max_range + EPS {
+                            visited[cand] = true;
+                            reachable.insert(alive[cand].id);
+                            queue.push_back(cand);
+                        }
+                    }
+                }
+            }
+        }
+        reachable
+    }
+
+    /// [`check_all`](super::check_all) wired entirely through the naive
+    /// geometric checks (the non-geometric checks are shared).
+    #[must_use]
+    pub fn check_all(snap: &Snapshot, strictness: Strictness) -> Vec<Violation> {
+        let mut out = Vec::new();
+        out.extend(super::check_head_graph_tree(snap));
+        out.extend(super::check_head_graph_physical(snap));
+        out.extend(check_neighbor_distances(snap));
+        out.extend(super::check_children_counts(snap, strictness));
+        out.extend(check_cell_radius(snap, 0.0));
+        out.extend(check_best_head(snap, true));
+        out.extend(check_coverage(snap));
+        out.extend(super::check_heads_on_ideal(snap));
+        out
+    }
+
+    /// [`check_cell_radius`](super::check_cell_radius) over the naive
+    /// inner-cell classification.
+    #[must_use]
+    pub fn check_cell_radius(snap: &Snapshot, boundary_slack: f64) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let heads: BTreeMap<NodeId, &NodeView> = snap.heads().map(|n| (n.id, n)).collect();
+        let inner = inner_heads(snap);
+        let inner_bound = snap.r + 2.0 * snap.r_t / SQRT_3;
+        let boundary_bound = SQRT_3 * snap.r + 2.0 * snap.r_t + boundary_slack;
+        for n in snap.associates() {
+            let RoleView::Associate { head, surrogate, .. } = &n.role else {
+                continue;
+            };
+            if *surrogate {
+                continue;
+            }
+            let Some(h) = heads.get(head) else {
+                continue;
+            };
+            let d = n.pos.distance(h.pos);
+            let bound = if inner.contains(head) { inner_bound } else { boundary_bound };
+            if d > bound + EPS {
+                out.push(Violation {
+                    kind: ViolationKind::CellRadius,
+                    detail: format!(
+                        "associate {} is {d:.1} from head {} (bound {bound:.1})",
+                        n.id, h.id
+                    ),
+                });
+            }
+        }
+        out
+    }
+
+    /// [`check_coverage`](super::check_coverage) over the naive BFS.
+    #[must_use]
+    pub fn check_coverage(snap: &Snapshot) -> Vec<Violation> {
+        let reachable = physically_connected_to_big(snap);
+        let mut out = Vec::new();
+        for n in &snap.nodes {
+            if !n.alive || !reachable.contains(&n.id) {
+                continue;
+            }
+            if matches!(n.role, RoleView::Bootup) {
+                out.push(Violation {
+                    kind: ViolationKind::Coverage,
+                    detail: format!("node {} is connected to the big node but in no cell", n.id),
+                });
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -650,5 +1085,111 @@ mod tests {
         assert!(r.contains(&NodeId::new(1)));
         assert!(r.contains(&NodeId::new(2)), "two-hop reachability");
         assert!(!r.contains(&NodeId::new(3)));
+    }
+
+    #[test]
+    fn head_sharing_associate_position_is_not_a_violation() {
+        // Degenerate geometry: a foreign head exactly on top of the
+        // associate (best = 0) and the own head within tolerance. The
+        // early `mine ≤ 2R_t` guard must settle this without consulting
+        // the grid at all.
+        let spacing = head_spacing(100.0);
+        let p = Point::new(-3.0, 4.0);
+        let s = snap(vec![
+            head(0, Point::ORIGIN, Point::ORIGIN, 0, 0, vec![1]),
+            head(1, p, Point::new(spacing, 0.0), 0, 1, vec![]),
+            assoc(2, p, 0), // belongs to head 0, 5.0 away; head 1 is at 0.0
+        ]);
+        assert!(check_best_head(&s, false).is_empty());
+        assert_eq!(check_best_head(&s, false), naive::check_best_head(&s, false));
+    }
+
+    /// A randomized snapshot exercising the index: lattice-ish ILs,
+    /// negative coordinates, exact duplicate positions, dead nodes,
+    /// dangling head pointers, surrogates, and disconnected components.
+    fn random_snapshot(seed: u64) -> Snapshot {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spacing = head_spacing(100.0);
+        let n = rng.gen_range(4usize..60);
+        let mut nodes: Vec<NodeView> = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let mut pos = Point::new(rng.gen_range(-800.0..800.0), rng.gen_range(-800.0..800.0));
+            if i > 0 && rng.gen_bool(0.15) {
+                // Exact duplicate of an earlier node's position.
+                pos = nodes[rng.gen_range(0..nodes.len())].pos;
+            }
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            let mut view = if i == 0 || roll < 0.4 {
+                // Head with an IL on a half-spacing lattice (so IL pairs
+                // land on either side of the 1.25-spacing neighbor cut);
+                // position usually near the IL, sometimes wildly off.
+                let il = Point::new(
+                    (f64::from(rng.gen_range(0u32..9)) - 4.0) * spacing * 0.5,
+                    (f64::from(rng.gen_range(0u32..9)) - 4.0) * spacing * 0.5,
+                );
+                if rng.gen_bool(0.6) {
+                    pos = Point::new(
+                        il.x + rng.gen_range(-15.0..15.0),
+                        il.y + rng.gen_range(-15.0..15.0),
+                    );
+                }
+                head(i, pos, il, rng.gen_range(0..n as u64), rng.gen_range(0u32..5), vec![])
+            } else if roll < 0.8 {
+                assoc(i, pos, rng.gen_range(0..n as u64))
+            } else {
+                let mut b = assoc(i, pos, 0);
+                b.role = RoleView::Bootup;
+                b
+            };
+            if rng.gen_bool(0.1) {
+                view.alive = false;
+            }
+            if let RoleView::Associate { surrogate, .. } = &mut view.role {
+                *surrogate = rng.gen_bool(0.1);
+            }
+            nodes.push(view);
+        }
+        snap(nodes)
+    }
+
+    #[test]
+    fn grid_checks_match_naive_on_random_snapshots() {
+        for seed in 0..60 {
+            let s = random_snapshot(seed);
+            let idx = SnapshotIndex::build(&s);
+            assert_eq!(
+                check_neighbor_distances_with(&s, &idx),
+                naive::check_neighbor_distances(&s),
+                "neighbor distances diverge at seed {seed}"
+            );
+            for inner_only in [false, true] {
+                assert_eq!(
+                    check_best_head_with(&s, inner_only, &idx),
+                    naive::check_best_head(&s, inner_only),
+                    "best-head (inner_only={inner_only}) diverges at seed {seed}"
+                );
+            }
+            assert_eq!(
+                idx.inner_heads(),
+                &naive::inner_heads(&s),
+                "inner classification diverges at seed {seed}"
+            );
+            assert_eq!(
+                physically_connected_to_big_with(&s, &idx),
+                naive::physically_connected_to_big(&s),
+                "connectivity diverges at seed {seed}"
+            );
+            assert_eq!(
+                check_cell_radius_with(&s, 0.0, &idx),
+                naive::check_cell_radius(&s, 0.0),
+                "cell radius diverges at seed {seed}"
+            );
+            assert_eq!(
+                check_all_with(&s, Strictness::Dynamic, &idx),
+                naive::check_all(&s, Strictness::Dynamic),
+                "full suite diverges at seed {seed}"
+            );
+        }
     }
 }

@@ -81,7 +81,7 @@ pub struct Context<'a, M, T> {
     energy: f64,
     holds_channel: bool,
     rng: &'a mut StdRng,
-    actions: Vec<Action<M, T>>,
+    actions: &'a mut Vec<Action<M, T>>,
 }
 
 impl<M, T> Context<'_, M, T> {
@@ -185,9 +185,11 @@ struct Slot<N: Node> {
     position: Point,
     alive: bool,
     energy: f64,
-    /// Timer ids cancelled before firing.
-    cancelled: Vec<u64>,
-    /// Pending (id, payload) pairs for cancellation-by-value.
+    /// Live (id, payload) pairs, sorted by id (ids are handed out in
+    /// increasing order and removals preserve order). A timer event whose
+    /// id is absent here was cancelled — no separate cancelled-id list to
+    /// grow or drain: cancellation *is* removal, and the stale queue entry
+    /// identifies itself by absence when it fires.
     pending_timers: Vec<(u64, N::Timer)>,
 }
 
@@ -223,6 +225,10 @@ pub struct Engine<N: Node> {
     now: SimTime,
     next_timer_id: u64,
     events_processed: u64,
+    /// Reused across callbacks so the dispatch hot path allocates nothing.
+    action_buf: Vec<Action<N::Msg, N::Timer>>,
+    /// Reused across broadcasts for candidate collection.
+    recv_buf: Vec<usize>,
 }
 
 /// Energy assigned when accounting is disabled.
@@ -247,6 +253,8 @@ impl<N: Node> Engine<N> {
             now: SimTime::ZERO,
             next_timer_id: 0,
             events_processed: 0,
+            action_buf: Vec::new(),
+            recv_buf: Vec::new(),
         }
     }
 
@@ -286,6 +294,13 @@ impl<N: Node> Engine<N> {
         self.events_processed
     }
 
+    /// High-water mark of the event queue (pending events at the worst
+    /// instant so far).
+    #[must_use]
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     /// Run statistics.
     #[must_use]
     pub fn trace(&self) -> &Trace {
@@ -314,7 +329,6 @@ impl<N: Node> Engine<N> {
             position,
             alive: true,
             energy: energy.unwrap_or(UNLIMITED_ENERGY),
-            cancelled: Vec::new(),
             pending_timers: Vec::new(),
         });
         self.queue.schedule(at, PendingEvent { to: id, kind: EventKind::Start });
@@ -499,10 +513,14 @@ impl<N: Node> Engine<N> {
             }
             EventKind::Timer { timer_id, timer } => {
                 let slot = &mut self.slots[idx];
-                slot.pending_timers.retain(|(tid, _)| *tid != timer_id);
-                if let Some(pos) = slot.cancelled.iter().position(|c| *c == timer_id) {
-                    slot.cancelled.swap_remove(pos);
-                    return;
+                // pending_timers is sorted by id; absence means the timer
+                // was cancelled and this queue entry is stale.
+                match slot.pending_timers.binary_search_by_key(&timer_id, |(tid, _)| *tid) {
+                    Ok(pos) => {
+                        // Vec::remove (not swap_remove) keeps the sort.
+                        slot.pending_timers.remove(pos);
+                    }
+                    Err(_) => return,
                 }
                 self.trace.record_timer();
                 self.with_ctx(ev.to, |node, ctx| node.on_timer(timer, ctx));
@@ -540,6 +558,11 @@ impl<N: Node> Engine<N> {
             let s = &self.slots[idx];
             (s.position, s.energy)
         };
+        // The action buffer is engine-owned and reused across callbacks;
+        // apply_actions never re-enters a callback (grants are queued as
+        // events), so no nested borrow can occur.
+        let mut actions = std::mem::take(&mut self.action_buf);
+        debug_assert!(actions.is_empty());
         let mut ctx = Context {
             now: self.now,
             id,
@@ -547,23 +570,20 @@ impl<N: Node> Engine<N> {
             energy,
             holds_channel: self.channel.holds(id),
             rng: &mut self.rng,
-            actions: Vec::new(),
+            actions: &mut actions,
         };
-        // Split-borrow dance: take the node out, run, put it back. The node
-        // type has no engine references, so this is cheap and safe.
-        // (We use a raw index re-borrow instead of `mem::take` to avoid a
-        // Default bound on N.)
         {
             let slots = &mut self.slots;
             let slot = &mut slots[idx];
             f(&mut slot.node, &mut ctx);
         }
-        let actions = ctx.actions;
-        self.apply_actions(id, actions);
+        self.apply_actions(id, &mut actions);
+        actions.clear();
+        self.action_buf = actions;
     }
 
-    fn apply_actions(&mut self, id: NodeId, actions: Vec<Action<N::Msg, N::Timer>>) {
-        for action in actions {
+    fn apply_actions(&mut self, id: NodeId, actions: &mut Vec<Action<N::Msg, N::Timer>>) {
+        for action in actions.drain(..) {
             // A node that powered itself off performs nothing further.
             if !self.slots[id.raw() as usize].alive {
                 break;
@@ -574,6 +594,8 @@ impl<N: Node> Engine<N> {
                 Action::SetTimer { after, timer } => {
                     let timer_id = self.next_timer_id;
                     self.next_timer_id += 1;
+                    // Ids are globally increasing, so a push keeps
+                    // pending_timers sorted by id.
                     self.slots[id.raw() as usize].pending_timers.push((timer_id, timer.clone()));
                     self.queue.schedule(
                         self.now + after,
@@ -581,13 +603,9 @@ impl<N: Node> Engine<N> {
                     );
                 }
                 Action::CancelTimers { timer } => {
-                    let slot = &mut self.slots[id.raw() as usize];
-                    for (tid, t) in &slot.pending_timers {
-                        if *t == timer {
-                            slot.cancelled.push(*tid);
-                        }
-                    }
-                    slot.pending_timers.retain(|(_, t)| *t != timer);
+                    // Removal is the whole cancellation: the queued event
+                    // finds its id absent and drops itself when it fires.
+                    self.slots[id.raw() as usize].pending_timers.retain(|(_, t)| *t != timer);
                 }
                 Action::ReserveChannel { radius } => {
                     let pos = self.slots[id.raw() as usize].position;
@@ -676,7 +694,8 @@ impl<N: Node> Engine<N> {
         self.trace.record_broadcast(msg.kind());
         let range = self.radio.effective_range(radius);
         let from_pos = self.slots[from.raw() as usize].position;
-        let mut receivers = Vec::new();
+        let mut receivers = std::mem::take(&mut self.recv_buf);
+        debug_assert!(receivers.is_empty());
         self.grid.for_each_candidate(from_pos, range, |h| {
             if h != from.raw() as usize {
                 receivers.push(h);
@@ -684,7 +703,7 @@ impl<N: Node> Engine<N> {
         });
         // Deterministic receiver order regardless of hash-map iteration.
         receivers.sort_unstable();
-        for h in receivers {
+        for &h in &receivers {
             let slot = &self.slots[h];
             if !slot.alive {
                 continue;
@@ -708,6 +727,8 @@ impl<N: Node> Engine<N> {
             }
             self.schedule_delivery(from, NodeId::new(h as u64), dist, &msg);
         }
+        receivers.clear();
+        self.recv_buf = receivers;
         self.charge(from, self.energy_model.tx_cost(range));
     }
 }
@@ -863,6 +884,65 @@ mod tests {
         let id = eng.spawn(Timed::default(), Point::ORIGIN);
         eng.run_until(SimTime::from_micros(1_000_000));
         assert_eq!(eng.node(id).unwrap().fired, vec!["keep", "late"]);
+    }
+
+    #[test]
+    fn set_cancel_cycles_do_not_grow_slot_memory() {
+        // Regression guard for the timer bookkeeping: with the old
+        // cancelled-id list, each set+cancel cycle parked an id until the
+        // stale queue entry fired (here: an hour later), so per-slot memory
+        // grew linearly with cycles. Removal-is-cancellation keeps the
+        // pending list empty.
+        #[derive(Debug, Default)]
+        struct Cycler {
+            ticks: u32,
+            victims_fired: u32,
+        }
+        #[derive(Debug, Clone)]
+        struct M;
+        impl Payload for M {}
+        #[derive(Debug, Clone, PartialEq)]
+        enum Ct {
+            Tick,
+            Victim,
+        }
+        impl Node for Cycler {
+            type Msg = M;
+            type Timer = Ct;
+            fn on_start(&mut self, ctx: &mut Context<'_, M, Ct>) {
+                ctx.set_timer(SimDuration::from_millis(1), Ct::Tick);
+            }
+            fn on_message(&mut self, _: NodeId, _: M, _: &mut Context<'_, M, Ct>) {}
+            fn on_timer(&mut self, t: Ct, ctx: &mut Context<'_, M, Ct>) {
+                match t {
+                    Ct::Tick => {
+                        self.ticks += 1;
+                        ctx.set_timer(SimDuration::from_secs(3600), Ct::Victim);
+                        ctx.cancel_timers(Ct::Victim);
+                        if self.ticks == 1 {
+                            // A fresh set after a cancel must still fire
+                            // (new id; fires before the next tick's cancel).
+                            ctx.set_timer(SimDuration::from_micros(500), Ct::Victim);
+                        }
+                        if self.ticks < 1000 {
+                            ctx.set_timer(SimDuration::from_millis(1), Ct::Tick);
+                        }
+                    }
+                    Ct::Victim => self.victims_fired += 1,
+                }
+            }
+        }
+        let mut eng = Engine::new(RadioModel::ideal(100.0), EnergyModel::disabled(), 1);
+        let id = eng.spawn(Cycler::default(), Point::ORIGIN);
+        eng.run_until(SimTime::from_micros(10_000_000));
+        assert_eq!(eng.node(id).unwrap().ticks, 1000);
+        assert_eq!(eng.node(id).unwrap().victims_fired, 1, "only the re-set victim fires");
+        let slot = &eng.slots[id.raw() as usize];
+        assert!(
+            slot.pending_timers.is_empty(),
+            "cancellation reclaims immediately; {} entries leaked",
+            slot.pending_timers.len()
+        );
     }
 
     #[test]

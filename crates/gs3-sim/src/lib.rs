@@ -72,6 +72,7 @@ pub mod channel;
 pub mod deploy;
 pub mod engine;
 pub mod faults;
+pub mod fxhash;
 mod ids;
 pub mod queue;
 pub mod radio;

@@ -37,13 +37,14 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    peak: usize,
 }
 
 impl<E> EventQueue<E> {
     /// An empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, peak: 0 }
     }
 
     /// Schedules `payload` to fire at `at`. Events scheduled for the same
@@ -52,6 +53,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, payload });
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, if any.
@@ -75,6 +77,13 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// The highest number of events ever pending at once — a measure of
+    /// simulation memory pressure reported by the perf suite.
+    #[must_use]
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 }
 
@@ -119,6 +128,18 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peak_survives_drain() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(SimTime::from_micros(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.peak_len(), 5);
+        q.schedule(SimTime::from_micros(99), 0);
+        assert_eq!(q.peak_len(), 5, "peak is a high-water mark");
     }
 
     #[test]

@@ -3,15 +3,19 @@
 //! Broadcast delivery must find every node within a radius; a hash-grid
 //! keeps that `O(candidates)` instead of `O(n)` per transmission.
 
-use std::collections::HashMap;
-
+use crate::fxhash::FxHashMap;
 use gs3_geometry::Point;
 
 /// A uniform hash-grid over the plane holding `usize` handles.
+///
+/// Buckets live in an integer-keyed [`FxHashMap`] (multiply-rotate hash):
+/// grid lookups sit on the broadcast hot path where SipHash's per-lookup
+/// cost is measurable.
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
     cell: f64,
-    cells: HashMap<(i64, i64), Vec<usize>>,
+    cells: FxHashMap<(i64, i64), Vec<usize>>,
+    len: usize,
 }
 
 impl SpatialGrid {
@@ -24,7 +28,7 @@ impl SpatialGrid {
     #[must_use]
     pub fn new(cell: f64) -> Self {
         assert!(cell.is_finite() && cell > 0.0, "grid cell size must be positive");
-        SpatialGrid { cell, cells: HashMap::new() }
+        SpatialGrid { cell, cells: FxHashMap::default(), len: 0 }
     }
 
     fn key(&self, p: Point) -> (i64, i64) {
@@ -34,6 +38,7 @@ impl SpatialGrid {
     /// Inserts `handle` at `p`.
     pub fn insert(&mut self, handle: usize, p: Point) {
         self.cells.entry(self.key(p)).or_default().push(handle);
+        self.len += 1;
     }
 
     /// Removes `handle` from its cell at `p` (the position it was inserted
@@ -41,7 +46,9 @@ impl SpatialGrid {
     pub fn remove(&mut self, handle: usize, p: Point) {
         let k = self.key(p);
         if let Some(v) = self.cells.get_mut(&k) {
+            let before = v.len();
             v.retain(|h| *h != handle);
+            self.len -= before - v.len();
             if v.is_empty() {
                 self.cells.remove(&k);
             }
@@ -73,16 +80,43 @@ impl SpatialGrid {
         }
     }
 
-    /// Total handles stored.
+    /// The cell edge length this grid quantizes by.
+    #[must_use]
+    pub fn cell_edge(&self) -> f64 {
+        self.cell
+    }
+
+    /// The coordinate of the cell containing `p`.
+    #[must_use]
+    pub fn cell_key(&self, p: Point) -> (i64, i64) {
+        self.key(p)
+    }
+
+    /// The handles stored in the cell at `key`, if any.
+    #[must_use]
+    pub fn cell(&self, key: (i64, i64)) -> Option<&[usize]> {
+        self.cells.get(&key).map(Vec::as_slice)
+    }
+
+    /// Calls `f` with every non-empty cell's coordinate and handles.
+    /// Iteration order is arbitrary (hash order) — callers needing
+    /// determinism must not let order leak into their result.
+    pub fn for_each_cell<F: FnMut((i64, i64), &[usize])>(&self, mut f: F) {
+        for (k, v) in &self.cells {
+            f(*k, v);
+        }
+    }
+
+    /// Total handles stored — O(1), maintained by insert/remove.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.cells.values().map(Vec::len).sum()
+        self.len
     }
 
     /// True when no handles are stored.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.len == 0
     }
 }
 
@@ -157,5 +191,30 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_cell() {
         let _ = SpatialGrid::new(0.0);
+    }
+
+    #[test]
+    fn running_len_tracks_churn() {
+        let mut g = SpatialGrid::new(10.0);
+        for i in 0..100 {
+            g.insert(i, Point::new(f64::from(i as u32) * 3.0, 0.0));
+        }
+        assert_eq!(g.len(), 100);
+        for i in 0..50 {
+            g.remove(i, Point::new(f64::from(i as u32) * 3.0, 0.0));
+        }
+        assert_eq!(g.len(), 50);
+        // Removing an absent handle must not disturb the count.
+        g.remove(999, Point::ORIGIN);
+        assert_eq!(g.len(), 50);
+        g.relocate(60, Point::new(180.0, 0.0), Point::new(-42.0, 7.0));
+        assert_eq!(g.len(), 50);
+        assert!(!g.is_empty());
+        for i in 50..100 {
+            let p = if i == 60 { Point::new(-42.0, 7.0) } else { Point::new(f64::from(i as u32) * 3.0, 0.0) };
+            g.remove(i, p);
+        }
+        assert_eq!(g.len(), 0);
+        assert!(g.is_empty());
     }
 }
