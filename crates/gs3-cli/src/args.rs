@@ -48,7 +48,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Keys that are boolean flags (take no value).
-const FLAG_KEYS: &[&str] = &["map", "static", "mobile", "quiet", "help", "json"];
+const FLAG_KEYS: &[&str] = &["map", "static", "mobile", "quiet", "help", "json", "reliable"];
 
 impl Args {
     /// Parses a token stream (`args[0]` must already be stripped).

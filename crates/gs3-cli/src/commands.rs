@@ -7,7 +7,7 @@ use gs3_bench::runner::run_grid;
 use gs3_core::chaos::{Corruption, FaultKind, FaultPlan};
 use gs3_core::harness::{Network, NetworkBuilder, RunOutcome};
 use gs3_core::invariants::{check_all, Strictness};
-use gs3_core::Mode;
+use gs3_core::{Mode, ReliabilityConfig};
 use gs3_geometry::Point;
 use gs3_sim::faults::{BurstLoss, FaultConfig};
 use gs3_sim::radio::EnergyModel;
@@ -41,6 +41,9 @@ pub fn help() {
          \x20 --loss P         broadcast loss probability (0)\n\
          \x20 --noise SIGMA    localization noise sigma in meters (0)\n\
          \x20 --traffic SECS   enable the sensing workload at this period\n\
+         \x20 --reliable       enable the control-plane reliability layer\n\
+         \x20                  (acked retransmission, adaptive failure\n\
+         \x20                  detection, quarantine mode)\n\
          \x20 --map            print an ASCII map of the structure\n\
          \x20 --quiet          suppress the metrics block\n\
          \n\
@@ -114,6 +117,9 @@ fn build_seeded(a: &Args, seed: u64) -> Result<Network, Box<dyn std::error::Erro
             expected: "energy units",
         })?;
         b = b.energy(EnergyModel::normalized(2.0 * radius), e);
+    }
+    if a.flag("reliable") {
+        b = b.reliability(ReliabilityConfig::on());
     }
     Ok(b.build()?)
 }
@@ -366,6 +372,17 @@ pub fn chaos(a: &Args) -> CliResult {
     );
     println!("duplicated:      {}", rep.duplicated);
     println!("delayed:         {}", rep.delayed);
+    if a.flag("reliable") {
+        let r = &rep.reliability;
+        println!(
+            "reliability:     {} retransmits, {} dedup hits, {} give-ups",
+            r.retransmits, r.dedup_hits, r.give_ups
+        );
+        println!(
+            "detector/quar:   {} false suspicions, {} quarantine entries, {} exits, {} drops",
+            r.false_suspicions, r.quarantine_entries, r.quarantine_exits, r.quarantine_drops
+        );
+    }
     println!("polls:           {} (max {} violations)", rep.polls, rep.max_violations);
     println!("digest:          {:016x}", rep.digest);
     println!(
@@ -442,7 +459,7 @@ fn with_budget(a: &Args, budget: &str) -> Args {
             tokens.push(v.to_string());
         }
     }
-    for flag in ["map", "static", "mobile", "quiet"] {
+    for flag in ["map", "static", "mobile", "quiet", "reliable"] {
         if a.flag(flag) {
             tokens.push(format!("--{flag}"));
         }

@@ -57,7 +57,13 @@ impl Gs3Node {
         // the proxy for GS³-M, but an away big node in big_slide has the
         // same structural need — the head graph must stay rooted at the
         // gateway's location — so we maintain it in both away states.
+        // Handovers (release + assign) go through the reliable layer when
+        // enabled — losing one orphans the tree root until the next
+        // change; periodic refreshes stay plain, the next one covers a
+        // loss.
         let _ = mobile_mode;
+        let mut handover: Vec<(NodeId, Msg)> = Vec::new();
+        let mut refresh_to = None;
         {
             let closest = b
                 .known_heads
@@ -67,13 +73,22 @@ impl Gs3Node {
             if let Some(best) = closest {
                 if b.proxy != Some(best) {
                     if let Some(old) = b.proxy {
-                        ctx.unicast(old, Msg::ProxyRelease);
+                        handover.push((old, Msg::ProxyRelease));
                     }
                     b.proxy = Some(best);
+                    // The initial assignment of this proxy.
+                    handover.push((best, Msg::ProxyAssign));
+                } else {
+                    refresh_to = Some(best);
                 }
-                // Refresh (also the initial assignment).
-                ctx.unicast(best, Msg::ProxyAssign);
             }
+        }
+        let _ = b;
+        for (to, msg) in handover {
+            self.send_ctrl(ctx, to, msg);
+        }
+        if let Some(best) = refresh_to {
+            ctx.unicast(best, Msg::ProxyAssign);
         }
         ctx.set_timer(refresh, Timer::BigCheck);
     }
@@ -90,12 +105,13 @@ impl Gs3Node {
         if pos.distance(ci.il) > self.cfg.r_t {
             return;
         }
-        if let Some(proxy) = b.proxy {
+        let proxy = b.proxy;
+        if let Some(proxy) = proxy {
             if proxy != head {
-                ctx.unicast(proxy, Msg::ProxyRelease);
+                self.send_ctrl(ctx, proxy, Msg::ProxyRelease);
             }
         }
-        ctx.unicast(head, Msg::ReplacingHead);
+        self.send_ctrl(ctx, head, Msg::ReplacingHead);
         let me = ctx.id();
         let (r_t, gr, coord) = (self.cfg.r_t, self.cfg.gr, self.cfg.coord_radius());
         let hs = self.become_head(ctx, ci.il, ci.oil, ci.icc_icp, me, ci.il, pos, 0);
@@ -152,20 +168,24 @@ impl Gs3Node {
             .filter(|(id, _)| **id != me && !h.children.contains_key(*id))
             .min_by_key(|(_, n)| n.hops)
             .map(|(id, n)| (*id, n.il, n.hops));
+        let mut adopted = None;
         match best {
             Some((id, il, hops)) => {
                 h.parent = id;
                 h.parent_il = il;
                 h.parent_last_heard = ctx.now();
                 h.hops = hops.saturating_add(1);
-                let my_il = h.il;
-                ctx.unicast(id, Msg::NewChildHead { pos: ctx.position(), il: my_il });
+                adopted = Some((id, h.il));
             }
             None => {
                 // No usable neighbor yet; inflate hops so any future
                 // advertisement wins, and let PARENT_SEEK machinery run.
                 h.hops = u32::MAX / 2;
             }
+        }
+        let _ = h;
+        if let Some((id, my_il)) = adopted {
+            self.send_ctrl(ctx, id, Msg::NewChildHead { pos: ctx.position(), il: my_il });
         }
     }
 

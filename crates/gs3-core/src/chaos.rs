@@ -249,6 +249,31 @@ pub struct FaultOutcome {
     pub heal_latency: Option<SimDuration>,
 }
 
+/// Control-plane reliability counters accumulated during a chaos run
+/// (deltas over the run window, taken from the trace's protocol counters).
+///
+/// All zero when the reliability layer is disabled — the layer is
+/// RNG-inert and counter-inert off.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReliabilityCounters {
+    /// Reliable envelopes re-sent after an ack timeout.
+    pub retransmits: u64,
+    /// Duplicate deliveries suppressed by the receiver dedup window.
+    pub dedup_hits: u64,
+    /// Reliable sends abandoned after the retry budget (fallback paths
+    /// triggered).
+    pub give_ups: u64,
+    /// Adaptive-detector suspicions retracted because the peer spoke up
+    /// before the legacy deadline.
+    pub false_suspicions: u64,
+    /// Heads that entered quarantine mode.
+    pub quarantine_entries: u64,
+    /// Heads that left quarantine mode (re-attached).
+    pub quarantine_exits: u64,
+    /// Buffered aggregates dropped because a quarantine buffer overflowed.
+    pub quarantine_drops: u64,
+}
+
 /// The structured result of a chaos run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChaosReport {
@@ -277,6 +302,8 @@ pub struct ChaosReport {
     pub duplicated: u64,
     /// Deliveries held back by extra delay during the run.
     pub delayed: u64,
+    /// Reliability-layer counters accumulated during the run.
+    pub reliability: ReliabilityCounters,
 }
 
 impl ChaosReport {
@@ -324,6 +351,25 @@ impl ChaosReport {
             push_kv(&mut out, key, &v.to_string());
             out.push(',');
         }
+        out.push_str("\"reliability\":{");
+        for (i, (key, v)) in [
+            ("retransmits", self.reliability.retransmits),
+            ("dedup_hits", self.reliability.dedup_hits),
+            ("give_ups", self.reliability.give_ups),
+            ("false_suspicions", self.reliability.false_suspicions),
+            ("quarantine_entries", self.reliability.quarantine_entries),
+            ("quarantine_exits", self.reliability.quarantine_exits),
+            ("quarantine_drops", self.reliability.quarantine_drops),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            push_kv(&mut out, key, &v.to_string());
+        }
+        out.push_str("},");
         out.push_str("\"faults\":[");
         for (i, o) in self.outcomes.iter().enumerate() {
             if i > 0 {
@@ -464,6 +510,7 @@ impl Network {
         }
 
         let trace = self.engine().trace();
+        let delta = |name: &str| trace.proto(name).saturating_sub(trace0.proto(name));
         ChaosReport {
             started: start,
             finished: self.now(),
@@ -477,6 +524,15 @@ impl Network {
             dropped_unicast: trace.dropped_unicast() - trace0.dropped_unicast(),
             duplicated: trace.duplicated() - trace0.duplicated(),
             delayed: trace.delayed() - trace0.delayed(),
+            reliability: ReliabilityCounters {
+                retransmits: delta("reliable_retransmits"),
+                dedup_hits: delta("reliable_dedup_hits"),
+                give_ups: delta("reliable_give_ups"),
+                false_suspicions: delta("detector_false_suspicions"),
+                quarantine_entries: delta("quarantine_entries"),
+                quarantine_exits: delta("quarantine_exits"),
+                quarantine_drops: delta("quarantine_drops"),
+            },
         }
     }
 
@@ -668,10 +724,13 @@ mod tests {
             dropped_unicast: 0,
             duplicated: 0,
             delayed: 0,
+            reliability: ReliabilityCounters { retransmits: 4, ..ReliabilityCounters::default() },
         };
         let json = report.to_json();
         assert!(json.contains("\"healed\":false"));
         assert!(json.contains("\"digest\":\"0000000000000abc\""));
+        assert!(json.contains("\"reliability\":{\"retransmits\":4,"));
+        assert!(json.contains("\"quarantine_drops\":0}"));
         assert!(json.contains("\"heal_latency_us\":null"));
         assert!(json.contains("say \\\"hi\\\""));
         assert!(!report.healed());

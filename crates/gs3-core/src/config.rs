@@ -51,6 +51,96 @@ pub enum Mode {
     Mobile,
 }
 
+/// Attempts saturate at this factor when join probing backs off; the total
+/// backoff (factor × retry period + jitter) is capped at
+/// [`Gs3Config::max_join_backoff`].
+pub const MAX_JOIN_BACKOFF_FACTOR: u64 = 6;
+
+/// Knobs for the control-plane reliability layer (acked retransmission,
+/// adaptive failure detection, quarantine-mode degradation).
+///
+/// Follows the repo's RNG-inertness convention: with `enabled == false`
+/// (the default) the layer draws nothing from the engine RNG, sends no
+/// extra messages, and sets no extra timers, so runs are bit-identical to
+/// a build without the layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityConfig {
+    /// Master switch: wrap one-shot control messages (`head_set`
+    /// assignments, `new_child_head`, `child_retire`, `replacing_head`,
+    /// `proxy_assign`/`proxy_release`, `parent_seek`) in acked
+    /// retransmission envelopes.
+    pub enabled: bool,
+    /// Retransmissions attempted before the give-up hook fires (so a
+    /// message is sent at most `1 + max_retries` times).
+    pub max_retries: u32,
+    /// Base retransmission timeout; attempt `n` waits
+    /// `base_rto × 2ⁿ + jitter`, with jitter uniform in `[0, base_rto/2)`
+    /// drawn from the seeded engine RNG.
+    pub base_rto: SimDuration,
+    /// Per-sender dedup window: how many recently seen sequence numbers a
+    /// receiver remembers to make redelivery idempotent.
+    pub dedup_window: usize,
+    /// Adaptive failure detection: replace fixed `heartbeat ×
+    /// failure_misses` timeouts with a per-neighbor EWMA of heartbeat
+    /// inter-arrival (phi-accrual style `2·mean + k·dev`, the doubled
+    /// mean granting one interval of grace), clamped so detection is
+    /// never slower than the legacy timeout.
+    pub adaptive_detection: bool,
+    /// Smoothing factor numerator for the inter-arrival EWMA
+    /// (`alpha = ewma_alpha_num / 16`).
+    pub ewma_alpha_num: u64,
+    /// Deviation multiplier `k` in the adaptive threshold `2·mean + k·dev`.
+    pub phi_k: u64,
+    /// Quarantine-mode graceful degradation: a head that exhausts
+    /// `quarantine_seek_limit` consecutive `PARENT_SEEK` rounds without
+    /// re-attaching keeps serving its cell but buffers upward aggregates
+    /// instead of abandoning, draining the buffer on re-attach.
+    pub quarantine: bool,
+    /// Consecutive failed parent-seek rounds before entering quarantine.
+    pub quarantine_seek_limit: u32,
+    /// Bounded quarantine buffer length (oldest entries dropped, and the
+    /// drops counted, once full).
+    pub quarantine_buffer: usize,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig::disabled()
+    }
+}
+
+impl ReliabilityConfig {
+    /// The inert layer: no envelopes, fixed timeouts, no quarantine.
+    /// Byte-identical runs to a build without the layer.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ReliabilityConfig {
+            enabled: false,
+            max_retries: 4,
+            base_rto: SimDuration::from_millis(500),
+            dedup_window: 16,
+            adaptive_detection: false,
+            ewma_alpha_num: 2,
+            phi_k: 4,
+            quarantine: false,
+            quarantine_seek_limit: 3,
+            quarantine_buffer: 32,
+        }
+    }
+
+    /// The full layer: acked retransmission, adaptive detection, and
+    /// quarantine all on, with default tuning.
+    #[must_use]
+    pub fn on() -> Self {
+        ReliabilityConfig {
+            enabled: true,
+            adaptive_detection: true,
+            quarantine: true,
+            ..ReliabilityConfig::disabled()
+        }
+    }
+}
+
 /// Tunable parameters of the GS³ protocol.
 ///
 /// `r` and `r_t` are the paper's `R` (ideal cell radius) and `R_t` (radius
@@ -120,6 +210,8 @@ pub struct Gs3Config {
     /// neighboring `HEAD_ORG` rounds through the channel-reservation
     /// arbiter. Turning it off lets concurrent rounds double-select cells.
     pub channel_reservation: bool,
+    /// Control-plane reliability layer (default: disabled / RNG-inert).
+    pub reliability: ReliabilityConfig,
 }
 
 /// Configuration validation failures.
@@ -186,6 +278,7 @@ impl Gs3Config {
             report_period: SimDuration::ZERO,
             anchor_ils: true,
             channel_reservation: true,
+            reliability: ReliabilityConfig::disabled(),
         })
     }
 
@@ -226,6 +319,13 @@ impl Gs3Config {
     #[must_use]
     pub fn inter_timeout(&self) -> SimDuration {
         self.inter_heartbeat * u64::from(self.failure_misses)
+    }
+
+    /// The hard cap on join-probe backoff: the saturated factor times the
+    /// retry period, plus one full retry of jitter headroom.
+    #[must_use]
+    pub fn max_join_backoff(&self) -> SimDuration {
+        self.join_retry * (MAX_JOIN_BACKOFF_FACTOR + 1)
     }
 
     /// Sets the protocol variant.

@@ -10,7 +10,7 @@ use gs3_sim::{Engine, NodeId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{ConfigError, Gs3Config, Mode};
+use crate::config::{ConfigError, Gs3Config, Mode, ReliabilityConfig};
 use crate::node::Gs3Node;
 use crate::snapshot::{view_role, NodeView, RoleView, Snapshot};
 use crate::state::Role;
@@ -50,6 +50,7 @@ pub struct NetworkBuilder {
     broadcast_loss: f64,
     traffic_period: Option<SimDuration>,
     faults: FaultConfig,
+    reliability: Option<ReliabilityConfig>,
 }
 
 impl Default for NetworkBuilder {
@@ -71,6 +72,7 @@ impl Default for NetworkBuilder {
             broadcast_loss: 0.0,
             traffic_period: None,
             faults: FaultConfig::none(),
+            reliability: None,
         }
     }
 }
@@ -231,6 +233,16 @@ impl NetworkBuilder {
         self
     }
 
+    /// Configures the control-plane reliability layer (acked
+    /// retransmission, adaptive failure detection, quarantine). Applied on
+    /// top of `config` overrides; the default is the inert
+    /// [`ReliabilityConfig::disabled`].
+    #[must_use]
+    pub fn reliability(mut self, rc: ReliabilityConfig) -> Self {
+        self.reliability = Some(rc);
+        self
+    }
+
     /// Deploys the network.
     ///
     /// # Errors
@@ -243,6 +255,9 @@ impl NetworkBuilder {
         };
         if let Some(period) = self.traffic_period {
             cfg.report_period = period;
+        }
+        if let Some(rc) = self.reliability {
+            cfg.reliability = rc;
         }
         // With energy accounting on, heads retreat proactively while they
         // can still afford the handover chatter (head shift / cell shift

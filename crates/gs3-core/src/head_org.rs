@@ -259,8 +259,23 @@ impl Gs3Node {
             hops: h.hops,
             root_pos,
         };
-        ctx.broadcast(coord, Msg::HeadSet { org: info, assignments });
+        // With the reliability layer on, each selected node additionally
+        // gets its own acked copy of the decision — a lost ⟨HeadSet⟩
+        // broadcast otherwise silently un-selects a head and leaves an
+        // R_t-gap until a boundary re-probe. Redelivery is safe: selected
+        // nodes ignore a ⟨HeadSet⟩ re-stating the assignment they hold.
+        let acked_copies: Vec<NodeId> = if self.cfg.reliability.enabled {
+            assignments.iter().map(|a| a.node).collect()
+        } else {
+            Vec::new()
+        };
+        let msg = Msg::HeadSet { org: info, assignments };
+        ctx.broadcast(coord, msg.clone());
         ctx.release_channel();
+        let _ = h;
+        for to in acked_copies {
+            self.send_ctrl(ctx, to, msg.clone());
+        }
     }
 
     /// `⟨HeadSet⟩` received: selected nodes become heads; bystanders pick
@@ -276,6 +291,14 @@ impl Gs3Node {
         let my_pos = ctx.position();
 
         if let Some(mine) = assignments.iter().find(|a| a.node == me) {
+            // Redelivery (e.g. the reliable acked copy arriving after the
+            // broadcast) of an assignment we already hold must not re-run
+            // become_head — that would tear down the running cell.
+            if let Role::Head(h) = &self.role {
+                if h.il.distance(mine.il) < 1e-6 {
+                    return;
+                }
+            }
             // Selected: become a head, anchor at the assigned IL, and run
             // HEAD_ORG in turn (the diffusing computation).
             ctx.cancel_timers(Timer::AwaitDecision { org_head: from });

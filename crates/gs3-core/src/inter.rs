@@ -8,6 +8,7 @@ use gs3_sim::NodeId;
 
 use crate::messages::{HeadInfo, Msg};
 use crate::node::{Ctx, Gs3Node};
+use crate::reliable::{head_reattached, mark_suspected, note_seek_failed, suspect_after};
 use crate::state::{NeighborInfo, Role};
 use crate::timers::Timer;
 
@@ -33,17 +34,31 @@ impl Gs3Node {
             h.is_proxy = false;
             self.rehang_after_proxy(ctx);
         }
+        let rel_cfg = self.cfg.reliability.clone();
+        let rel = &mut self.rel;
         let Role::Head(h) = &mut self.role else {
             return;
         };
 
         // Child failure: inter-cell silence twice over after the child
-        // cell's own intra-cell healing window.
+        // cell's own intra-cell healing window. The adaptive detector may
+        // shorten (never lengthen) the window per peer; a verdict it
+        // reaches before the legacy deadline is provisional until then.
+        let mut early: Vec<(NodeId, gs3_sim::SimTime)> = Vec::new();
         let failed_children: Vec<NodeId> = h
             .children
             .iter()
-            .filter(|(_, info)| now.saturating_since(info.last_heard) > timeout * 2)
-            .map(|(id, _)| *id)
+            .filter_map(|(id, info)| {
+                let silent = now.saturating_since(info.last_heard);
+                if silent > suspect_after(rel, &rel_cfg, *id, timeout) * 2 {
+                    if silent <= timeout * 2 {
+                        early.push((*id, info.last_heard + timeout * 2));
+                    }
+                    Some(*id)
+                } else {
+                    None
+                }
+            })
             .collect();
         let any_child_failed = !failed_children.is_empty();
         for id in &failed_children {
@@ -52,7 +67,17 @@ impl Gs3Node {
         }
 
         // Prune non-child neighbors that went silent.
-        h.neighbors.retain(|_, info| now.saturating_since(info.last_heard) <= timeout * 2);
+        h.neighbors.retain(|id, info| {
+            let silent = now.saturating_since(info.last_heard);
+            if silent > suspect_after(rel, &rel_cfg, *id, timeout) * 2 {
+                if silent <= timeout * 2 {
+                    early.push((*id, info.last_heard + timeout * 2));
+                }
+                false
+            } else {
+                true
+            }
+        });
 
         // Parent failure: silence twice over, after which we seek a new
         // parent among the surviving neighbors. A *self-pointing* parent
@@ -60,8 +85,18 @@ impl Gs3Node {
         // node and an appointed proxy root the tree) — corrupted state,
         // repaired through the same seek path immediately.
         let self_parent_corrupt = h.parent == me && !am_big && !h.is_proxy;
+        let parent_silent = now.saturating_since(h.parent_last_heard);
         let parent_failed = self_parent_corrupt
-            || (h.parent != me && now.saturating_since(h.parent_last_heard) > timeout * 2);
+            || (h.parent != me
+                && parent_silent > suspect_after(rel, &rel_cfg, h.parent, timeout) * 2);
+        if parent_failed && !self_parent_corrupt && parent_silent <= timeout * 2 {
+            early.push((h.parent, h.parent_last_heard + timeout * 2));
+        }
+        for (peer, legacy_deadline) in early {
+            mark_suspected(rel, peer, legacy_deadline);
+        }
+        let mut deferred_seek: Option<(NodeId, Msg)> = None;
+        let mut abandon = false;
         if parent_failed {
             h.neighbors.remove(&h.parent);
             // The link is broken: inflate our hop count so that any
@@ -69,6 +104,11 @@ impl Gs3Node {
             // being rejected against the stale pre-failure hops.
             h.hops = u32::MAX / 2;
             let seeker_il = h.il;
+            // A seek round still pending from the previous heartbeat went
+            // unanswered: count it failed before opening the next one.
+            if h.pending_seek.take().is_some() {
+                note_seek_failed(h, &rel_cfg, ctx);
+            }
             let best = h
                 .neighbors
                 .iter()
@@ -80,18 +120,26 @@ impl Gs3Node {
                     // Optimistically lean on the best neighbor while the
                     // handshake completes.
                     h.parent_last_heard = now;
-                    ctx.unicast(target, Msg::ParentSeek { il: seeker_il });
+                    h.seek_rounds += 1;
+                    let round = h.seek_rounds;
+                    h.pending_seek = Some(round);
+                    deferred_seek = Some((target, Msg::ParentSeek { il: seeker_il, round }));
                 }
                 None => {
-                    if h.children.is_empty() {
+                    // No neighbor to probe: the round fails outright.
+                    note_seek_failed(h, &rel_cfg, ctx);
+                    if !rel_cfg.quarantine && h.children.is_empty() {
                         // Fully disconnected head: dissolve (the paper's
-                        // head_disconnected path).
-                        self.abandon_cell(ctx);
-                        return;
+                        // head_disconnected path). With quarantine on, the
+                        // head degrades gracefully instead: it keeps
+                        // serving its cell and buffers upward reports
+                        // until the partition heals.
+                        abandon = true;
+                    } else {
+                        // Refresh and wait — for a child to re-parent us
+                        // via its own beats, or for the partition to heal.
+                        h.parent_last_heard = now;
                     }
-                    // Children exist; let one of them re-parent us via
-                    // their own beats — refresh and wait.
-                    h.parent_last_heard = now;
                 }
             }
         }
@@ -105,7 +153,49 @@ impl Gs3Node {
             h.root_pos = pos;
             h.hops = 0;
         }
+        // Child-cap rebalancing (reliable mode only). Quarantine keeps
+        // partitioned heads alive, so after a heal they re-attach
+        // laterally onto whatever head is reachable — which can leave one
+        // parent over the I₂.₃ children cap forever (a child only
+        // switches parents when *required*, and a working link never
+        // requires it). The parent is the one node that sees the overload,
+        // so it sheds the worst-placed (largest IL distance — lattice
+        // children all sit at spacing) excess children; an evicted child
+        // treats the reverse `child_retire` as a broken link and seeks a
+        // better-placed parent. Legacy mode reaches this state only via
+        // abandonment, which dissolves the cell instead — eviction stays
+        // inside the reliability gate to preserve bit-identical disabled
+        // runs.
+        let mut evicted: Vec<NodeId> = Vec::new();
+        if rel_cfg.enabled {
+            let cap = if am_big || h.parent == me { 6 } else { 5 };
+            while h.children.len() > cap {
+                let worst = h
+                    .children
+                    .iter()
+                    .max_by(|(aid, a), (bid, b)| {
+                        a.il.distance(h.il)
+                            .total_cmp(&b.il.distance(h.il))
+                            .then_with(|| aid.cmp(bid))
+                    })
+                    .map(|(id, _)| *id)
+                    .expect("len > cap >= 0 implies non-empty");
+                h.children.remove(&worst);
+                evicted.push(worst);
+            }
+        }
         let _ = h;
+        let _ = rel;
+        if abandon {
+            self.abandon_cell(ctx);
+            return;
+        }
+        for child in evicted {
+            self.send_ctrl(ctx, child, Msg::ChildRetire);
+        }
+        if let Some((target, seek)) = deferred_seek {
+            self.send_ctrl(ctx, target, seek);
+        }
         self.evaluate_parent(ctx);
         let Role::Head(h) = &mut self.role else {
             return;
@@ -131,7 +221,46 @@ impl Gs3Node {
 
     /// `head_inter_alive` received.
     pub(crate) fn on_head_inter_alive(&mut self, from: NodeId, hi: HeadInfo, ctx: &mut Ctx<'_>) {
+        self.detector_observe(from, ctx);
         let me = ctx.id();
+        // Duplicate-head resolution. Two live heads can end up serving the
+        // same cell (a lost `new_head_announce` lets a second candidate
+        // win the staggered election; a falsely suspected head keeps
+        // beating after its "successor" promoted). The hexagonal relation
+        // holds for both, so the sanity check never fires — without an
+        // explicit rule the duplicates beat forever and associates flap
+        // between them. On hearing a same-cell beat of the same structure,
+        // the better-placed head (closer to the shared IL; ties break
+        // toward the lower id, and the big node always wins its own cell)
+        // re-announces — rebinding the cell's associates and cancelling
+        // elections — and orders the loser to step down. Both sides
+        // evaluate the same RNG-free predicate on the same data, so
+        // exactly one survivor emerges.
+        let mut demote_duplicate = false;
+        if let Role::Head(h) = &self.role {
+            let same_cell = from != me
+                && hi.il.distance(h.il) <= self.cfg.r_t
+                && hi.root_pos.distance(h.root_pos) <= self.cfg.spacing() / 2.0
+                && !h.is_proxy;
+            if same_cell {
+                let mine = ctx.position().distance(h.il);
+                let theirs = hi.pos.distance(hi.il);
+                demote_duplicate = self.is_big
+                    || mine.total_cmp(&theirs).then_with(|| me.cmp(&from)).is_lt();
+            }
+        }
+        if demote_duplicate {
+            let pos = ctx.position();
+            let (r_t, gr) = (self.cfg.r_t, self.cfg.gr);
+            let coord = self.cfg.coord_radius();
+            let Role::Head(h) = &mut self.role else { unreachable!() };
+            h.neighbors.remove(&from);
+            h.children.remove(&from);
+            let ci = h.cell_info(me, pos, r_t, gr);
+            ctx.broadcast(coord, Msg::NewHeadAnnounce(ci));
+            self.send_ctrl(ctx, from, Msg::ReplacingHead);
+            return;
+        }
         match &mut self.role {
             Role::Head(h) => {
                 h.neighbors.insert(
@@ -162,6 +291,12 @@ impl Gs3Node {
                     h.parent_last_heard = ctx.now();
                     h.parent_il = hi.il;
                     h.parent_pos = hi.pos;
+                    // A parent believed lost (seek in flight, failed
+                    // rounds accumulated, or quarantine entered) beat
+                    // again: the link is back.
+                    if h.pending_seek.is_some() || h.failed_seeks > 0 || h.quarantined {
+                        head_reattached(h, ctx);
+                    }
                     if !h.is_proxy && h.parent != me {
                         h.hops = hi.hops.saturating_add(1);
                         h.root_pos = hi.root_pos;
@@ -237,6 +372,7 @@ impl Gs3Node {
         let improves = candidate_hops.saturating_add(1) < h.hops;
         let d_cand = candidate_pos.distance(h.root_pos);
         let d_self = pos.distance(h.root_pos);
+        let mut switched = None;
         if improves || (parent_broken && d_cand < d_self) {
             let old = h.parent;
             h.parent = candidate;
@@ -244,10 +380,14 @@ impl Gs3Node {
             h.parent_pos = candidate_pos;
             h.parent_last_heard = ctx.now();
             h.hops = candidate_hops.saturating_add(1);
-            let il = h.il;
-            ctx.unicast(candidate, Msg::NewChildHead { pos, il });
+            head_reattached(h, ctx);
+            switched = Some((old, h.il));
+        }
+        let _ = h;
+        if let Some((old, il)) = switched {
+            self.send_ctrl(ctx, candidate, Msg::NewChildHead { pos, il });
             if old != me {
-                ctx.unicast(old, Msg::ChildRetire);
+                self.send_ctrl(ctx, old, Msg::ChildRetire);
             }
         }
     }
@@ -307,6 +447,7 @@ impl Gs3Node {
         let d_self = pos.distance(h.root_pos);
         let parent_valid = h.parent_pos.distance(h.root_pos) + 1e-6 < d_self;
         let big_improvement = best_hops.saturating_add(2) <= parent_offer;
+        let mut switched = None;
         if best_id != h.parent
             && (!parent_valid || big_improvement)
             && best_pos.distance(h.root_pos) + 1e-6 < d_self
@@ -317,14 +458,18 @@ impl Gs3Node {
             h.parent_pos = best_pos;
             h.parent_last_heard = now;
             h.hops = best_hops.saturating_add(1);
-            let il = h.il;
-            ctx.unicast(best_id, Msg::NewChildHead { pos, il });
-            if old != me {
-                ctx.unicast(old, Msg::ChildRetire);
-            }
+            head_reattached(h, ctx);
+            switched = Some((old, h.il));
         } else {
             // Keep the parent; follow its current offer.
             h.hops = parent_offer.saturating_add(1);
+        }
+        let _ = h;
+        if let Some((old, il)) = switched {
+            self.send_ctrl(ctx, best_id, Msg::NewChildHead { pos, il });
+            if old != me {
+                self.send_ctrl(ctx, old, Msg::ChildRetire);
+            }
         }
     }
 
@@ -350,43 +495,78 @@ impl Gs3Node {
     }
 
     /// `child_retire` received: the sender switched to another parent.
-    pub(crate) fn on_child_retire(&mut self, from: NodeId, _ctx: &mut Ctx<'_>) {
+    /// In reliable mode the same message arriving *from our own parent*
+    /// is an eviction — the parent shed us to restore its children cap;
+    /// break the link (and forget the evictor so the next seek probes
+    /// someone else) and let the next heartbeat find a better-placed
+    /// parent.
+    pub(crate) fn on_child_retire(&mut self, from: NodeId, ctx: &mut Ctx<'_>) {
+        let me = ctx.id();
         if let Role::Head(h) = &mut self.role {
             h.children.remove(&from);
+            if self.cfg.reliability.enabled && from == h.parent && h.parent != me {
+                h.neighbors.remove(&from);
+                h.hops = u32::MAX / 2;
+                h.parent_last_heard = gs3_sim::SimTime::ZERO;
+            }
         }
     }
 
     /// `parent_seek` received: accept unless the seeker is our own parent
-    /// (which would create a cycle).
-    pub(crate) fn on_parent_seek(&mut self, from: NodeId, il: Point, ctx: &mut Ctx<'_>) {
+    /// (which would create a cycle). The ack echoes the probe's seek round
+    /// so the seeker can reject acks from rounds it has moved past.
+    pub(crate) fn on_parent_seek(&mut self, from: NodeId, il: Point, round: u64, ctx: &mut Ctx<'_>) {
+        let am_big = self.is_big();
+        let rel_enabled = self.cfg.reliability.enabled;
         let Role::Head(h) = &mut self.role else {
             return;
         };
         if from == h.parent {
             return;
         }
+        // Admission control (reliable mode): a head already at its
+        // children cap stays silent instead of acking a seek it would
+        // immediately have to shed again via eviction.
+        if rel_enabled {
+            let cap = if am_big || h.parent == ctx.id() { 6 } else { 5 };
+            if h.children.len() >= cap && !h.children.contains_key(&from) {
+                return;
+            }
+        }
         let _ = il;
-        ctx.unicast(from, Msg::ParentSeekAck { hops: h.hops, il: h.il, pos: ctx.position() });
+        ctx.unicast(
+            from,
+            Msg::ParentSeekAck { hops: h.hops, il: h.il, pos: ctx.position(), round },
+        );
     }
 
-    /// `parent_seek_ack` received: adopt the acceptor.
+    /// `parent_seek_ack` received: adopt the acceptor — unless the ack
+    /// answers a seek round we are no longer waiting on (a delayed or
+    /// duplicated ack from an earlier round carries stale hop information
+    /// and could re-parent us on a head we already rejected).
     pub(crate) fn on_parent_seek_ack(
         &mut self,
         from: NodeId,
         hops: u32,
         il: Point,
         pos: Point,
+        round: u64,
         ctx: &mut Ctx<'_>,
     ) {
         let me = ctx.id();
         let Role::Head(h) = &mut self.role else {
             return;
         };
+        if h.pending_seek != Some(round) {
+            ctx.count("parent_seek_stale_acks");
+            return;
+        }
         if h.parent == from || h.children.contains_key(&from) {
             return;
         }
         // Accept when it improves or when our parent link is broken (hops
         // inflated by the failure path).
+        let mut switched = None;
         if hops.saturating_add(1) <= h.hops || h.hops >= u32::MAX / 2 {
             let old = h.parent;
             h.parent = from;
@@ -398,10 +578,17 @@ impl Gs3Node {
                 from,
                 NeighborInfo { pos, il, icc_icp: IccIcp::ORIGIN, hops, last_heard: ctx.now() },
             );
-            let my_il = h.il;
-            ctx.unicast(from, Msg::NewChildHead { pos: ctx.position(), il: my_il });
+            head_reattached(h, ctx);
+            switched = Some((old, h.il));
+        } else {
+            // Answered but useless: the round is settled, not failed.
+            h.pending_seek = None;
+        }
+        let _ = h;
+        if let Some((old, my_il)) = switched {
+            self.send_ctrl(ctx, from, Msg::NewChildHead { pos: ctx.position(), il: my_il });
             if old != me && old != from {
-                ctx.unicast(old, Msg::ChildRetire);
+                self.send_ctrl(ctx, old, Msg::ChildRetire);
             }
         }
     }

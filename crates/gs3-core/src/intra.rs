@@ -157,6 +157,12 @@ impl Gs3Node {
 
     /// `head_intra_alive` received.
     pub(crate) fn on_head_intra_alive(&mut self, from: NodeId, ci: CellInfo, ctx: &mut Ctx<'_>) {
+        // Feed the failure detector only for the stream that refreshes
+        // `last_heard` (our own head's beats); other cells' overheard
+        // intra traffic must not skew the estimator.
+        if matches!(&self.role, Role::Associate(a) if a.head == from) {
+            self.detector_observe(from, ctx);
+        }
         let my_pos = ctx.position();
         match &mut self.role {
             Role::Associate(a) => {
@@ -308,7 +314,7 @@ impl Gs3Node {
         let il = cell.il;
         ctx.broadcast(coord, Msg::NewHeadAnnounce(ci));
         if parent != me {
-            ctx.unicast(parent, Msg::NewChildHead { pos, il });
+            self.send_ctrl(ctx, parent, Msg::NewChildHead { pos, il });
         }
     }
 
@@ -436,7 +442,18 @@ impl Gs3Node {
         }
         let silent = now.saturating_since(a.last_heard);
         let head = a.head;
-        if silent > timeout {
+        // The adaptive detector may trigger the election earlier than the
+        // legacy timeout on a calm channel (never later).
+        let adaptive = crate::reliable::suspect_after(
+            &self.rel,
+            &self.cfg.reliability,
+            head,
+            timeout,
+        );
+        if silent > adaptive && silent <= timeout {
+            crate::reliable::mark_suspected(&mut self.rel, head, a.last_heard + timeout);
+        }
+        if silent > adaptive {
             if a.election_pending.is_none() {
                 self.start_election_if_candidate(head, ctx);
             }

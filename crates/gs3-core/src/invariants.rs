@@ -7,7 +7,7 @@
 //! [`Strictness::Dynamic`], and the tight static bounds when
 //! [`Strictness::Static`].
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
 use gs3_geometry::{head_spacing, Point, SQRT_3};
 use gs3_sim::spatial::SpatialGrid;
@@ -695,6 +695,7 @@ fn connectivity_mask(snap: &Snapshot, idx: &SnapshotIndex) -> Vec<bool> {
 #[cfg(any(test, feature = "naive-checks"))]
 pub mod naive {
     use super::*;
+    use std::collections::VecDeque;
 
     /// All-pairs version of [`check_neighbor_distances`](super::check_neighbor_distances).
     #[must_use]

@@ -10,6 +10,7 @@ use gs3_geometry::spiral::IccIcp;
 use gs3_geometry::Point;
 use gs3_sim::{NodeId, SimDuration};
 
+use crate::config::MAX_JOIN_BACKOFF_FACTOR;
 use crate::messages::{CellInfo, Msg};
 use crate::node::{Ctx, Gs3Node};
 use crate::state::Role;
@@ -34,11 +35,20 @@ impl Gs3Node {
                 b.head_offers.clear();
                 b.assoc_offers.clear();
                 let round = b.probe_round;
-                let backoff_factor = u64::from(b.attempts.min(6));
+                let backoff_factor = u64::from(b.attempts).min(MAX_JOIN_BACKOFF_FACTOR);
                 ctx.broadcast(coord, Msg::BootupProbe { pos: ctx.position() });
                 ctx.set_timer(window, Timer::JoinDecision { round });
-                let jitter = self.join_jitter(ctx);
-                ctx.set_timer(retry * backoff_factor + jitter, Timer::JoinProbe);
+                // Jitter must scale WITH the backoff: a fixed ±retry/2
+                // spread shrinks relative to the growing base delay, so
+                // nodes that collided once re-probe in near-lockstep at
+                // every subsequent attempt (phase-lock). Spread each
+                // attempt over half its own base, capped at the named
+                // config bound.
+                use rand::Rng as _;
+                let jitter_max = (retry.as_micros() * backoff_factor / 2).max(1);
+                let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..jitter_max));
+                let delay = (retry * backoff_factor + jitter).min(self.cfg.max_join_backoff());
+                ctx.set_timer(delay, Timer::JoinProbe);
             }
             Role::Associate(a) if a.surrogate => {
                 // A surrogate keeps looking for a real head.

@@ -66,6 +66,7 @@ pub mod invariants;
 mod join;
 pub mod messages;
 pub mod node;
+mod reliable;
 mod sanity;
 pub mod snapshot;
 pub mod state;
@@ -73,7 +74,7 @@ pub mod timers;
 mod workload;
 
 pub use chaos::{ChaosOptions, ChaosReport, Corruption, FaultKind, FaultOutcome, FaultPlan};
-pub use config::{Gs3Config, Mode};
+pub use config::{Gs3Config, Mode, ReliabilityConfig};
 pub use harness::{Network, NetworkBuilder, RunOutcome};
 pub use node::Gs3Node;
 pub use snapshot::{NodeView, RoleView, Snapshot};

@@ -169,6 +169,9 @@ pub enum Msg {
     ParentSeek {
         /// The seeker's cell IL.
         il: Point,
+        /// The seeker's seek round — echoed in the ack so stale acks from
+        /// earlier rounds can be discarded.
+        round: u64,
     },
     /// `parent_seek_ack`: the probed head accepts.
     ParentSeekAck {
@@ -178,6 +181,8 @@ pub enum Msg {
         il: Point,
         /// The acceptor's position.
         pos: Point,
+        /// The seek round this ack answers (copied from the probe).
+        round: u64,
     },
 
     // ------------------------------------------------------------ sanity check
@@ -229,6 +234,22 @@ pub enum Msg {
     ProxyAssign,
     /// The big node releases the receiver from proxy duty.
     ProxyRelease,
+
+    // --------------------------------------------------- reliability envelope
+    /// A one-shot control message wrapped for acked retransmission: the
+    /// receiver acks `seq`, dedups redeliveries through a bounded window,
+    /// and processes `inner` at most once per window.
+    Reliable {
+        /// Sender-local sequence number (monotone across all destinations).
+        seq: u64,
+        /// The wrapped control message.
+        inner: Box<Msg>,
+    },
+    /// Acknowledges receipt of [`Msg::Reliable`] carrying `seq`.
+    DeliveryAck {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
 }
 
 impl Payload for Msg {
@@ -261,6 +282,8 @@ impl Payload for Msg {
             Msg::AggregateReport { .. } => "aggregate_report",
             Msg::ProxyAssign => "proxy_assign",
             Msg::ProxyRelease => "proxy_release",
+            Msg::Reliable { .. } => "reliable",
+            Msg::DeliveryAck { .. } => "delivery_ack",
         }
     }
 }

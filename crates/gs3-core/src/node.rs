@@ -18,6 +18,7 @@ use gs3_sim::{Context, NodeId, SimDuration};
 
 use crate::config::{Gs3Config, Mode};
 use crate::messages::{CellInfo, Msg};
+use crate::reliable::ReliableState;
 use crate::state::{AssocState, BigAwayState, HeadState, Role};
 use crate::timers::Timer;
 
@@ -30,19 +31,23 @@ pub struct Gs3Node {
     pub(crate) cfg: Gs3Config,
     pub(crate) is_big: bool,
     pub(crate) role: Role,
+    /// Reliability-layer state (sequence numbers, pending sends, dedup
+    /// windows, failure detectors) — kept outside [`Role`] so it survives
+    /// role transitions.
+    pub(crate) rel: ReliableState,
 }
 
 impl Gs3Node {
     /// Creates a small node.
     #[must_use]
     pub fn small(cfg: Gs3Config) -> Self {
-        Gs3Node { cfg, is_big: false, role: Role::bootup() }
+        Gs3Node { cfg, is_big: false, role: Role::bootup(), rel: ReliableState::default() }
     }
 
     /// Creates the big node (initiator and root of the head graph).
     #[must_use]
     pub fn big(cfg: Gs3Config) -> Self {
-        Gs3Node { cfg, is_big: true, role: Role::bootup() }
+        Gs3Node { cfg, is_big: true, role: Role::bootup(), rel: ReliableState::default() }
     }
 
     /// Whether this is the big node.
@@ -287,8 +292,10 @@ impl gs3_sim::Node for Gs3Node {
             Msg::HeadInterAlive(hi) => self.on_head_inter_alive(from, hi, ctx),
             Msg::NewChildHead { pos, il } => self.on_new_child_head(from, pos, il, ctx),
             Msg::ChildRetire => self.on_child_retire(from, ctx),
-            Msg::ParentSeek { il } => self.on_parent_seek(from, il, ctx),
-            Msg::ParentSeekAck { hops, il, pos } => self.on_parent_seek_ack(from, hops, il, pos, ctx),
+            Msg::ParentSeek { il, round } => self.on_parent_seek(from, il, round, ctx),
+            Msg::ParentSeekAck { hops, il, pos, round } => {
+                self.on_parent_seek_ack(from, hops, il, pos, round, ctx);
+            }
             // sanity
             Msg::SanityCheckReq => self.on_sanity_check_req(from, ctx),
             Msg::SanityCheckValid => self.on_sanity_check_valid(from, ctx),
@@ -305,6 +312,9 @@ impl gs3_sim::Node for Gs3Node {
             // big-node mobility
             Msg::ProxyAssign => self.on_proxy_assign(from, ctx),
             Msg::ProxyRelease => self.on_proxy_release(from, ctx),
+            // reliability envelope
+            Msg::Reliable { seq, inner } => self.on_reliable(from, seq, *inner, ctx),
+            Msg::DeliveryAck { seq } => self.on_delivery_ack(from, seq, ctx),
         }
     }
 
@@ -324,6 +334,7 @@ impl gs3_sim::Node for Gs3Node {
             Timer::BigCheck => self.on_big_check(ctx),
             Timer::ProxyExpire => self.on_proxy_expire(ctx),
             Timer::ReportTick => self.on_report_tick(ctx),
+            Timer::Retransmit { seq } => self.on_retransmit(seq, ctx),
         }
     }
 

@@ -177,6 +177,20 @@ pub struct HeadState {
     pub proxy_refreshed: SimTime,
     /// Sensing-workload reports received since the last relay tick.
     pub pending_reports: u32,
+    /// Monotone `parent_seek` round counter (echoed in acks so stale
+    /// acks from earlier rounds can be rejected).
+    pub seek_rounds: u64,
+    /// The seek round currently awaiting an ack, if any.
+    pub pending_seek: Option<u64>,
+    /// Consecutive parent-seek rounds that went unanswered (reset on
+    /// re-attach; drives quarantine entry).
+    pub failed_seeks: u32,
+    /// True while in quarantine: disconnected from the head graph but
+    /// still serving the cell and buffering upward reports.
+    pub quarantined: bool,
+    /// Aggregate-report counts buffered while quarantined (bounded;
+    /// oldest entries drop first).
+    pub quarantine_buf: std::collections::VecDeque<u32>,
 }
 
 impl HeadState {
@@ -214,6 +228,11 @@ impl HeadState {
             is_proxy: false,
             proxy_refreshed: SimTime::ZERO,
             pending_reports: 0,
+            seek_rounds: 0,
+            pending_seek: None,
+            failed_seeks: 0,
+            quarantined: false,
+            quarantine_buf: std::collections::VecDeque::new(),
         }
     }
 

@@ -54,6 +54,12 @@ pub enum Timer {
     ProxyExpire,
     /// The periodic sensing-workload tick (report / aggregate-and-relay).
     ReportTick,
+    /// A reliable-delivery retransmission deadline for the pending send
+    /// with this sequence number (cancelled when its ack arrives).
+    Retransmit {
+        /// The sequence number of the pending reliable send.
+        seq: u64,
+    },
 }
 
 #[cfg(test)]

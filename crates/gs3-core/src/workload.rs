@@ -45,7 +45,18 @@ impl Gs3Node {
                 let count = h.pending_reports.saturating_add(1);
                 h.pending_reports = 0;
                 let parent = h.parent;
-                if parent != ctx.id() {
+                if h.quarantined {
+                    // Partitioned from the head graph: buffer the
+                    // aggregate (bounded — oldest drop first) instead of
+                    // sending into the void; drained on re-attach.
+                    let cap = self.cfg.reliability.quarantine_buffer.max(1);
+                    h.quarantine_buf.push_back(count);
+                    ctx.count("quarantine_buffered");
+                    while h.quarantine_buf.len() > cap {
+                        h.quarantine_buf.pop_front();
+                        ctx.count("quarantine_drops");
+                    }
+                } else if parent != ctx.id() {
                     ctx.unicast(parent, Msg::AggregateReport { count });
                 }
                 // The big node / root swallows the aggregate (it is the

@@ -70,6 +70,7 @@ enum Action<M, T> {
     ReserveChannel { radius: f64 },
     ReleaseChannel,
     PowerOff,
+    Count { name: &'static str, by: u64 },
 }
 
 /// The per-callback view a node gets of itself and the world.
@@ -162,6 +163,20 @@ impl<M, T> Context<'_, M, T> {
     /// callback are discarded.
     pub fn power_off(&mut self) {
         self.actions.push(Action::PowerOff);
+    }
+
+    /// Bumps the named protocol counter in the engine [`crate::Trace`] by
+    /// one. Counters let protocol layers (e.g. reliable delivery) surface
+    /// run statistics without holding engine state.
+    pub fn count(&mut self, name: &'static str) {
+        self.actions.push(Action::Count { name, by: 1 });
+    }
+
+    /// Bumps the named protocol counter by `by` (no-op when `by == 0`).
+    pub fn count_by(&mut self, name: &'static str, by: u64) {
+        if by > 0 {
+            self.actions.push(Action::Count { name, by });
+        }
     }
 }
 
@@ -358,6 +373,26 @@ impl<N: Node> Engine<N> {
     /// A node's current position.
     pub fn position(&self, id: NodeId) -> Result<Point, EngineError> {
         self.slot(id).map(|s| s.position)
+    }
+
+    /// Schedules a crafted message for delivery to `to` after `after`,
+    /// bypassing the radio model and the adversarial channel. Harness-level
+    /// utility for replaying, duplicating, or forging messages in tests;
+    /// the injected copy is not counted as a transmission and does not
+    /// enter the trace digest.
+    pub fn inject_message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: N::Msg,
+        after: SimDuration,
+    ) -> Result<(), EngineError> {
+        self.slot(to)?;
+        self.queue.schedule(
+            self.now + after,
+            PendingEvent { to, kind: EventKind::Deliver { from, msg } },
+        );
+        Ok(())
     }
 
     /// Teleports a node (mobility is modeled as a sequence of such steps
@@ -627,6 +662,7 @@ impl<N: Node> Engine<N> {
                 Action::PowerOff => {
                     let _ = self.kill(id);
                 }
+                Action::Count { name, by } => self.trace.record_proto(name, by),
             }
         }
     }

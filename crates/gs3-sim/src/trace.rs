@@ -29,6 +29,10 @@ pub struct Trace {
     duplicated: u64,
     delayed: u64,
     scheduled_deliveries: u64,
+    /// Protocol-level named counters bumped via [`crate::Context::count`]
+    /// (e.g. the reliability layer's retransmit/dedup/give-up tallies).
+    /// Empty when no node records any.
+    proto_counters: BTreeMap<&'static str, u64>,
     /// Running FNV-1a hash of every scheduled delivery
     /// (time, sender, receiver, kind).
     digest: u64,
@@ -50,6 +54,7 @@ impl Default for Trace {
             duplicated: 0,
             delayed: 0,
             scheduled_deliveries: 0,
+            proto_counters: BTreeMap::new(),
             digest: FNV_OFFSET,
         }
     }
@@ -106,6 +111,10 @@ impl Trace {
 
     pub(crate) fn record_delayed(&mut self) {
         self.delayed += 1;
+    }
+
+    pub(crate) fn record_proto(&mut self, name: &'static str, by: u64) {
+        *self.proto_counters.entry(name).or_insert(0) += by;
     }
 
     /// Folds one scheduled delivery into the digest: delivery time in
@@ -224,6 +233,18 @@ impl Trace {
     #[must_use]
     pub fn scheduled_deliveries(&self) -> u64 {
         self.scheduled_deliveries
+    }
+
+    /// Value of the named protocol counter (0 when never bumped).
+    #[must_use]
+    pub fn proto(&self, name: &str) -> u64 {
+        self.proto_counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All protocol counters recorded via [`crate::Context::count`].
+    #[must_use]
+    pub fn proto_counters(&self) -> &BTreeMap<&'static str, u64> {
+        &self.proto_counters
     }
 
     /// A stable FNV-1a hash of the full delivery sequence — every

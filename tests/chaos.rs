@@ -4,10 +4,11 @@
 
 use gs3::core::harness::NetworkBuilder;
 use gs3::core::invariants::{self, Strictness};
-use gs3::core::{ChaosOptions, Corruption, FaultKind, FaultPlan};
+use gs3::core::state::Role;
+use gs3::core::{ChaosOptions, Corruption, FaultKind, FaultPlan, ReliabilityConfig};
 use gs3::geometry::{Point, Vec2};
 use gs3::sim::faults::{BurstLoss, FaultConfig};
-use gs3::sim::SimDuration;
+use gs3::sim::{NodeId, SimDuration};
 
 fn builder(seed: u64) -> NetworkBuilder {
     NetworkBuilder::new()
@@ -120,6 +121,180 @@ fn oracle_polling_does_not_perturb_the_run() {
     let (rep_fine, digest_fine) = run(700);
     assert!(rep_fine.polls > rep_coarse.polls, "the finer poll clock must poll more often");
     assert_eq!(digest_coarse, digest_fine, "polling must never consume simulation RNG");
+}
+
+/// The reliability layer's RNG-inertness contract: with the layer
+/// disabled (the default), no envelopes flow, no reliability counters
+/// move, and the delivery schedule is bit-identical to a build that never
+/// routes through the layer's code paths — the explicit `disabled()`
+/// config and the default must replay the same digest, delivery for
+/// delivery. With the layer enabled the wire traffic legitimately
+/// changes.
+#[test]
+fn disabled_reliability_layer_is_rng_inert() {
+    let run = |rc: Option<ReliabilityConfig>| {
+        let mut b = builder(11);
+        if let Some(rc) = rc {
+            b = b.reliability(rc);
+        }
+        let mut net = b.build().unwrap();
+        net.run_to_fixpoint().unwrap();
+        let rep = net.run_chaos(&combined_plan());
+        let sent = net.engine().trace().proto("reliable_sent");
+        (rep, sent)
+    };
+    let (default_rep, default_sent) = run(None);
+    let (off_rep, off_sent) = run(Some(ReliabilityConfig::disabled()));
+    assert_eq!(default_sent, 0, "a disabled layer must never wrap a message");
+    assert_eq!(off_sent, 0);
+    assert_eq!(off_rep.reliability, Default::default(), "disabled layer moved a counter");
+    assert_eq!(default_rep.digest, off_rep.digest, "disabled layer must not shift the RNG stream");
+    assert_eq!(default_rep.to_json(), off_rep.to_json());
+
+    let (on_rep, on_sent) = run(Some(ReliabilityConfig::on()));
+    assert!(on_sent > 0, "the enabled layer never wrapped a control message");
+    assert_ne!(on_rep.digest, off_rep.digest, "the enabled layer must change the wire traffic");
+    assert!(on_rep.healed(), "chaos with reliability on must still heal: {}", on_rep.to_json());
+}
+
+/// Quarantine-mode graceful degradation under a 100%-loss partition: a
+/// head cut off from every other head keeps serving its cell (intra-cell
+/// invariants stay green), buffers upward aggregates behind a bounded
+/// buffer, and drains the buffer once the partition heals and it
+/// re-attaches.
+#[test]
+fn quarantined_head_serves_its_cell_and_drains_after_heal() {
+    let mut rc = ReliabilityConfig::on();
+    rc.quarantine_buffer = 4; // small cap so boundedness is observable
+    let mut net = builder(31)
+        .traffic(SimDuration::from_secs(5))
+        .reliability(rc)
+        .build()
+        .unwrap();
+    net.run_to_fixpoint().unwrap();
+
+    // The victim: the serving head farthest from the big node — far
+    // enough that no surviving head is within coordination range once the
+    // field between them is dead.
+    let snap = net.snapshot();
+    let big = snap.big;
+    let big_pos = snap.nodes[big.raw() as usize].pos;
+    let (victim, victim_pos) = snap
+        .heads()
+        .filter(|h| !h.is_big && h.alive)
+        .map(|h| (h.id, h.pos))
+        .max_by(|a, b| big_pos.distance(a.1).total_cmp(&big_pos.distance(b.1)))
+        .expect("a configured network has small heads");
+    assert!(
+        big_pos.distance(victim_pos) > net.config().coord_radius(),
+        "scenario needs the victim beyond the big node's coordination range"
+    );
+
+    // Partition: kill everything except the victim's cell and the big
+    // node's cell. For the victim this is a 100%-loss partition — every
+    // head it could re-attach to is gone.
+    let keep = net.config().r + net.config().r_t + 6.0;
+    let corpses: Vec<NodeId> = snap
+        .nodes
+        .iter()
+        .filter(|n| {
+            n.alive
+                && n.id != big
+                && n.pos.distance(victim_pos) > keep
+                && n.pos.distance(big_pos) > keep
+        })
+        .map(|n| n.id)
+        .collect();
+    for id in corpses {
+        net.kill(id);
+    }
+    let members_before = snap
+        .nodes
+        .iter()
+        .filter(|n|
+
+            matches!(n.role, gs3::core::RoleView::Associate { head, .. } if head == victim)
+                && n.alive
+                && n.pos.distance(victim_pos) <= keep)
+        .count();
+    assert!(members_before > 0, "the victim cell must have members to serve");
+
+    // Let the partition bite: parent loss, exhausted seeks, quarantine.
+    net.run_for(SimDuration::from_secs(240));
+    let trace = net.engine().trace();
+    assert!(trace.proto("quarantine_entries") >= 1, "the victim never quarantined");
+    assert!(trace.proto("quarantine_buffered") > 4, "quarantine never buffered aggregates");
+    assert!(trace.proto("quarantine_drops") >= 1, "the bounded buffer never dropped");
+    {
+        let node = net.engine().node(victim).unwrap();
+        let Role::Head(h) = node.role() else {
+            panic!("the quarantined victim must keep its head role");
+        };
+        assert!(h.quarantined, "victim head must be in quarantine");
+        assert!(h.quarantine_buf.len() <= 4, "buffer exceeded its bound");
+        assert!(!h.associates.is_empty(), "quarantined head stopped serving its cell");
+    }
+    // Intra-cell invariants stay green: members still attached, within
+    // the boundary-cell radius bound (I₂, Theorem 5) — the victim has no
+    // live lattice neighbors, so it serves as a boundary head.
+    let mid = net.snapshot();
+    let r_bound = 3f64.sqrt() * net.config().r + 2.0 * net.config().r_t + 1e-6;
+    let served = mid
+        .nodes
+        .iter()
+        .filter(|n| {
+            n.alive
+                && matches!(
+                    n.role,
+                    gs3::core::RoleView::Associate { head, surrogate: false, .. } if head == victim
+                )
+        })
+        .inspect(|n| {
+            let head_pos = mid.nodes[victim.raw() as usize].pos;
+            assert!(
+                n.pos.distance(head_pos) <= r_bound,
+                "quarantined cell member {} strayed out of range",
+                n.id
+            );
+        })
+        .count();
+    assert!(served > 0, "the quarantined cell lost all members");
+
+    // Heal the partition: blanket the dead corridor between the big node
+    // and the victim with fresh nodes. Boundary re-organization then grows
+    // new cells ring by ring toward the victim until one head beats within
+    // the victim's coordination range; the victim re-attaches and drains.
+    let u = Point::new(
+        (victim_pos.x - big_pos.x) / big_pos.distance(victim_pos),
+        (victim_pos.y - big_pos.y) / big_pos.distance(victim_pos),
+    );
+    let v = Point::new(-u.y, u.x);
+    let corridor = big_pos.distance(victim_pos);
+    let mut k = 0u32;
+    let mut t = 35.0;
+    while t < corridor - 12.0 {
+        for j in -2i32..=2 {
+            let s = f64::from(j) * 18.0;
+            let p = Point::new(
+                big_pos.x + u.x * t + v.x * s,
+                big_pos.y + u.y * t + v.y * s,
+            );
+            net.join_node(p);
+            k += 1;
+        }
+        t += 18.0;
+    }
+    assert!(k >= 40, "corridor blanket too sparse");
+    net.run_for(SimDuration::from_secs(600));
+
+    let trace = net.engine().trace();
+    assert!(trace.proto("quarantine_exits") >= 1, "the victim never left quarantine");
+    assert!(trace.proto("quarantine_drained") >= 1, "the buffer never drained upward");
+    let node = net.engine().node(victim).unwrap();
+    if let Role::Head(h) = node.role() {
+        assert!(!h.quarantined, "victim still quarantined after the partition healed");
+        assert!(h.quarantine_buf.is_empty(), "drained buffer must be empty");
+    }
 }
 
 /// Satellite regression: 5% honest unicast loss (acks, org replies, and

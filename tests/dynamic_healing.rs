@@ -259,3 +259,87 @@ fn associate_death_is_masked_within_cell() {
     let changed = changed_nodes(&before, &after);
     assert!(changed.is_empty(), "associate death must be masked, changed {changed:?}");
 }
+
+/// Sanity recovery, observable mechanics: a corrupted head actually runs
+/// the distributed check (requests out, a majority of valid verdicts
+/// back), leaves via `head_retreat_corrupted` — not via the ordinary
+/// retreat used for planned handoffs — and its orphaned associates are
+/// re-absorbed, leaving the structure clean.
+#[test]
+fn sanity_demotion_runs_the_check_and_reabsorbs_associates() {
+    let mut net = settled(109);
+    let (victim, _il) = pick_inner_head(&net);
+    let members: Vec<NodeId> = {
+        let snap = net.snapshot();
+        snap.nodes
+            .iter()
+            .filter(|n| {
+                n.alive && matches!(n.role, RoleView::Associate { head, .. } if head == victim)
+            })
+            .map(|n| n.id)
+            .collect()
+    };
+    assert!(!members.is_empty(), "an inner head serves associates");
+    let reqs_before = net.engine().trace().sent_of_kind("sanity_check_req");
+    assert!(net.corrupt_head_il(victim, Vec2::new(150.0, 90.0)));
+    net.run_for(SimDuration::from_secs(150));
+
+    let trace = net.engine().trace();
+    assert!(
+        trace.sent_of_kind("sanity_check_req") > reqs_before,
+        "the corrupted head never started a sanity round"
+    );
+    assert!(
+        trace.sent_of_kind("sanity_check_valid") > 0,
+        "neighbors never answered the sanity round"
+    );
+    assert!(
+        trace.sent_of_kind("head_retreat_corrupted") >= 1,
+        "demotion must go through the corrupted-retreat path"
+    );
+    // Every orphaned associate found a live head (or was re-elected head).
+    let snap = net.snapshot();
+    for id in members {
+        let n = snap.node(id).expect("member still deployed");
+        if !n.alive {
+            continue;
+        }
+        match &n.role {
+            RoleView::Associate { head, .. } => {
+                let h = snap.node(*head).expect("head exists");
+                assert!(h.alive && h.is_head(), "member {id} points at a dead head");
+            }
+            RoleView::Head { .. } => {}
+            other => panic!("member {id} stranded as {other:?}"),
+        }
+    }
+    assert_clean(&net, "after sanity demotion");
+}
+
+/// A corrupted *parent pointer* (head points at itself, masquerading as a
+/// root) is repaired in place by the inter-cell machinery — the head
+/// re-attaches to the real tree without ever being demoted. The sanity
+/// check is for geometric corruption; tree corruption heals cheaper.
+#[test]
+fn corrupt_parent_pointer_heals_without_demotion() {
+    let mut net = settled(110);
+    let (victim, il) = pick_inner_head(&net);
+    let retreats_before = net.engine().trace().sent_of_kind("head_retreat_corrupted");
+    assert!(net.corrupt_head_parent(victim));
+    net.run_for(SimDuration::from_secs(120));
+
+    let snap = net.snapshot();
+    let healed = snap.node(victim).is_some_and(|n| match &n.role {
+        RoleView::Head { parent, il: cur, .. } => {
+            *parent != victim && cur.distance(il) <= 1e-6
+        }
+        _ => false,
+    });
+    assert!(healed, "the self-parented head must re-attach at its own IL");
+    assert_eq!(
+        net.engine().trace().sent_of_kind("head_retreat_corrupted"),
+        retreats_before,
+        "parent repair must not escalate to sanity demotion"
+    );
+    assert_clean(&net, "after parent-pointer repair");
+}

@@ -148,3 +148,72 @@ fn gaps_never_break_coverage() {
         );
     }
 }
+
+/// Reliable-delivery dedup is idempotent: delivering a forged reliable
+/// envelope once vs `k` times (`k` ≤ the dedup window) leaves the network
+/// in the same structural state — the inner message is dispatched exactly
+/// once, and the `k−1` extra copies only bump the dedup counter.
+#[test]
+fn dedup_window_makes_redelivery_idempotent() {
+    use gs3::core::messages::Msg;
+    use gs3::core::{ReliabilityConfig, RoleView};
+
+    let mut rng = StdRng::seed_from_u64(0x5747_4104);
+    for _ in 0..6 {
+        let seed = rng.gen_range(0u64..10_000);
+        let window = ReliabilityConfig::on().dedup_window;
+        let k = rng.gen_range(2usize..=window);
+        let run = |copies: usize| {
+            let mut net = NetworkBuilder::new()
+                .ideal_radius(40.0)
+                .radius_tolerance(14.0)
+                .area_radius(160.0)
+                .expected_nodes(300)
+                .seed(seed)
+                .reliability(ReliabilityConfig::on())
+                .build()
+                .unwrap();
+            let _ = net.run_to_fixpoint().unwrap();
+            // Forge a `child_retire` from a head's parent — the eviction
+            // path, whose single dispatch breaks the parent link and
+            // forces a re-seek. Redelivered copies must be absorbed by
+            // the window, not re-break the healed link.
+            let snap = net.snapshot();
+            let (victim, parent) = snap
+                .heads()
+                .filter(|h| !h.is_big && h.alive)
+                .find_map(|h| match &h.role {
+                    RoleView::Head { parent, .. } if *parent != h.id => {
+                        Some((h.id, *parent))
+                    }
+                    _ => None,
+                })
+                .expect("a settled network has a child head");
+            drop(snap);
+            for _ in 0..copies {
+                net.engine_mut()
+                    .inject_message(
+                        parent,
+                        victim,
+                        Msg::Reliable { seq: 999_999, inner: Box::new(Msg::ChildRetire) },
+                        SimDuration::from_millis(5),
+                    )
+                    .unwrap();
+            }
+            net.run_for(SimDuration::from_secs(120));
+            let dedups = net.engine().trace().proto("reliable_dedup_hits");
+            (net.snapshot().structural_signature(), dedups)
+        };
+        let (sig_once, dedup_once) = run(1);
+        let (sig_k, dedup_k) = run(k);
+        assert_eq!(
+            sig_once, sig_k,
+            "seed {seed}: {k} deliveries diverged from 1 delivery"
+        );
+        assert_eq!(
+            dedup_k - dedup_once,
+            (k - 1) as u64,
+            "seed {seed}: every extra copy must be a dedup hit"
+        );
+    }
+}

@@ -232,3 +232,56 @@ fn associate_switches_to_closer_head_after_reorganization() {
     let best = gs3::core::invariants::check_best_head(&snap, true);
     assert!(best.is_empty(), "F3 must be restored: {:?}", best.first());
 }
+
+#[test]
+fn stale_parent_seek_ack_is_ignored() {
+    // Regression: a delayed or duplicated `parent_seek_ack` from a round
+    // the head is no longer waiting on must not re-parent it. Forge an
+    // irresistible ack (hops = 0) from a non-parent head; the settled
+    // victim has no seek pending, so the ack is stale by definition.
+    use gs3::core::messages::Msg;
+
+    let mut net = settled(408);
+    let snap = net.snapshot();
+    let (victim, parent) = snap
+        .heads()
+        .filter(|h| !h.is_big && h.alive)
+        .find_map(|h| match &h.role {
+            RoleView::Head { parent, .. } if *parent != h.id => Some((h.id, *parent)),
+            _ => None,
+        })
+        .expect("a settled network has a child head");
+    let victim_children: Vec<_> = match &snap.node(victim).unwrap().role {
+        RoleView::Head { children, .. } => children.clone(),
+        _ => unreachable!(),
+    };
+    let forger = snap
+        .heads()
+        .find(|h| h.id != victim && h.id != parent && !victim_children.contains(&h.id))
+        .expect("another head exists");
+    let (forger_il, forger_pos) = match &snap.node(forger.id).unwrap().role {
+        RoleView::Head { il, .. } => (*il, forger.pos),
+        _ => unreachable!(),
+    };
+    net.engine_mut()
+        .inject_message(
+            forger.id,
+            victim,
+            Msg::ParentSeekAck { hops: 0, il: forger_il, pos: forger_pos, round: 7 },
+            SimDuration::from_millis(5),
+        )
+        .unwrap();
+    net.run_for(SimDuration::from_secs(10));
+
+    assert!(
+        net.engine().trace().proto("parent_seek_stale_acks") >= 1,
+        "the stale ack was never flagged"
+    );
+    let snap = net.snapshot();
+    match &snap.node(victim).unwrap().role {
+        RoleView::Head { parent: now_parent, .. } => {
+            assert_eq!(*now_parent, parent, "a stale ack must never re-parent a head");
+        }
+        other => panic!("victim left head role: {other:?}"),
+    }
+}
