@@ -14,6 +14,9 @@
 //! * `check_all_grid/{n}` vs `check_all_naive/{n}` — the spatial-indexed
 //!   invariant engine against the all-pairs reference at n ∈ {1k, 10k};
 //!   a speedup line is printed per size.
+//! * `recorder_count_only/10k` vs `recorder_record_full/10k` — the
+//!   flight-recorder emission hot path: the always-on per-class counter
+//!   bump against a Full-mode structured ring write.
 //!
 //! Run with `cargo bench -p gs3-bench`. Reports median wall time per
 //! iteration over a fixed wall-time budget per benchmark.
@@ -29,6 +32,7 @@ use gs3_geometry::spiral::CellSpiral;
 use gs3_geometry::{Angle, Point};
 use gs3_sim::queue::EventQueue;
 use gs3_sim::spatial::SpatialGrid;
+use gs3_sim::telemetry::{Event, EventClass, FlightRecorder, RecorderMode, NO_PEER};
 use gs3_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -138,6 +142,33 @@ fn main() {
         let snap = net.snapshot();
         bench("invariant_check/900_nodes", quick, || {
             black_box(check_all(&snap, Strictness::Static).len());
+        });
+    }
+
+    // Flight-recorder emission: what one engine event pays in each mode.
+    {
+        let mut rec = FlightRecorder::new();
+        bench("recorder_count_only/10k", quick, || {
+            for _ in 0..10_000u64 {
+                rec.count_only(black_box(EventClass::Delivery));
+            }
+            black_box(rec.total());
+        });
+        let mut rec = FlightRecorder::new();
+        rec.set_mode(RecorderMode::Full { capacity: 4_096 });
+        bench("recorder_record_full/10k", quick, || {
+            for i in 0..10_000u64 {
+                rec.record(black_box(Event {
+                    t_us: i,
+                    node: i % 64,
+                    class: EventClass::Delivery,
+                    kind: "bench",
+                    peer: NO_PEER,
+                    episode: 0,
+                    data: i,
+                }));
+            }
+            black_box(rec.total());
         });
     }
 

@@ -56,6 +56,10 @@ struct CellResult {
     unicast_drops: u64,
     retransmits: u64,
     give_ups: u64,
+    /// Per-episode spatial healing radius (meters) — one per crash wave.
+    episode_radii: Vec<f64>,
+    /// Per-episode message cost (sends attributed to the episode).
+    episode_messages: Vec<f64>,
 }
 
 fn run_cell(sev: &Severity, churn: &Churn, seed: u64, reliable: bool) -> CellResult {
@@ -100,6 +104,8 @@ fn run_cell(sev: &Severity, churn: &Churn, seed: u64, reliable: bool) -> CellRes
         unicast_drops: rep.dropped_unicast,
         retransmits: rep.reliability.retransmits,
         give_ups: rep.reliability.give_ups,
+        episode_radii: rep.episodes.iter().map(|e| e.radius_m).collect(),
+        episode_messages: rep.episodes.iter().map(|e| e.messages as f64).collect(),
     }
 }
 
@@ -137,10 +143,14 @@ struct Arm {
     unicast_drops: u64,
     retransmits: u64,
     give_ups: u64,
+    median_episode_radius: f64,
+    median_episode_messages: f64,
 }
 
 fn aggregate(runs: &[&CellResult]) -> Arm {
     let latencies: Vec<f64> = runs.iter().flat_map(|r| r.latencies.iter().copied()).collect();
+    let radii: Vec<f64> = runs.iter().flat_map(|r| r.episode_radii.iter().copied()).collect();
+    let msgs: Vec<f64> = runs.iter().flat_map(|r| r.episode_messages.iter().copied()).collect();
     Arm {
         healed_runs: runs.iter().filter(|r| r.healed).count(),
         median_heal: median(&latencies),
@@ -149,12 +159,14 @@ fn aggregate(runs: &[&CellResult]) -> Arm {
         unicast_drops: runs.iter().map(|r| r.unicast_drops).sum::<u64>() / runs.len() as u64,
         retransmits: runs.iter().map(|r| r.retransmits).sum::<u64>() / runs.len() as u64,
         give_ups: runs.iter().map(|r| r.give_ups).sum::<u64>() / runs.len() as u64,
+        median_episode_radius: median(&radii),
+        median_episode_messages: median(&msgs),
     }
 }
 
 fn arm_json(a: &Arm) -> String {
     format!(
-        "{{\"healed\":{},\"runs\":{},\"median_heal_s\":{},\"worst_heal_s\":{},\"burst_drops\":{},\"unicast_drops\":{},\"retransmits\":{},\"give_ups\":{}}}",
+        "{{\"healed\":{},\"runs\":{},\"median_heal_s\":{},\"worst_heal_s\":{},\"burst_drops\":{},\"unicast_drops\":{},\"retransmits\":{},\"give_ups\":{},\"episode_radius_m\":{},\"episode_messages\":{}}}",
         a.healed_runs,
         SEEDS.len(),
         json_num(a.median_heal),
@@ -163,6 +175,8 @@ fn arm_json(a: &Arm) -> String {
         a.unicast_drops,
         a.retransmits,
         a.give_ups,
+        json_num(a.median_episode_radius),
+        json_num(a.median_episode_messages),
     )
 }
 
@@ -208,6 +222,7 @@ fn main() {
         "median off (s)",
         "median on (s)",
         "worst on (s)",
+        "heal r (m)",
         "retransmits",
         "give-ups",
     ]);
@@ -237,6 +252,7 @@ fn main() {
                     num(off.median_heal),
                     num(on.median_heal),
                     num(on.worst_heal),
+                    num(on.median_episode_radius),
                     format!("{}", on.retransmits),
                     format!("{}", on.give_ups),
                 ]);

@@ -8,11 +8,19 @@
 //!
 //! ```text
 //! cargo run --release -p gs3-bench --bin perf_suite -- [--smoke] [-j N] [--out PATH]
+//!                                                      [--gate BASELINE.json]
 //! ```
 //!
 //! `--smoke` shrinks every scenario so the suite finishes in seconds —
 //! CI runs it on every push to prove the suite itself works and to
 //! archive the artifact; real measurements come from a full run.
+//!
+//! `--gate BASELINE.json` turns the run into a regression gate: the
+//! recorder-off `steady_state_120s` throughput must stay within 2% of
+//! the baseline artifact's (the telemetry subsystem's contract is that
+//! disabled recording costs nothing on the hot path), or the process
+//! exits non-zero. The `steady_state_recorded_120s` scenario measures
+//! the opt-in cost of a Full-mode flight recorder on the same workload.
 
 use std::time::Instant;
 
@@ -119,6 +127,27 @@ fn scenario_steady_state(scale: &Scale) -> Measurement {
     }
 }
 
+/// The steady-state workload again with a Full-mode flight recorder —
+/// the opt-in telemetry cost (ring writes per engine event) relative to
+/// `steady_state_120s`.
+fn scenario_steady_state_recorded(scale: &Scale) -> Measurement {
+    let mut net = build(scale.nodes_mid, scale.area_mid, 42);
+    let _ = net.run_to_fixpoint();
+    net.engine_mut().set_recording(gs3_sim::telemetry::RecorderMode::Full { capacity: 200_000 });
+    let before = net.engine().events_processed();
+    let start = Instant::now();
+    net.run_for(SimDuration::from_secs(120));
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let recorded = net.engine().telemetry().recorder.total();
+    Measurement {
+        scenario: "steady_state_recorded_120s",
+        wall_ms,
+        events: net.engine().events_processed() - before,
+        peak_queue_depth: net.engine().peak_queue_depth(),
+        extra: vec![("nodes", scale.nodes_mid as f64), ("recorded_events", recorded as f64)],
+    }
+}
+
 /// Self-healing under a lossy channel and crash waves.
 fn scenario_chaos(scale: &Scale) -> Measurement {
     let mut net = build(scale.chaos_nodes, scale.chaos_area, 23);
@@ -222,6 +251,17 @@ fn to_json(measurements: &[Measurement], smoke: bool, threads: usize) -> String 
     out
 }
 
+/// Pull `"events_per_sec"` for one scenario out of a `BENCH_core.json`
+/// document (hand-rolled scan — the artifact format is ours).
+fn extract_events_per_sec(doc: &str, scenario: &str) -> Option<f64> {
+    let needle = format!("\"scenario\":\"{scenario}\"");
+    let obj = &doc[doc.find(&needle)?..];
+    let obj = &obj[..obj.find('}')?];
+    let val = &obj[obj.find("\"events_per_sec\":")? + "\"events_per_sec\":".len()..];
+    let end = val.find([',', '}']).unwrap_or(val.len());
+    val[..end].trim().parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -230,6 +270,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_core.json".to_string());
+    let gate_path = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1).cloned());
     let threads = threads_from_args();
     let scale = if smoke { &SMOKE } else { &FULL };
 
@@ -243,9 +287,10 @@ fn main() {
     // Scenarios are independent seeded workloads; fan them out like any
     // other experiment grid. Wall-clock numbers are only comparable
     // across commits when measured at the same -j.
-    let scenarios: [fn(&Scale) -> Measurement; 5] = [
+    let scenarios: [fn(&Scale) -> Measurement; 6] = [
         scenario_configure,
         scenario_steady_state,
+        scenario_steady_state_recorded,
         scenario_chaos,
         scenario_invariants,
         scenario_snapshot,
@@ -263,7 +308,36 @@ fn main() {
         );
     }
 
+    // Opt-in telemetry-overhead report: recorded vs plain steady state.
+    let plain = measurements.iter().find(|m| m.scenario == "steady_state_120s");
+    let recorded = measurements.iter().find(|m| m.scenario == "steady_state_recorded_120s");
+    if let (Some(p), Some(r)) = (plain, recorded) {
+        if p.events_per_sec() > 0.0 {
+            let overhead = (p.events_per_sec() - r.events_per_sec()) / p.events_per_sec() * 100.0;
+            eprintln!("  recorder Full-mode overhead: {overhead:.1}% of steady-state throughput");
+        }
+    }
+
     let json = to_json(&measurements, smoke, threads);
     std::fs::write(&out_path, &json).expect("write BENCH_core.json");
     println!("{json}");
+
+    // Regression gate against a stored baseline artifact: the recorder-off
+    // hot path must not have slowed down. Wall-clock noise makes this
+    // meaningful only on quiet machines at matching scale/-j, which is why
+    // it is opt-in.
+    if let Some(path) = gate_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("gate baseline {path}: {e}"));
+        let base = extract_events_per_sec(&baseline, "steady_state_120s")
+            .expect("baseline lacks a steady_state_120s scenario");
+        let cur = plain.expect("suite always runs steady_state_120s").events_per_sec();
+        let delta = (base - cur) / base * 100.0;
+        eprintln!("gate: steady_state_120s {cur:.0} ev/s vs baseline {base:.0} ev/s ({delta:+.1}% regression)");
+        if cur < base * 0.98 {
+            eprintln!("gate FAILED: recorder-off throughput regressed more than 2%");
+            std::process::exit(1);
+        }
+        eprintln!("gate OK (within 2%)");
+    }
 }

@@ -14,6 +14,7 @@
 //! | `baseline_compare` | Section 6 — GS³ vs LEACH vs hop clustering |
 //! | `sliding` | §4.3.5.1 — coherent sliding under uniform depletion |
 //! | `chaos_sweep` | robustness — healing latency vs burst loss × churn |
+//! | `locality` | Theorems 8–13 — episode healing radius vs network size |
 //! | `perf_suite` | engine performance — `BENCH_core.json` |
 //!
 //! Every experiment accepts `--threads N` / `-j N`: the (seed × parameter)
@@ -25,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod locality;
 pub mod runner;
 
 use gs3_core::harness::NetworkBuilder;

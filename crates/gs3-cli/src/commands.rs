@@ -11,6 +11,7 @@ use gs3_core::{Mode, ReliabilityConfig};
 use gs3_geometry::Point;
 use gs3_sim::faults::{BurstLoss, FaultConfig};
 use gs3_sim::radio::EnergyModel;
+use gs3_sim::telemetry::{export_chrome_trace, export_jsonl, RecorderMode};
 use gs3_sim::SimDuration;
 
 use crate::args::{ArgError, Args};
@@ -28,6 +29,8 @@ pub fn help() {
          \x20 watch  run under energy drain and watch the structure slide\n\
          \x20 chaos  configure, then run a scheduled fault plan (burst loss,\n\
          \x20        jamming, crash wave, state corruption) and certify healing\n\
+         \x20 trace  configure, record the flight recorder for a while, and\n\
+         \x20        export the event stream (JSONL or Chrome trace)\n\
          \x20 help   this text\n\
          \n\
          common options (defaults in parentheses):\n\
@@ -68,9 +71,17 @@ pub fn help() {
          \x20 --jam-radius M   jam disk radius (80)\n\
          \x20 --jam-secs S     jam window length (60)\n\
          \x20 --json           print the ChaosReport as JSON only\n\
+         \x20 --timeline FILE  record the run and write a Chrome-trace /\n\
+         \x20                  Perfetto timeline (chrome://tracing, ui.perfetto.dev)\n\
          \x20 --runs N         repeat against N consecutive seeds (1)\n\
          \x20 --threads N, -j N  worker threads for --runs > 1 (all cores);\n\
-         \x20                  output is identical at any thread count"
+         \x20                  output is identical at any thread count\n\
+         \n\
+         trace options:\n\
+         \x20 --duration SECS  how long to record after configuration (60)\n\
+         \x20 --capacity N     flight-recorder ring capacity (200000)\n\
+         \x20 --format F       jsonl | chrome (jsonl)\n\
+         \x20 --out FILE       write here instead of stdout"
     );
 }
 
@@ -337,13 +348,32 @@ pub fn chaos(a: &Args) -> CliResult {
         return chaos_multi(a, runs, json, &make_plan);
     }
 
+    let timeline = a.get("timeline").map(str::to_string);
     let mut net = build(a)?;
+    if timeline.is_some() {
+        // Recording is pure observation: the digest printed below is
+        // bit-identical with or without the timeline.
+        net.engine_mut().set_recording(RecorderMode::Full { capacity: 200_000 });
+    }
     configure(&mut net)?;
     if !json {
         println!("configured at {}; unleashing chaos", net.now());
     }
     let plan = make_plan();
     let rep = net.run_chaos(&plan);
+
+    if let Some(path) = &timeline {
+        let tel = net.engine().telemetry();
+        let doc = export_chrome_trace(
+            tel.recorder.events(),
+            tel.episodes.episodes(),
+            net.now().as_micros(),
+        );
+        std::fs::write(path, doc)?;
+        if !json {
+            println!("timeline:        wrote {path} ({} events in ring)", tel.recorder.len());
+        }
+    }
 
     if json {
         println!("{}", rep.to_json());
@@ -445,6 +475,51 @@ fn chaos_multi(
         .count();
     if failed > 0 {
         return Err(format!("{failed}/{runs} chaos runs did not heal").into());
+    }
+    Ok(())
+}
+
+/// `gs3 trace` — configure a network, switch the flight recorder to full
+/// ring capture, run for `--duration` simulated seconds, and export the
+/// recorded event stream as JSONL (one event per line) or a Chrome-trace /
+/// Perfetto timeline. Recording is pure observation, so the run is
+/// bit-identical to an unrecorded one.
+pub fn trace(a: &Args) -> CliResult {
+    let duration: f64 = a.num("duration", 60.0)?;
+    let capacity: usize = a.num("capacity", 200_000)?;
+    let format = a.get("format").unwrap_or("jsonl");
+    if !matches!(format, "jsonl" | "chrome") {
+        return Err(format!("option --format: expected jsonl or chrome, got {format:?}").into());
+    }
+
+    let mut net = build(a)?;
+    net.engine_mut().set_recording(RecorderMode::Full { capacity });
+    configure(&mut net)?;
+    net.run_for(SimDuration::from_secs_f64(duration));
+
+    let tel = net.engine().telemetry();
+    let doc = match format {
+        "chrome" => export_chrome_trace(
+            tel.recorder.events(),
+            tel.episodes.episodes(),
+            net.now().as_micros(),
+        ),
+        _ => export_jsonl(tel.recorder.events()),
+    };
+    match a.get("out") {
+        Some(path) => {
+            std::fs::write(path, doc)?;
+            if !a.flag("quiet") {
+                eprintln!(
+                    "wrote {path}: {} events in ring ({} observed, {} evicted); metrics {}",
+                    tel.recorder.len(),
+                    tel.recorder.total(),
+                    tel.recorder.dropped(),
+                    tel.metrics.to_json()
+                );
+            }
+        }
+        None => print!("{doc}"),
     }
     Ok(())
 }

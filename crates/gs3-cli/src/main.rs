@@ -9,7 +9,10 @@
 //!                                    (energy drain / sliding, periodic status)
 //! gs3 chaos  ... [--burst-enter P] [--burst-len L] [--unicast-loss P]
 //!                [--crash N] [--jam X,Y] [--jam-radius M] [--jam-secs S]
-//!                [--json]     (scheduled fault plan + self-healing certificate)
+//!                [--json] [--timeline FILE]
+//!                             (scheduled fault plan + self-healing certificate)
+//! gs3 trace  ... [--duration SECS] [--capacity N] [--format jsonl|chrome]
+//!                [--out FILE]      (flight-recorder event-stream export)
 //! gs3 help
 //! ```
 
@@ -33,6 +36,7 @@ fn main() {
         Some("heal") => commands::heal(&parsed),
         Some("watch") => commands::watch(&parsed),
         Some("chaos") => commands::chaos(&parsed),
+        Some("trace") => commands::trace(&parsed),
         Some("help") | None => {
             commands::help();
             Ok(())

@@ -38,6 +38,7 @@
 
 use gs3_geometry::{Point, Vec2};
 use gs3_sim::faults::FaultConfig;
+use gs3_sim::telemetry::Episode;
 use gs3_sim::{NodeId, SimDuration, SimTime};
 
 use std::collections::BTreeMap;
@@ -247,6 +248,10 @@ pub struct FaultOutcome {
     /// — the fault's *healing latency*. `None` when the structure never
     /// came clean before the settle deadline.
     pub heal_latency: Option<SimDuration>,
+    /// The telemetry episode opened for this fault (`None` for
+    /// channel-shaping faults — jams and channel reconfiguration perturb
+    /// the medium, not the structure, so no causal taint is seeded).
+    pub episode: Option<u32>,
 }
 
 /// Control-plane reliability counters accumulated during a chaos run
@@ -304,6 +309,14 @@ pub struct ChaosReport {
     pub delayed: u64,
     /// Reliability-layer counters accumulated during the run.
     pub reliability: ReliabilityCounters,
+    /// Per-message-kind send counts over the run window (deltas vs the
+    /// start-of-run trace), sorted by kind; zero-delta kinds are omitted.
+    pub sent_by_kind: Vec<(&'static str, u64)>,
+    /// Healing episodes opened during the run (per-perturbation healing
+    /// latency, message cost, and spatial radius — the empirical side of
+    /// the paper's locality theorems). Episodes still open at the finish
+    /// keep `closed_us = None`.
+    pub episodes: Vec<Episode>,
 }
 
 impl ChaosReport {
@@ -370,6 +383,14 @@ impl ChaosReport {
             push_kv(&mut out, key, &v.to_string());
         }
         out.push_str("},");
+        out.push_str("\"sent_by_kind\":{");
+        for (i, (kind, count)) in self.sent_by_kind.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_kv(&mut out, kind, &count.to_string());
+        }
+        out.push_str("},");
         out.push_str("\"faults\":[");
         for (i, o) in self.outcomes.iter().enumerate() {
             if i > 0 {
@@ -388,7 +409,20 @@ impl ChaosReport {
                 Some(l) => push_kv(&mut out, "heal_latency_us", &l.as_micros().to_string()),
                 None => push_kv(&mut out, "heal_latency_us", "null"),
             }
+            out.push(',');
+            match o.episode {
+                Some(ep) => push_kv(&mut out, "episode", &ep.to_string()),
+                None => push_kv(&mut out, "episode", "null"),
+            }
             out.push('}');
+        }
+        out.push_str("],");
+        out.push_str("\"episodes\":[");
+        for (i, ep) in self.episodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&ep.to_json());
         }
         out.push_str("]}");
         out
@@ -502,6 +536,10 @@ impl Network {
                     outcomes[i].heal_latency = Some(target.since(outcomes[i].injected_at));
                 }
                 pending.clear();
+                // The same clean poll that credits healing latencies closes
+                // the telemetry episodes (recording their latency into the
+                // heal-latency histogram).
+                self.engine_mut().close_episodes();
             }
             if target >= deadline || (next_event >= events.len() && pending.is_empty()) {
                 break;
@@ -511,6 +549,24 @@ impl Network {
 
         let trace = self.engine().trace();
         let delta = |name: &str| trace.proto(name).saturating_sub(trace0.proto(name));
+        let sent_by_kind: Vec<(&'static str, u64)> = trace
+            .sent_by_kind()
+            .iter()
+            .filter_map(|(kind, &count)| {
+                let d = count.saturating_sub(trace0.sent_of_kind(kind));
+                (d > 0).then_some((*kind, d))
+            })
+            .collect();
+        let started_us = start.as_micros();
+        let episodes: Vec<Episode> = self
+            .engine()
+            .telemetry()
+            .episodes
+            .episodes()
+            .iter()
+            .filter(|e| e.opened_us >= started_us)
+            .cloned()
+            .collect();
         ChaosReport {
             started: start,
             finished: self.now(),
@@ -533,23 +589,54 @@ impl Network {
                 quarantine_exits: delta("quarantine_exits"),
                 quarantine_drops: delta("quarantine_drops"),
             },
+            sent_by_kind,
+            episodes,
         }
     }
 
     /// Executes one fault event now and describes what it did.
+    ///
+    /// Structural faults open a telemetry episode labelled with the
+    /// fault's name and seed its causal taint set: crash faults taint the
+    /// survivors within one cell radius (`R + R_t`) of each victim — the
+    /// farthest a steady-state dialogue partner (cell-mate or neighbor
+    /// head) can be, i.e. the nodes that will observe the silence and
+    /// react. Joins and state corruption taint the perturbed node itself,
+    /// and big-node moves taint both endpoints of the hop. Channel-shaping
+    /// faults (jam / channel config) seed no episode — they perturb the
+    /// medium, not the structure.
     fn inject(&mut self, kind: &FaultKind, jams: &mut BTreeMap<u32, u64>) -> FaultOutcome {
         let now = self.now();
+        let detect = self.config().r + self.config().r_t;
+        let mut episode = None;
         let (detail, killed) = match kind {
             FaultKind::CrashDisk { center, radius } => {
                 let victims = self.kill_disk(*center, *radius);
+                let ep = self.engine_mut().open_episode(kind.name());
+                // Seed the ring of survivors around the hole: the grid
+                // holds only alive nodes, so the dead disk itself stays
+                // untainted (the dead cannot send anyway).
+                self.engine_mut().taint_episode_near(ep, *center, radius + detect);
+                episode = Some(ep);
                 (format!("killed {} nodes in r={radius} at {center}", victims.len()), victims.len())
             }
             FaultKind::CrashRandom { count } => {
                 let victims = self.kill_random(*count);
+                let ep = self.engine_mut().open_episode(kind.name());
+                for id in &victims {
+                    if let Ok(pos) = self.engine().position(*id) {
+                        self.engine_mut().taint_episode_near(ep, pos, detect);
+                    }
+                }
+                episode = Some(ep);
                 (format!("killed {} random nodes", victims.len()), victims.len())
             }
             FaultKind::Join { pos } => {
                 let id = self.join_node(*pos);
+                let ep = self.engine_mut().open_episode(kind.name());
+                self.engine_mut().taint_episode_near(ep, *pos, 1e-9);
+                self.engine_mut().taint_episode_node(ep, id);
+                episode = Some(ep);
                 (format!("joined {id} at {pos}"), 0)
             }
             FaultKind::EnergyShock { center, radius, energy } => {
@@ -568,6 +655,9 @@ impl Network {
                 for id in &victims {
                     self.set_energy(*id, *energy);
                 }
+                let ep = self.engine_mut().open_episode(kind.name());
+                self.engine_mut().taint_episode_near(ep, *center, *radius);
+                episode = Some(ep);
                 (format!("set {} nodes in r={radius} at {center} to energy {energy}", victims.len()), 0)
             }
             FaultKind::CorruptState { near, corruption } => {
@@ -595,12 +685,28 @@ impl Network {
                             Corruption::Parent => ("parent", self.corrupt_head_parent(id)),
                         };
                         debug_assert!(ok, "victim was selected as a head");
+                        let ep = self.engine_mut().open_episode(kind.name());
+                        if let Ok(pos) = self.engine().position(id) {
+                            self.engine_mut().taint_episode_near(ep, pos, 1e-9);
+                        }
+                        self.engine_mut().taint_episode_node(ep, id);
+                        episode = Some(ep);
                         (format!("corrupted {what} of head {id}"), 0)
                     }
                 }
             }
             FaultKind::MoveBig { to } => {
+                let from = self
+                    .engine()
+                    .position(self.big_id())
+                    .unwrap_or(*to);
                 self.move_big(*to);
+                let ep = self.engine_mut().open_episode(kind.name());
+                self.engine_mut().taint_episode_near(ep, from, detect);
+                self.engine_mut().taint_episode_near(ep, *to, detect);
+                let big = self.big_id();
+                self.engine_mut().taint_episode_node(ep, big);
+                episode = Some(ep);
                 (format!("moved big node to {to}"), 0)
             }
             FaultKind::StartJam { label, center, radius } => {
@@ -628,7 +734,7 @@ impl Network {
                 (desc, 0)
             }
         };
-        FaultOutcome { kind: kind.name(), detail, injected_at: now, killed, heal_latency: None }
+        FaultOutcome { kind: kind.name(), detail, injected_at: now, killed, heal_latency: None, episode }
     }
 }
 
@@ -681,6 +787,15 @@ mod tests {
         assert_eq!(report.outcomes[0].killed, 5);
         assert!(report.healed(), "crash wave must heal: {}", report.to_json());
         assert!(report.outcomes[0].heal_latency.is_some());
+        // The crash opened a healing episode; the tainted survivors'
+        // traffic is attributed to it and the clean poll closed it.
+        assert_eq!(report.outcomes[0].episode, Some(1));
+        assert_eq!(report.episodes.len(), 1);
+        let ep = &report.episodes[0];
+        assert_eq!(ep.label, "crash_random");
+        assert!(ep.closed_us.is_some(), "episode must close on heal");
+        assert!(ep.messages > 0, "tainted survivors must have sent traffic");
+        assert!(ep.tainted > 0);
     }
 
     #[test]
@@ -714,6 +829,7 @@ mod tests {
                 injected_at: SimTime::from_micros(7),
                 killed: 0,
                 heal_latency: None,
+                episode: None,
             }],
             final_violations: 1,
             max_violations: 2,
@@ -725,13 +841,18 @@ mod tests {
             duplicated: 0,
             delayed: 0,
             reliability: ReliabilityCounters { retransmits: 4, ..ReliabilityCounters::default() },
+            sent_by_kind: vec![("org", 12), ("org_reply", 3)],
+            episodes: Vec::new(),
         };
         let json = report.to_json();
         assert!(json.contains("\"healed\":false"));
         assert!(json.contains("\"digest\":\"0000000000000abc\""));
         assert!(json.contains("\"reliability\":{\"retransmits\":4,"));
         assert!(json.contains("\"quarantine_drops\":0}"));
+        assert!(json.contains("\"sent_by_kind\":{\"org\":12,\"org_reply\":3}"));
         assert!(json.contains("\"heal_latency_us\":null"));
+        assert!(json.contains("\"episode\":null"));
+        assert!(json.contains("\"episodes\":[]"));
         assert!(json.contains("say \\\"hi\\\""));
         assert!(!report.healed());
         assert_eq!(report.max_heal_latency(), None);

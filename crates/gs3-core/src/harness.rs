@@ -51,6 +51,7 @@ pub struct NetworkBuilder {
     traffic_period: Option<SimDuration>,
     faults: FaultConfig,
     reliability: Option<ReliabilityConfig>,
+    flight_recorder: Option<usize>,
 }
 
 impl Default for NetworkBuilder {
@@ -73,6 +74,7 @@ impl Default for NetworkBuilder {
             traffic_period: None,
             faults: FaultConfig::none(),
             reliability: None,
+            flight_recorder: None,
         }
     }
 }
@@ -243,6 +245,17 @@ impl NetworkBuilder {
         self
     }
 
+    /// Enables the full flight recorder with a ring of `capacity` events
+    /// (see [`gs3_sim::telemetry::FlightRecorder`]). Recording is pure
+    /// observation: scheduled-delivery digests are bit-identical with the
+    /// recorder on or off. Without this knob only the cheap per-class
+    /// counters run.
+    #[must_use]
+    pub fn flight_recorder(mut self, capacity: usize) -> Self {
+        self.flight_recorder = Some(capacity);
+        self
+    }
+
     /// Deploys the network.
     ///
     /// # Errors
@@ -280,6 +293,9 @@ impl NetworkBuilder {
         };
         let mut eng: Engine<Gs3Node> = Engine::new(radio, energy_model, self.seed);
         eng.set_fault_config(self.faults);
+        if let Some(capacity) = self.flight_recorder {
+            eng.set_recording(gs3_sim::telemetry::RecorderMode::Full { capacity });
+        }
 
         // The big node anchors the structure; spawn it first so the
         // diffusion starts at t=0. As the gateway/access point it is

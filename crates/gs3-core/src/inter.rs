@@ -191,9 +191,11 @@ impl Gs3Node {
             return;
         }
         for child in evicted {
+            ctx.event("child_evicted", child.raw());
             self.send_ctrl(ctx, child, Msg::ChildRetire);
         }
         if let Some((target, seek)) = deferred_seek {
+            ctx.event("parent_seek", target.raw());
             self.send_ctrl(ctx, target, seek);
         }
         self.evaluate_parent(ctx);
@@ -257,6 +259,7 @@ impl Gs3Node {
             h.neighbors.remove(&from);
             h.children.remove(&from);
             let ci = h.cell_info(me, pos, r_t, gr);
+            ctx.event("duplicate_head_demoted", from.raw());
             ctx.broadcast(coord, Msg::NewHeadAnnounce(ci));
             self.send_ctrl(ctx, from, Msg::ReplacingHead);
             return;

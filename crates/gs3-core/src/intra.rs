@@ -39,6 +39,8 @@ impl Gs3Node {
         if is_big && mobile && pos.distance(h.il) > r_t {
             let ci = h.cell_info(me, pos, r_t, gr);
             ctx.broadcast(cell_range, Msg::HeadRetreat(ci));
+            ctx.event("big_retreat", 0);
+            self.flush_pending_reports(ctx);
             self.become_big_away(ctx, true);
             return;
         }
@@ -88,6 +90,10 @@ impl Gs3Node {
         };
         let ci = h.cell_info(me, pos, r_t, gr);
         ctx.broadcast(cell_range, Msg::HeadRetreat(ci.clone()));
+        ctx.event("head_retreat", 0);
+        // The retreating head still knows its parent: hand the buffered
+        // workload upstream before the role transition discards it.
+        self.flush_pending_reports(ctx);
         if self.is_big {
             self.become_big_away(ctx, self.cfg.mode == Mode::Mobile);
         } else {
@@ -133,6 +139,8 @@ impl Gs3Node {
                 // retreat so the new candidates elect a head at the new IL.
                 ctx.broadcast(cell_range, Msg::HeadIntraAlive(ci.clone()));
                 ctx.broadcast(cell_range, Msg::HeadRetreat(ci.clone()));
+                ctx.event("cell_shift", 0);
+                self.flush_pending_reports(ctx);
                 if self.is_big {
                     self.become_big_away(ctx, self.cfg.mode == Mode::Mobile);
                 } else {
@@ -148,6 +156,8 @@ impl Gs3Node {
     pub(crate) fn abandon_cell(&mut self, ctx: &mut Ctx<'_>) {
         let cell_range = self.cfg.cell_radius_bound();
         ctx.broadcast(cell_range, Msg::CellAbandoned);
+        ctx.event("cell_abandoned", 0);
+        self.flush_pending_reports(ctx);
         if self.is_big {
             self.become_big_away(ctx, self.cfg.mode == Mode::Mobile);
         } else {
@@ -312,6 +322,7 @@ impl Gs3Node {
         let ci = hs.cell_info(me, pos, r_t, gr);
         let parent = cell.parent;
         let il = cell.il;
+        ctx.event("head_elected", dead_head.raw());
         ctx.broadcast(coord, Msg::NewHeadAnnounce(ci));
         if parent != me {
             self.send_ctrl(ctx, parent, Msg::NewChildHead { pos, il });
@@ -402,6 +413,10 @@ impl Gs3Node {
             return;
         };
         let ci = h.cell_info(me, pos, r_t, gr);
+        ctx.event("head_replaced", from.raw());
+        // Hand any buffered workload upstream before stepping down — the
+        // replacement knows nothing of what this head had aggregated.
+        self.flush_pending_reports(ctx);
         if self.is_big {
             self.become_big_away(ctx, self.cfg.mode == Mode::Mobile);
         } else {
@@ -455,6 +470,7 @@ impl Gs3Node {
         }
         if silent > adaptive {
             if a.election_pending.is_none() {
+                ctx.event("head_suspected", head.raw());
                 self.start_election_if_candidate(head, ctx);
             }
             // Re-borrow: start_election_if_candidate may not have applied.

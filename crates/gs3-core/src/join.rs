@@ -36,6 +36,7 @@ impl Gs3Node {
                 b.assoc_offers.clear();
                 let round = b.probe_round;
                 let backoff_factor = u64::from(b.attempts).min(MAX_JOIN_BACKOFF_FACTOR);
+                ctx.event("join_probe", round);
                 ctx.broadcast(coord, Msg::BootupProbe { pos: ctx.position() });
                 ctx.set_timer(window, Timer::JoinDecision { round });
                 // Jitter must scale WITH the backoff: a fixed ±retry/2
@@ -158,6 +159,7 @@ impl Gs3Node {
                 candidates: Vec::new(),
                 root_pos: pos,
             };
+            ctx.event("joined_head", head.raw());
             self.become_associate(ctx, head, pos, cell, false, true);
             return;
         }
@@ -181,6 +183,7 @@ impl Gs3Node {
                 candidates: Vec::new(),
                 root_pos: pos,
             };
+            ctx.event("joined_surrogate", assoc.raw());
             self.become_associate(ctx, assoc, pos, cell, true, false);
             // Surrogates keep probing; ensure a probe is queued.
             ctx.set_timer(self.cfg.join_retry + SimDuration::from_millis(1), Timer::JoinProbe);

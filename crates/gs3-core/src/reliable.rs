@@ -121,6 +121,7 @@ pub(crate) fn note_seek_failed(h: &mut HeadState, cfg: &ReliabilityConfig, ctx: 
     if cfg.quarantine && !h.quarantined && h.failed_seeks >= cfg.quarantine_seek_limit {
         h.quarantined = true;
         ctx.count("quarantine_entries");
+        ctx.event("quarantine_enter", u64::from(h.failed_seeks));
     }
 }
 
@@ -131,9 +132,11 @@ pub(crate) fn note_seek_failed(h: &mut HeadState, cfg: &ReliabilityConfig, ctx: 
 pub(crate) fn head_reattached(h: &mut HeadState, ctx: &mut Ctx<'_>) {
     h.failed_seeks = 0;
     h.pending_seek = None;
+    ctx.event("head_reattached", h.parent.raw());
     if h.quarantined {
         h.quarantined = false;
         ctx.count("quarantine_exits");
+        ctx.event("quarantine_exit", 0);
         let total: u64 = h.quarantine_buf.iter().map(|&c| u64::from(c)).sum();
         h.quarantine_buf.clear();
         if total > 0 {
@@ -220,6 +223,7 @@ impl Gs3Node {
         if p.attempt > max_retries {
             let p = self.rel.pending.remove(&seq).expect("pending send present");
             ctx.count("reliable_give_ups");
+            ctx.event("reliable_give_up", p.to.raw());
             self.on_reliable_give_up(p.to, p.msg, ctx);
             return;
         }

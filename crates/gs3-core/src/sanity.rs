@@ -88,6 +88,7 @@ impl Gs3Node {
             let round = h.sanity_rounds;
             let asked: Vec<NodeId> = h.neighbors.keys().copied().collect();
             h.sanity = Some(SanityRound { round, asked, valid: Vec::new() });
+            ctx.event("sanity_round_opened", round);
             ctx.broadcast(coord, Msg::SanityCheckReq);
             ctx.set_timer(window, Timer::SanityDeadline { round });
         }
@@ -144,7 +145,9 @@ impl Gs3Node {
             // Every neighbor is consistent and we are not: our state is the
             // corrupted one. Demote; the cell's candidates will elect a
             // sound successor, and re-joining re-learns correct state.
+            ctx.event("sanity_demotion", round);
             ctx.broadcast(cell_range, Msg::HeadRetreatCorrupted);
+            self.flush_pending_reports(ctx);
             if self.is_big {
                 self.become_big_away(ctx, self.cfg.mode == crate::config::Mode::Mobile);
             } else {

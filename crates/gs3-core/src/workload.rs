@@ -67,6 +67,32 @@ impl Gs3Node {
         ctx.set_timer(period, Timer::ReportTick);
     }
 
+    /// Flushes a stepping-down head's buffered workload upstream before
+    /// the role transition destroys its head state. Without this, every
+    /// `replacing_head` / cell abandonment / retreat silently dropped the
+    /// reports aggregated since the last tick (plus anything parked in the
+    /// quarantine buffer) — data loss invisible to the delivery counters.
+    /// Sends one final `aggregate_report` to the still-known parent.
+    pub(crate) fn flush_pending_reports(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.report_period.is_zero() {
+            return;
+        }
+        let Role::Head(h) = &mut self.role else {
+            return;
+        };
+        let mut count = h.pending_reports;
+        h.pending_reports = 0;
+        while let Some(buffered) = h.quarantine_buf.pop_front() {
+            count = count.saturating_add(buffered);
+        }
+        let parent = h.parent;
+        if count > 0 && parent != ctx.id() {
+            ctx.count("reports_flushed");
+            ctx.event("reports_flushed", u64::from(count));
+            ctx.unicast(parent, Msg::AggregateReport { count });
+        }
+    }
+
     /// `sensor_report` received by a head.
     pub(crate) fn on_sensor_report(&mut self, _from: NodeId, _ctx: &mut Ctx<'_>) {
         if let Role::Head(h) = &mut self.role {

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use gs3_geometry::Point;
+use gs3_telemetry::{tag_episode, Event, EventClass, RecorderMode, Telemetry, NO_PEER, NO_TAG};
 
 use crate::channel::ChannelManager;
 use crate::faults::{FaultConfig, FaultState};
@@ -71,6 +72,7 @@ enum Action<M, T> {
     ReleaseChannel,
     PowerOff,
     Count { name: &'static str, by: u64 },
+    Event { kind: &'static str, data: u64 },
 }
 
 /// The per-callback view a node gets of itself and the world.
@@ -81,6 +83,7 @@ pub struct Context<'a, M, T> {
     position: Point,
     energy: f64,
     holds_channel: bool,
+    record_events: bool,
     rng: &'a mut StdRng,
     actions: &'a mut Vec<Action<M, T>>,
 }
@@ -178,12 +181,23 @@ impl<M, T> Context<'_, M, T> {
             self.actions.push(Action::Count { name, by });
         }
     }
+
+    /// Emits a structured protocol event into the engine flight recorder
+    /// (kind label plus a free-form numeric payload). A no-op — not even
+    /// an action push — unless full recording is enabled, so instrumented
+    /// handlers cost nothing on ordinary runs. Events never influence the
+    /// simulation: purely observational.
+    pub fn event(&mut self, kind: &'static str, data: u64) {
+        if self.record_events {
+            self.actions.push(Action::Event { kind, data });
+        }
+    }
 }
 
 #[derive(Debug)]
 enum EventKind<M, T> {
     Start,
-    Deliver { from: NodeId, msg: M },
+    Deliver { from: NodeId, msg: M, directed: bool },
     Timer { timer_id: u64, timer: T },
     ChannelGrant,
 }
@@ -192,6 +206,10 @@ enum EventKind<M, T> {
 struct PendingEvent<M, T> {
     to: NodeId,
     kind: EventKind<M, T>,
+    /// Packed healing-episode tag ([`gs3_telemetry::pack_tag`]); 0 = none.
+    /// Rides the queue so causal attribution needs no RNG and no extra
+    /// scheduling — the digest stream is untouched by telemetry.
+    tag: u64,
 }
 
 #[derive(Debug)]
@@ -237,6 +255,7 @@ pub struct Engine<N: Node> {
     faults: FaultState,
     rng: StdRng,
     trace: Trace,
+    telemetry: Telemetry,
     now: SimTime,
     next_timer_id: u64,
     events_processed: u64,
@@ -265,6 +284,7 @@ impl<N: Node> Engine<N> {
             faults: FaultState::default(),
             rng: StdRng::seed_from_u64(seed),
             trace: Trace::new(),
+            telemetry: Telemetry::new(),
             now: SimTime::ZERO,
             next_timer_id: 0,
             events_processed: 0,
@@ -322,6 +342,77 @@ impl<N: Node> Engine<N> {
         &self.trace
     }
 
+    /// The telemetry bundle: flight recorder, episode tracker, metrics.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access to the telemetry bundle.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Switches the flight-recorder mode (counters-only vs full ring
+    /// capture). Recording is pure observation: enabling it leaves the
+    /// scheduled-delivery digest bit-identical.
+    pub fn set_recording(&mut self, mode: RecorderMode) {
+        self.telemetry.recorder.set_mode(mode);
+    }
+
+    /// Opens a healing episode at the current time; returns its id.
+    /// Perturbation harnesses call this right before injecting a fault,
+    /// then seed the taint set via [`Self::taint_episode_near`] /
+    /// [`Self::taint_episode_node`].
+    pub fn open_episode(&mut self, label: &'static str) -> u32 {
+        self.telemetry.episodes.open(label, self.now.as_micros())
+    }
+
+    /// Registers `center` as a perturbation origin of `episode` and
+    /// seed-taints every alive node within `radius` of it (the radio
+    /// neighborhood that observes the perturbation first — e.g. the
+    /// nodes who will notice a crashed head's silence).
+    pub fn taint_episode_near(&mut self, episode: u32, center: Point, radius: f64) {
+        self.telemetry.episodes.add_origin(episode, (center.x, center.y));
+        let mut found: Vec<usize> = Vec::new();
+        self.grid.for_each_candidate(center, radius, |h| found.push(h));
+        found.sort_unstable();
+        for h in found {
+            let slot = &self.slots[h];
+            if slot.alive && slot.position.distance(center) <= radius {
+                self.telemetry.episodes.taint_node(episode, h as u64);
+            }
+        }
+    }
+
+    /// Seed-taints a single node for `episode` (e.g. a joining node or a
+    /// corrupted-state victim that is itself alive and will send).
+    pub fn taint_episode_node(&mut self, episode: u32, id: NodeId) {
+        self.telemetry.episodes.taint_node(episode, id.raw());
+    }
+
+    /// Closes every open episode at the current time (the harness calls
+    /// this when it observes the network healed), recording each healing
+    /// latency into the metrics registry.
+    pub fn close_episodes(&mut self) {
+        if !self.telemetry.episodes.any_open() {
+            return;
+        }
+        let t = self.now.as_micros();
+        let latencies: Vec<u64> = self
+            .telemetry
+            .episodes
+            .episodes()
+            .iter()
+            .filter(|e| e.closed_us.is_none())
+            .map(|e| t.saturating_sub(e.opened_us))
+            .collect();
+        for l in latencies {
+            self.telemetry.metrics.heal_latency_us.record(l);
+        }
+        self.telemetry.episodes.close_all(t);
+    }
+
     /// Spawns a node at `position`, booting immediately (its
     /// [`Node::on_start`] runs at the current time). Initial energy comes
     /// from the energy model (unlimited when accounting is disabled).
@@ -346,7 +437,7 @@ impl<N: Node> Engine<N> {
             energy: energy.unwrap_or(UNLIMITED_ENERGY),
             pending_timers: Vec::new(),
         });
-        self.queue.schedule(at, PendingEvent { to: id, kind: EventKind::Start });
+        self.queue.schedule(at, PendingEvent { to: id, kind: EventKind::Start, tag: NO_TAG });
         id
     }
 
@@ -390,7 +481,7 @@ impl<N: Node> Engine<N> {
         self.slot(to)?;
         self.queue.schedule(
             self.now + after,
-            PendingEvent { to, kind: EventKind::Deliver { from, msg } },
+            PendingEvent { to, kind: EventKind::Deliver { from, msg, directed: true }, tag: NO_TAG },
         );
         Ok(())
     }
@@ -435,7 +526,7 @@ impl<N: Node> Engine<N> {
         for granted in self.channel.release(id) {
             self.queue.schedule(
                 self.now + self.radio.base_latency,
-                PendingEvent { to: granted, kind: EventKind::ChannelGrant },
+                PendingEvent { to: granted, kind: EventKind::ChannelGrant, tag: NO_TAG },
             );
         }
         Ok(())
@@ -476,6 +567,7 @@ impl<N: Node> Engine<N> {
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
         self.events_processed += 1;
+        self.telemetry.metrics.queue_depth.record(self.queue.len() as u64);
         self.dispatch(ev);
         true
     }
@@ -538,8 +630,29 @@ impl<N: Node> Engine<N> {
         }
         match ev.kind {
             EventKind::Start => self.with_ctx(ev.to, |node, ctx| node.on_start(ctx)),
-            EventKind::Deliver { from, msg } => {
+            EventKind::Deliver { from, msg, directed } => {
                 self.trace.record_delivery();
+                // Causal attribution: a delivery of a tagged message
+                // taints the receiver one hop deeper into the episode —
+                // but only a *directed* (unicast) delivery propagates
+                // taint; broadcast receptions are ambient and only count.
+                if ev.tag != NO_TAG {
+                    let pos = self.slots[idx].position;
+                    self.telemetry.episodes.on_delivery(ev.tag, ev.to.raw(), (pos.x, pos.y), directed);
+                }
+                if self.telemetry.recorder.is_recording() {
+                    self.telemetry.recorder.record(Event {
+                        t_us: self.now.as_micros(),
+                        node: ev.to.raw(),
+                        class: EventClass::Delivery,
+                        kind: msg.kind(),
+                        peer: from.raw(),
+                        episode: tag_episode(ev.tag),
+                        data: 0,
+                    });
+                } else {
+                    self.telemetry.recorder.count_only(EventClass::Delivery);
+                }
                 let rx = self.energy_model.rx;
                 if self.charge(ev.to, rx) {
                     return;
@@ -558,6 +671,19 @@ impl<N: Node> Engine<N> {
                     Err(_) => return,
                 }
                 self.trace.record_timer();
+                if self.telemetry.recorder.is_recording() {
+                    self.telemetry.recorder.record(Event {
+                        t_us: self.now.as_micros(),
+                        node: ev.to.raw(),
+                        class: EventClass::Timer,
+                        kind: "timer",
+                        peer: NO_PEER,
+                        episode: self.telemetry.episodes.episode_of(ev.to.raw()),
+                        data: timer_id,
+                    });
+                } else {
+                    self.telemetry.recorder.count_only(EventClass::Timer);
+                }
                 self.with_ctx(ev.to, |node, ctx| node.on_timer(timer, ctx));
             }
             EventKind::ChannelGrant => {
@@ -604,6 +730,7 @@ impl<N: Node> Engine<N> {
             position,
             energy,
             holds_channel: self.channel.holds(id),
+            record_events: self.telemetry.recorder.is_recording(),
             rng: &mut self.rng,
             actions: &mut actions,
         };
@@ -634,7 +761,11 @@ impl<N: Node> Engine<N> {
                     self.slots[id.raw() as usize].pending_timers.push((timer_id, timer.clone()));
                     self.queue.schedule(
                         self.now + after,
-                        PendingEvent { to: id, kind: EventKind::Timer { timer_id, timer } },
+                        PendingEvent {
+                            to: id,
+                            kind: EventKind::Timer { timer_id, timer },
+                            tag: NO_TAG,
+                        },
                     );
                 }
                 Action::CancelTimers { timer } => {
@@ -647,7 +778,7 @@ impl<N: Node> Engine<N> {
                     if self.channel.request(id, pos, radius) {
                         self.queue.schedule(
                             self.now + self.radio.base_latency,
-                            PendingEvent { to: id, kind: EventKind::ChannelGrant },
+                            PendingEvent { to: id, kind: EventKind::ChannelGrant, tag: NO_TAG },
                         );
                     }
                 }
@@ -655,7 +786,11 @@ impl<N: Node> Engine<N> {
                     for granted in self.channel.release(id) {
                         self.queue.schedule(
                             self.now + self.radio.base_latency,
-                            PendingEvent { to: granted, kind: EventKind::ChannelGrant },
+                            PendingEvent {
+                                to: granted,
+                                kind: EventKind::ChannelGrant,
+                                tag: NO_TAG,
+                            },
                         );
                     }
                 }
@@ -663,6 +798,17 @@ impl<N: Node> Engine<N> {
                     let _ = self.kill(id);
                 }
                 Action::Count { name, by } => self.trace.record_proto(name, by),
+                Action::Event { kind, data } => {
+                    self.telemetry.recorder.record(Event {
+                        t_us: self.now.as_micros(),
+                        node: id.raw(),
+                        class: EventClass::Protocol,
+                        kind,
+                        peer: NO_PEER,
+                        episode: self.telemetry.episodes.episode_of(id.raw()),
+                        data,
+                    });
+                }
             }
         }
     }
@@ -672,7 +818,15 @@ impl<N: Node> Engine<N> {
     /// scheduled copy is folded into the trace digest. With an inert fault
     /// state this draws exactly one latency sample — bit-identical to the
     /// pre-fault engine.
-    fn schedule_delivery(&mut self, from: NodeId, to: NodeId, dist: f64, msg: &N::Msg) {
+    fn schedule_delivery(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        dist: f64,
+        msg: &N::Msg,
+        tag: u64,
+        directed: bool,
+    ) {
         let copies = if self.faults.duplicated(&mut self.rng) {
             self.trace.record_duplicated();
             2
@@ -686,18 +840,39 @@ impl<N: Node> Engine<N> {
                 self.trace.record_delayed();
                 latency = latency + extra;
             }
+            self.telemetry.metrics.delivery_latency_us.record(latency.as_micros());
             let at = self.now + latency;
             self.trace.record_scheduled_delivery(at.as_micros(), from.raw(), to.raw(), msg.kind());
             self.queue.schedule(
                 at,
-                PendingEvent { to, kind: EventKind::Deliver { from, msg: msg.clone() } },
+                PendingEvent {
+                    to,
+                    kind: EventKind::Deliver { from, msg: msg.clone(), directed },
+                    tag,
+                },
             );
         }
+    }
+
+    /// The episode tag a transmission from `from` carries, accounting the
+    /// transmission to its episode. Gated on `any_open()` so runs with no
+    /// perturbation in flight pay a single branch.
+    fn episode_tag(&mut self, from: NodeId) -> u64 {
+        if !self.telemetry.episodes.any_open() {
+            return NO_TAG;
+        }
+        let tag = self.telemetry.episodes.tag_for_sender(from.raw());
+        if tag != NO_TAG {
+            let pos = self.slots[from.raw() as usize].position;
+            self.telemetry.episodes.on_send(tag, (pos.x, pos.y));
+        }
+        tag
     }
 
     fn do_unicast(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
         use crate::engine::Payload as _;
         self.trace.record_unicast(msg.kind());
+        let tag = self.episode_tag(from);
         let from_pos = self.slots[from.raw() as usize].position;
         let Some(target) = self.slots.get(to.raw() as usize) else {
             self.trace.record_unicast_failure();
@@ -720,7 +895,7 @@ impl<N: Node> Engine<N> {
         } else if self.faults.unicast_dropped(&mut self.rng) {
             self.trace.record_dropped_unicast();
         } else {
-            self.schedule_delivery(from, to, dist, &msg);
+            self.schedule_delivery(from, to, dist, &msg, tag, true);
         }
         self.charge(from, self.energy_model.tx_cost(dist));
     }
@@ -728,6 +903,7 @@ impl<N: Node> Engine<N> {
     fn do_broadcast(&mut self, from: NodeId, radius: f64, msg: N::Msg) {
         use crate::engine::Payload as _;
         self.trace.record_broadcast(msg.kind());
+        let tag = self.episode_tag(from);
         let range = self.radio.effective_range(radius);
         let from_pos = self.slots[from.raw() as usize].position;
         let mut receivers = std::mem::take(&mut self.recv_buf);
@@ -761,7 +937,7 @@ impl<N: Node> Engine<N> {
                 self.trace.record_dropped_by_burst();
                 continue;
             }
-            self.schedule_delivery(from, NodeId::new(h as u64), dist, &msg);
+            self.schedule_delivery(from, NodeId::new(h as u64), dist, &msg, tag, false);
         }
         receivers.clear();
         self.recv_buf = receivers;
@@ -1203,6 +1379,101 @@ mod tests {
         assert_eq!(run(0.10), run(0.10), "same config, same digest");
         assert_ne!(run(0.10), run(0.25), "different channel, different digest");
         assert_ne!(run(0.0), run(0.10));
+    }
+
+    #[test]
+    fn recording_leaves_stream_bit_identical() {
+        // The flight recorder is pure observation: full-ring capture must
+        // replay the exact digest and event count of a counters-only run.
+        let run = |record: bool| {
+            let (mut eng, _) = line_engine(20, 40.0);
+            if record {
+                eng.set_recording(RecorderMode::Full { capacity: 4096 });
+            }
+            eng.run_until(SimTime::from_micros(5_000_000));
+            (eng.trace().digest(), eng.events_processed())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn counters_mode_counts_without_storing() {
+        let (mut eng, _) = line_engine(5, 40.0);
+        eng.run_until(SimTime::from_micros(5_000_000));
+        let rec = &eng.telemetry().recorder;
+        assert!(rec.total() > 0);
+        assert!(rec.is_empty(), "counters mode stores no events");
+        assert_eq!(rec.of_class(EventClass::Delivery), eng.trace().deliveries());
+    }
+
+    #[test]
+    fn full_mode_captures_bounded_ring() {
+        let (mut eng, _) = line_engine(10, 50.0);
+        eng.set_recording(RecorderMode::Full { capacity: 4 });
+        eng.run_until(SimTime::from_micros(5_000_000));
+        let rec = &eng.telemetry().recorder;
+        assert!(rec.len() <= 4);
+        assert_eq!(rec.total(), rec.len() as u64 + rec.dropped());
+    }
+
+    #[test]
+    fn episodes_attribute_tainted_traffic_and_stay_inert() {
+        use crate::faults::FaultConfig;
+        // Node 0 chatters at node 1 forever. Opening an episode and
+        // tainting node 0 must attribute its sends/deliveries (and taint
+        // node 1 at depth 1) without perturbing the digest stream.
+        let run = |episode: bool| {
+            let mut eng = chatter_pair(FaultConfig::none());
+            if episode {
+                let ep = eng.open_episode("test");
+                eng.taint_episode_near(ep, Point::ORIGIN, 10.0);
+            }
+            eng.run_for(SimDuration::from_secs(10));
+            (eng.trace().digest(), eng.events_processed())
+        };
+        assert_eq!(run(true), run(false));
+
+        let mut eng = chatter_pair(FaultConfig::none());
+        let ep = eng.open_episode("test");
+        eng.taint_episode_near(ep, Point::ORIGIN, 10.0);
+        eng.run_for(SimDuration::from_secs(10));
+        eng.close_episodes();
+        let e = eng.telemetry().episodes.episode(ep).unwrap();
+        assert!(e.messages > 0, "tainted sender's transmissions attributed");
+        assert!(e.deliveries > 0);
+        assert!(e.tainted >= 2, "receiver tainted at depth 1");
+        assert!((e.radius_m - 50.0).abs() < 1e-9, "radius reaches node 1");
+        assert_eq!(e.heal_latency_us(), Some(eng.now().as_micros()));
+        assert_eq!(eng.telemetry().metrics.heal_latency_us.count(), 1);
+    }
+
+    #[test]
+    fn ctx_event_records_only_in_full_mode() {
+        #[derive(Debug, Default)]
+        struct Emitter;
+        #[derive(Debug, Clone)]
+        struct M;
+        impl Payload for M {}
+        impl Node for Emitter {
+            type Msg = M;
+            type Timer = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, M, ()>) {
+                ctx.event("booted", 7);
+            }
+            fn on_message(&mut self, _: NodeId, _: M, _: &mut Context<'_, M, ()>) {}
+            fn on_timer(&mut self, _: (), _: &mut Context<'_, M, ()>) {}
+        }
+        let run = |record: bool| {
+            let mut eng = Engine::new(RadioModel::ideal(100.0), EnergyModel::disabled(), 1);
+            if record {
+                eng.set_recording(RecorderMode::Full { capacity: 16 });
+            }
+            eng.spawn(Emitter, Point::ORIGIN);
+            eng.run_until(SimTime::from_micros(1_000));
+            eng.telemetry().recorder.of_class(EventClass::Protocol)
+        };
+        assert_eq!(run(false), 0, "no-op when disabled");
+        assert_eq!(run(true), 1);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   engine RNG for bit-reproducible chaos runs.
 //! * [`deploy`] — Poisson deployments with `R_t`-gap injection and
 //!   localization noise.
+//! * [`telemetry`] (re-exported [`gs3_telemetry`]) — deterministic flight
+//!   recorder, causal healing-episode tracking, log-bucketed histograms,
+//!   and JSONL / Chrome-trace exporters, embedded in every [`engine::Engine`].
 //! * [`time`], [`queue`], [`spatial`], [`trace`], [`rng`] — supporting
 //!   machinery.
 //!
@@ -80,6 +83,10 @@ pub mod rng;
 pub mod spatial;
 pub mod time;
 pub mod trace;
+
+/// The telemetry layer ([`gs3_telemetry`]), re-exported so downstream
+/// crates need no direct dependency.
+pub use gs3_telemetry as telemetry;
 
 pub use engine::{Context, Engine, EngineError, Node, Payload};
 pub use faults::{BurstLoss, FaultConfig, FaultState, Jam};

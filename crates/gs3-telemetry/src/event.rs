@@ -1,0 +1,141 @@
+//! The structured event model: what one flight-recorder entry looks like.
+
+/// Sentinel for [`Event::peer`] when the event has no peer node.
+pub const NO_PEER: u64 = u64::MAX;
+
+/// Coarse event class — the always-on counter granularity. Every event
+/// belongs to exactly one class; in counters-only mode the recorder keeps
+/// one `u64` per class and nothing else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventClass {
+    /// A message delivered to a node (engine `Deliver` path).
+    Delivery,
+    /// A timer fired at a node (engine `Timer` path).
+    Timer,
+    /// A protocol-level event emitted by a node handler via `Ctx::event`.
+    Protocol,
+}
+
+impl EventClass {
+    /// Number of distinct classes (size of the per-class counter array).
+    pub const COUNT: usize = 3;
+
+    /// Dense index for per-class counter arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Self::Delivery => 0,
+            Self::Timer => 1,
+            Self::Protocol => 2,
+        }
+    }
+
+    /// Stable lower-case name used in exports.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Delivery => "delivery",
+            Self::Timer => "timer",
+            Self::Protocol => "protocol",
+        }
+    }
+}
+
+/// One structured flight-recorder event: *when*, *where*, *what*.
+///
+/// `kind` is a `&'static str` so recording never allocates; protocol
+/// handlers pass string literals ("head_elected", "quarantine_enter", …).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Simulation time in microseconds.
+    pub t_us: u64,
+    /// The node the event happened at.
+    pub node: u64,
+    /// Coarse class (delivery / timer / protocol).
+    pub class: EventClass,
+    /// Fine-grained kind — message kind, timer kind, or protocol label.
+    pub kind: &'static str,
+    /// Peer node (message sender, …) or [`NO_PEER`].
+    pub peer: u64,
+    /// Healing episode this event is causally attributed to; 0 = none.
+    pub episode: u32,
+    /// Free-form numeric payload (counter value, latency, …).
+    pub data: u64,
+}
+
+impl Event {
+    /// Serialize as a single JSON object (one JSONL line, no trailing
+    /// newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"t_us\":");
+        s.push_str(&self.t_us.to_string());
+        s.push_str(",\"node\":");
+        s.push_str(&self.node.to_string());
+        s.push_str(",\"class\":\"");
+        s.push_str(self.class.name());
+        s.push_str("\",\"kind\":\"");
+        s.push_str(&crate::json_escape(self.kind));
+        s.push('"');
+        if self.peer != NO_PEER {
+            s.push_str(",\"peer\":");
+            s.push_str(&self.peer.to_string());
+        }
+        if self.episode != 0 {
+            s.push_str(",\"episode\":");
+            s.push_str(&self.episode.to_string());
+        }
+        if self.data != 0 {
+            s.push_str(",\"data\":");
+            s.push_str(&self.data.to_string());
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_dense() {
+        assert_eq!(EventClass::Delivery.index(), 0);
+        assert_eq!(EventClass::Timer.index(), 1);
+        assert_eq!(EventClass::Protocol.index(), 2);
+    }
+
+    #[test]
+    fn json_omits_absent_fields() {
+        let ev = Event {
+            t_us: 5,
+            node: 7,
+            class: EventClass::Protocol,
+            kind: "head_elected",
+            peer: NO_PEER,
+            episode: 0,
+            data: 0,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"t_us\":5,\"node\":7,\"class\":\"protocol\",\"kind\":\"head_elected\"}"
+        );
+    }
+
+    #[test]
+    fn json_includes_present_fields() {
+        let ev = Event {
+            t_us: 1,
+            node: 2,
+            class: EventClass::Delivery,
+            kind: "join_request",
+            peer: 3,
+            episode: 4,
+            data: 9,
+        };
+        assert!(ev.to_json().contains("\"peer\":3"));
+        assert!(ev.to_json().contains("\"episode\":4"));
+        assert!(ev.to_json().contains("\"data\":9"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Flight-recorder exporters: JSONL event dump and Chrome-trace
+//! (Perfetto-loadable) timeline.
+
+use crate::episode::Episode;
+use crate::event::{Event, NO_PEER};
+
+/// Export events as JSON Lines: one event object per line.
+#[must_use]
+pub fn export_jsonl<'a>(events: impl Iterator<Item = &'a Event>) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Export a Chrome-trace / Perfetto JSON document.
+///
+/// Layout: every node gets a lane (`pid` 0, `tid` = node id) carrying
+/// its events as instants (`"ph":"i"`); episodes render as duration
+/// spans (`"ph":"X"`) on a separate process lane (`pid` 1, `tid` =
+/// episode id) so they never collide with node 0's event lane. Open
+/// episodes are drawn up to `end_us`.
+#[must_use]
+pub fn export_chrome_trace<'a>(
+    events: impl Iterator<Item = &'a Event>,
+    episodes: &[Episode],
+    end_us: u64,
+) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        out.push_str(&crate::json_escape(ev.kind));
+        out.push_str("\",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+        out.push_str(&ev.t_us.to_string());
+        out.push_str(",\"pid\":0,\"tid\":");
+        out.push_str(&ev.node.to_string());
+        out.push_str(",\"cat\":\"");
+        out.push_str(ev.class.name());
+        out.push_str("\",\"args\":{");
+        let mut first_arg = true;
+        if ev.peer != NO_PEER {
+            out.push_str("\"peer\":");
+            out.push_str(&ev.peer.to_string());
+            first_arg = false;
+        }
+        if ev.episode != 0 {
+            if !first_arg {
+                out.push(',');
+            }
+            out.push_str("\"episode\":");
+            out.push_str(&ev.episode.to_string());
+            first_arg = false;
+        }
+        if ev.data != 0 {
+            if !first_arg {
+                out.push(',');
+            }
+            out.push_str("\"data\":");
+            out.push_str(&ev.data.to_string());
+        }
+        out.push_str("}}");
+    }
+    for ep in episodes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let close = ep.closed_us.unwrap_or(end_us).max(ep.opened_us);
+        out.push_str("{\"name\":\"");
+        out.push_str(&crate::json_escape(ep.label));
+        out.push('#');
+        out.push_str(&ep.id.to_string());
+        out.push_str("\",\"ph\":\"X\",\"ts\":");
+        out.push_str(&ep.opened_us.to_string());
+        out.push_str(",\"dur\":");
+        out.push_str(&(close - ep.opened_us).to_string());
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&ep.id.to_string());
+        out.push_str(",\"cat\":\"episode\",\"args\":{\"messages\":");
+        out.push_str(&ep.messages.to_string());
+        out.push_str(",\"deliveries\":");
+        out.push_str(&ep.deliveries.to_string());
+        out.push_str(",\"radius_m\":");
+        out.push_str(&format!("{:.1}", ep.radius_m));
+        out.push_str(",\"max_depth\":");
+        out.push_str(&ep.max_depth.to_string());
+        out.push_str(",\"healed\":");
+        out.push_str(if ep.closed_us.is_some() { "true" } else { "false" });
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventClass;
+
+    fn ev() -> Event {
+        Event {
+            t_us: 10,
+            node: 3,
+            class: EventClass::Delivery,
+            kind: "join_request",
+            peer: 5,
+            episode: 1,
+            data: 0,
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let evs = [ev(), ev()];
+        let out = export_jsonl(evs.iter());
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn chrome_trace_has_instants_and_spans() {
+        let evs = [ev()];
+        let eps = [Episode {
+            id: 1,
+            label: "crash_random",
+            opened_us: 5,
+            closed_us: Some(25),
+            origins: vec![(0.0, 0.0)],
+            messages: 4,
+            deliveries: 3,
+            radius_m: 12.5,
+            max_depth: 2,
+            tainted: 6,
+        }];
+        let out = export_chrome_trace(evs.iter(), &eps, 100);
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.ends_with("]}"));
+        assert!(out.contains("\"ph\":\"i\""));
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"name\":\"crash_random#1\""));
+        assert!(out.contains("\"dur\":20"));
+        assert!(out.contains("\"radius_m\":12.5"));
+    }
+
+    #[test]
+    fn open_episode_spans_to_end() {
+        let eps = [Episode {
+            id: 1,
+            label: "join",
+            opened_us: 40,
+            closed_us: None,
+            origins: vec![],
+            messages: 0,
+            deliveries: 0,
+            radius_m: 0.0,
+            max_depth: 0,
+            tainted: 0,
+        }];
+        let out = export_chrome_trace([].iter(), &eps, 90);
+        assert!(out.contains("\"dur\":50"));
+        assert!(out.contains("\"healed\":false"));
+    }
+}

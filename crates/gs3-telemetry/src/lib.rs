@@ -1,0 +1,96 @@
+//! # gs3-telemetry
+//!
+//! Deterministic observability layer for the GS³ reproduction: a bounded
+//! flight recorder for structured simulation events, causal *healing
+//! episode* tracking that attributes messages / latency / spatial radius
+//! to individual injected perturbations (the empirical counterpart of the
+//! paper's locality theorems 8–13), a small registry of log-bucketed
+//! histograms, and exporters (JSONL, Chrome-trace/Perfetto).
+//!
+//! ## Determinism contract
+//!
+//! Everything in this crate is *pure observation*: recording an event,
+//! tagging a message with an episode, or bumping a histogram never draws
+//! randomness, never schedules work, and never changes any simulation
+//! decision. The engine's scheduled-delivery digest is bit-identical
+//! whether the recorder runs in cheap [`RecorderMode::Counters`] mode
+//! (the always-on default), full ring-buffer mode, or with episodes open
+//! — the workspace asserts this in tests.
+//!
+//! All state lives in plain deterministic containers (`Vec`, `VecDeque`,
+//! `BTreeMap`), so two runs of the same seed produce byte-identical
+//! exports, at any thread count of the experiment runner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod episode;
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+
+pub use episode::{
+    pack_tag, tag_depth, tag_episode, Episode, EpisodeTracker, MAX_CAUSAL_DEPTH, NO_TAG,
+};
+pub use event::{Event, EventClass, NO_PEER};
+pub use export::{export_chrome_trace, export_jsonl};
+pub use metrics::{LogHistogram, MetricsRegistry};
+pub use recorder::{FlightRecorder, RecorderMode};
+
+/// The full telemetry bundle a simulation engine embeds: flight recorder,
+/// episode tracker, and metrics registry, advanced together.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Structured event recorder (always-on counters, opt-in full ring).
+    pub recorder: FlightRecorder,
+    /// Causal healing-episode tracker.
+    pub episodes: EpisodeTracker,
+    /// Log-bucketed histograms (delivery latency, queue depth, …).
+    pub metrics: MetricsRegistry,
+}
+
+impl Telemetry {
+    /// A fresh bundle: counters-only recording, no episodes, empty
+    /// histograms.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Escape a string for inclusion inside a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_defaults_to_counters_mode() {
+        let t = Telemetry::new();
+        assert!(!t.recorder.is_recording());
+        assert!(!t.episodes.any_open());
+        assert_eq!(t.metrics.delivery_latency_us.count(), 0);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -123,6 +123,60 @@ fn oracle_polling_does_not_perturb_the_run() {
     assert_eq!(digest_coarse, digest_fine, "polling must never consume simulation RNG");
 }
 
+/// Tentpole acceptance: the flight recorder is pure observation — a full
+/// chaos run with the ring capturing every event replays the exact
+/// delivery schedule of a counters-only run — and the episode reducer
+/// reports per-perturbation healing latency, message cost, and spatial
+/// radius (the empirical face of the paper's locality theorems 8–13).
+#[test]
+fn flight_recorder_is_digest_inert_and_episodes_reduce() {
+    let run = |record: bool| {
+        let mut b = builder(11);
+        if record {
+            b = b.flight_recorder(200_000);
+        }
+        let mut net = b.build().unwrap();
+        net.run_to_fixpoint().unwrap();
+        let rep = net.run_chaos(&combined_plan());
+        let ring_len = net.engine().telemetry().recorder.len();
+        (rep, ring_len)
+    };
+    let (off_rep, off_ring) = run(false);
+    let (on_rep, on_ring) = run(true);
+    assert_eq!(off_ring, 0, "counters-only mode must store nothing");
+    assert!(on_ring > 0, "full mode must capture events");
+    assert_eq!(off_rep.digest, on_rep.digest, "recording shifted the delivery stream");
+    assert_eq!(off_rep.to_json(), on_rep.to_json(), "the report must not depend on recording");
+
+    // The episode reducer: the two structural faults in the combined plan
+    // (crash wave, state corruption) each opened an episode; the
+    // channel-shaping faults did not.
+    let episodic: Vec<_> = on_rep.outcomes.iter().filter(|o| o.episode.is_some()).collect();
+    assert_eq!(episodic.len(), 2);
+    assert!(on_rep
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o.kind, "start_jam" | "stop_jam" | "set_channel"))
+        .all(|o| o.episode.is_none()));
+    for o in &episodic {
+        let ep = on_rep
+            .episodes
+            .iter()
+            .find(|e| e.id == o.episode.unwrap())
+            .expect("outcome episode must be in the report");
+        assert_eq!(ep.label, o.kind);
+        assert!(ep.heal_latency_us().is_some(), "{} episode never closed", o.kind);
+        assert!(ep.messages > 0, "{} episode has no message cost", o.kind);
+        assert!(ep.tainted > 0, "{} episode tainted nobody", o.kind);
+        assert!(
+            ep.radius_m.is_finite() && ep.radius_m < 400.0,
+            "{} episode radius {} is not local",
+            o.kind,
+            ep.radius_m
+        );
+    }
+}
+
 /// The reliability layer's RNG-inertness contract: with the layer
 /// disabled (the default), no envelopes flow, no reliability counters
 /// move, and the delivery schedule is bit-identical to a build that never

@@ -74,6 +74,31 @@ fn traffic_makes_head_dissipation_dominant() {
 }
 
 #[test]
+fn stepping_down_heads_flush_buffered_reports() {
+    // Satellite regression: a head that steps down mid-period (energy
+    // retreat, cell shift, replacement) must flush its buffered report
+    // count upstream instead of silently dropping it. Under sustained
+    // drain-driven rotation the flush path must fire.
+    let mut net = NetworkBuilder::new()
+        .ideal_radius(80.0)
+        .radius_tolerance(20.0)
+        .area_radius(150.0)
+        .expected_nodes(320)
+        .seed(94)
+        .traffic(SimDuration::from_secs(2))
+        .energy(EnergyModel::normalized(160.0), 600.0)
+        .build()
+        .unwrap();
+    let _ = net.run_to_fixpoint().unwrap();
+    net.run_for(SimDuration::from_secs(600));
+    let trace = net.engine().trace();
+    assert!(
+        trace.proto("reports_flushed") >= 1,
+        "no stepping-down head ever flushed its pending reports"
+    );
+}
+
+#[test]
 fn workload_survives_head_rotation() {
     // Under drain, headship rotates; the report stream must keep flowing
     // to the (current) heads without interruption-induced losses piling
