@@ -21,6 +21,7 @@
 //! Run with `cargo bench -p gs3-bench`. Reports median wall time per
 //! iteration over a fixed wall-time budget per benchmark.
 
+// gs3-lint: allow-file(d2) -- wall-clock timing is this benchmark harness's product; no simulation state depends on it
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 

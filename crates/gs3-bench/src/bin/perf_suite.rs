@@ -22,6 +22,7 @@
 //! exits non-zero. The `steady_state_recorded_120s` scenario measures
 //! the opt-in cost of a Full-mode flight recorder on the same workload.
 
+// gs3-lint: allow-file(d2) -- events/sec measurement needs the wall clock; results (digests) never depend on it
 use std::time::Instant;
 
 use gs3_bench::runner::{run_grid, threads_from_args};

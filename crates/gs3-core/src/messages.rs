@@ -317,7 +317,7 @@ mod tests {
             Msg::ProxyAssign,
             Msg::ProxyRelease,
         ];
-        let kinds: std::collections::HashSet<_> = msgs.iter().map(|m| m.kind()).collect();
+        let kinds: std::collections::BTreeSet<_> = msgs.iter().map(|m| m.kind()).collect();
         assert_eq!(kinds.len(), msgs.len());
     }
 

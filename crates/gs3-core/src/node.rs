@@ -92,6 +92,8 @@ impl Gs3Node {
 
     /// Becomes a head anchored at `il` (freshly selected by a `⟨HeadSet⟩`
     /// or reconstructed from an inherited [`CellInfo`]).
+    // Load-bearing: mirrors HeadState::new's 8-value anchor; see the
+    // justification there.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn become_head(
         &mut self,

@@ -276,6 +276,7 @@ impl Gs3Node {
             // ChildRetire / ReplacingHead / ProxyRelease are courtesy
             // notifications; the receiver's own failure detection covers
             // the loss.
+            // gs3-lint: allow(t1) -- deliberately partial: only messages with give-up repair actions are named; courtesy messages need no fallback
             _ => {}
         }
     }

@@ -196,6 +196,9 @@ pub struct HeadState {
 impl HeadState {
     /// A head freshly anchored at `il` with the given parentage.
     #[must_use]
+    // Load-bearing: a head's anchor is irreducibly 8 values (two ILs, the
+    // spiral position, parentage, root, hops, birth time); bundling them
+    // into an ad-hoc struct would just move the argument list.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         il: Point,

@@ -132,11 +132,14 @@ impl Vec2 {
         Angle::from_radians(self.cross(other).atan2(self.dot(other)))
     }
 
-    /// This vector scaled to unit length; [`Vec2::ZERO`] stays zero.
+    /// This vector scaled to unit length. Total over all inputs:
+    /// [`Vec2::ZERO`] stays zero, and a non-finite length (NaN/∞
+    /// coordinates) also yields [`Vec2::ZERO`] instead of propagating NaN
+    /// into downstream geometry.
     #[must_use]
     pub fn normalized(self) -> Vec2 {
         let len = self.length();
-        if len == 0.0 {
+        if len.total_cmp(&0.0).is_eq() || !len.is_finite() {
             Vec2::ZERO
         } else {
             self / len
@@ -300,6 +303,21 @@ mod tests {
     #[test]
     fn normalized_zero_stays_zero() {
         assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn normalized_is_total_over_non_finite_inputs() {
+        // Regression (gs3-lint d3): the zero-length guard used `== 0.0`,
+        // so a NaN-coordinate vector slipped past it and propagated NaN
+        // through every downstream direction computation. Non-finite
+        // inputs must collapse to the same well-defined value as zero.
+        assert_eq!(Vec2::new(f64::NAN, 0.0).normalized(), Vec2::ZERO);
+        assert_eq!(Vec2::new(0.0, f64::NAN).normalized(), Vec2::ZERO);
+        assert_eq!(Vec2::new(f64::INFINITY, 1.0).normalized(), Vec2::ZERO);
+        assert_eq!(Vec2::new(f64::NEG_INFINITY, f64::NAN).normalized(), Vec2::ZERO);
+        // Finite vectors are untouched.
+        let v = Vec2::new(3.0, -4.0).normalized();
+        assert!((v.length() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -34,7 +34,7 @@ impl RankKey {
     #[must_use]
     pub fn new(il: Point, node: Point, gr: Angle, id: u64) -> Self {
         let v = node - il;
-        let a = if v.length() == 0.0 {
+        let a = if v.length().total_cmp(&0.0).is_eq() {
             0.0
         } else {
             (v.direction() - gr).normalized().radians()
@@ -148,6 +148,23 @@ mod tests {
     #[test]
     fn best_candidate_empty_is_none() {
         assert_eq!(best_candidate(Point::ORIGIN, Angle::ZERO, Vec::new()), None);
+    }
+
+    #[test]
+    fn ranking_stays_total_under_nan() {
+        // Regression (gs3-lint d3): the zero-distance test used a plain
+        // `== 0.0`, which is not a NaN-total comparison. A candidate with a
+        // corrupted (NaN) position must still rank deterministically — NaN
+        // distances sort after every finite distance under total_cmp — so
+        // an election with a corrupt entry cannot split or panic.
+        let il = Point::ORIGIN;
+        let gr = Angle::ZERO;
+        let corrupt = RankKey::new(il, Point::new(f64::NAN, 1.0), gr, 1);
+        let fine = RankKey::new(il, Point::new(50.0, 0.0), gr, 2);
+        assert_eq!(corrupt.cmp(&fine), Ordering::Greater, "NaN ranks worst");
+        let nodes =
+            vec![(1, Point::new(f64::NAN, 1.0)), (2, Point::new(50.0, 0.0))];
+        assert_eq!(best_candidate(il, gr, nodes).map(|(id, _)| id), Some(2));
     }
 
     #[test]

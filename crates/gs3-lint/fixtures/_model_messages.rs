@@ -1,0 +1,7 @@
+// Mini protocol model used by the fixture harness: stands in for
+// crates/gs3-core/src/messages.rs so totality rules have a variant set.
+pub enum Msg {
+    Ping(u32),
+    Data { x: f64 },
+    Stop,
+}

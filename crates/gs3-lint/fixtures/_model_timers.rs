@@ -1,0 +1,6 @@
+// Mini timer model used by the fixture harness: stands in for
+// crates/gs3-core/src/timers.rs.
+pub enum Timer {
+    Tick,
+    Retry { n: u32 },
+}

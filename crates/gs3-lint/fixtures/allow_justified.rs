@@ -1,0 +1,7 @@
+// pretend: crates/gs3-bench/src/bin/timing.rs
+// A finding covered by a justified allow directive: reported, marked
+// allowed, and the run stays green.
+fn measure() {
+    let start = Instant::now(); // gs3-lint: allow(d2) -- wall-clock measurement is this harness's product
+    let _ = start;
+}

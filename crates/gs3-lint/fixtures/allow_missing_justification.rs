@@ -1,0 +1,5 @@
+// pretend: crates/gs3-core/src/sanity.rs
+// An allow directive without the mandatory `-- justification` is itself a
+// finding, and the violation it tried to cover still counts.
+// gs3-lint: allow(d1)
+use std::collections::HashSet;

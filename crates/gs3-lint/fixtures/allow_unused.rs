@@ -1,0 +1,6 @@
+// pretend: crates/gs3-core/src/big.rs
+// A directive that covers nothing is stale and must be removed.
+fn clean() -> u32 {
+    // gs3-lint: allow(d3) -- left behind after a refactor
+    1 + 1
+}

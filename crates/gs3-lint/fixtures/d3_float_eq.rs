@@ -1,0 +1,11 @@
+// pretend: crates/gs3-core/src/inter.rs
+// D3: NaN-unsafe comparisons on geometry values.
+fn f(a: Point, b: Point, cfg: &Config) -> bool {
+    let same_spot = a.distance(b) == 0.0;
+    let reversed = 0.0 == a.distance(b);
+    let axis = a.x == 0.0;
+    let ranked = x.partial_cmp(&y).unwrap();
+    let sentinel = cfg.energy == 0.0; // config sentinel, not geometry
+    let guarded = a.distance(b).total_cmp(&0.0).is_eq(); // the sanctioned form
+    same_spot || reversed || axis || sentinel || guarded || ranked == Ordering::Less
+}

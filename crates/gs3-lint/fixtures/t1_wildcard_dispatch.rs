@@ -1,0 +1,16 @@
+// pretend: crates/gs3-core/src/intra.rs
+// T1: a protocol dispatch with a wildcard arm, and a near-total dispatch
+// missing a variant.
+fn on_message(&mut self, msg: Msg) {
+    match msg {
+        Msg::Ping(n) => self.on_ping(n),
+        _ => {}
+    }
+}
+
+fn kind(msg: &Msg) -> &'static str {
+    match msg {
+        Msg::Ping(_) => "ping",
+        Msg::Data { .. } => "data",
+    }
+}

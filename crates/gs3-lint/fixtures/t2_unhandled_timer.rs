@@ -1,0 +1,12 @@
+// pretend: crates/gs3-core/src/join.rs
+// T2: Timer::Retry is set but no dispatch match handles its expiry.
+fn arm(&mut self, ctx: &mut Ctx) {
+    ctx.set_timer(self.cfg.tick, Timer::Tick);
+    ctx.set_timer(self.cfg.rto, Timer::Retry { n: 0 });
+}
+
+fn on_timer(&mut self, t: Timer) {
+    match t {
+        Timer::Tick => self.on_tick(),
+    }
+}

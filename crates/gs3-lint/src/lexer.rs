@@ -1,0 +1,363 @@
+//! A minimal Rust lexer: just enough fidelity for project lint rules.
+//!
+//! The build environment has no crate registry, so `syn` is unavailable;
+//! rules instead pattern-match over this token stream. The lexer gets the
+//! hard parts right — nested block comments, raw strings, raw identifiers,
+//! char literals vs. lifetimes, float literals — so that rules never fire
+//! inside strings or comments, and float-literal comparisons are
+//! recognizable. Everything else (grouping, precedence) is left to the
+//! rules, which track bracket depth themselves.
+
+/// Token classes the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `_`).
+    Ident,
+    /// Integer literal.
+    Int,
+    /// Float literal (has a fractional part, exponent, or f32/f64 suffix).
+    Float,
+    /// String, raw-string, byte-string, or char literal.
+    Lit,
+    /// Operator or punctuation. Multi-char operators the rules care about
+    /// (`::`, `=>`, `==`, `!=`, `->`, `..`, `<=`, `>=`, `&&`, `||`) are
+    /// single tokens; everything else is one char.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A `// gs3-lint: ...` comment found during lexing.
+#[derive(Debug, Clone)]
+pub struct RawDirective {
+    /// The comment body after `//`, trimmed.
+    pub text: String,
+    /// The line the comment sits on.
+    pub line: u32,
+    /// Whether source tokens precede the comment on its line (a trailing
+    /// directive applies to its own line; a standalone one to the next
+    /// source line).
+    pub trailing: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub directives: Vec<RawDirective>,
+}
+
+const TWO_CHAR_OPS: [&str; 10] = ["::", "=>", "==", "!=", "->", "..", "<=", ">=", "&&", "||"];
+
+/// Lexes `src`, discarding comments except `gs3-lint:` directives.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = src[start..i].trim();
+                // Only comments that *start* with the marker are directives;
+                // prose merely mentioning `gs3-lint:` is not.
+                if text.starts_with("gs3-lint:") {
+                    let trailing = out.toks.last().is_some_and(|t| t.line == line);
+                    out.directives.push(RawDirective {
+                        text: text.to_string(),
+                        line,
+                        trailing,
+                    });
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                out.toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs. char literal (`'x'`, `'\n'`).
+                let is_lifetime = b
+                    .get(i + 1)
+                    .is_some_and(|&n| n.is_ascii_alphabetic() || n == b'_')
+                    && b.get(i + 2) != Some(&b'\'');
+                if is_lifetime {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                    out.toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (end, is_float) = scan_number(b, i);
+                let kind = if is_float { TokKind::Float } else { TokKind::Int };
+                out.toks.push(Tok { kind, text: src[i..end].to_string(), line });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                // Raw strings / byte strings share an ident-like prefix.
+                if let Some(end) = raw_or_byte_string(b, i, &mut line) {
+                    out.toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
+                    i = end;
+                    continue;
+                }
+                let mut j = i;
+                // Raw identifier `r#name`.
+                if c == b'r' && b.get(i + 1) == Some(&b'#') {
+                    j += 2;
+                }
+                let start = j;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                out.toks.push(Tok { kind: TokKind::Ident, text: src[start..j].to_string(), line });
+                i = j;
+            }
+            _ => {
+                let two = &src[i..(i + 2).min(src.len())];
+                if TWO_CHAR_OPS.contains(&two) {
+                    // `..` may extend to `..=` / `...`; the extra char is
+                    // irrelevant to every rule.
+                    out.toks.push(Tok { kind: TokKind::Punct, text: two.to_string(), line });
+                    i += 2;
+                } else {
+                    out.toks.push(Tok {
+                        kind: TokKind::Punct,
+                        text: src[i..i + 1].to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() && b[i] != b'"' {
+        if b[i] == b'\\' {
+            i += 1;
+        } else if b[i] == b'\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    i + 1
+}
+
+/// Recognizes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` (any hash count) at `i`;
+/// returns the index past the literal, or `None` if `i` is not one.
+fn raw_or_byte_string(b: &[u8], i: usize, line: &mut u32) -> Option<usize> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let hashes_start = j;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    let hashes = j - hashes_start;
+    if j >= b.len() || b[j] != b'"' || (!raw && hashes > 0) || (i == j) {
+        return None;
+    }
+    if !raw {
+        // Plain byte string `b"…"`: escape-aware skip.
+        return Some(skip_string(b, j, line));
+    }
+    // Raw string: ends at `"` followed by `hashes` hashes, no escapes.
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            *line += 1;
+        }
+        if b[j] == b'"' && b[j + 1..].iter().take_while(|&&h| h == b'#').count() >= hashes {
+            return Some(j + 1 + hashes);
+        }
+        j += 1;
+    }
+    Some(j)
+}
+
+/// Scans a numeric literal starting at a digit; returns (end, is_float).
+fn scan_number(b: &[u8], start: usize) -> (usize, bool) {
+    let mut i = start;
+    let hex = b[i] == b'0' && matches!(b.get(i + 1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+    if hex {
+        i += 2;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        return (i, false);
+    }
+    let mut is_float = false;
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    // A fractional part only when `.` is followed by a digit (so `1..n`
+    // ranges and `1.max(2)` method calls stay integers).
+    if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        is_float = true;
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        let sign = usize::from(matches!(b.get(i + 1), Some(b'+' | b'-')));
+        if b.get(i + 1 + sign).is_some_and(u8::is_ascii_digit) {
+            is_float = true;
+            i += 1 + sign;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (`f64`, `u32`, …).
+    if i < b.len() && b[i].is_ascii_alphabetic() {
+        let suffix_start = i;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        if matches!(&b[suffix_start..i], b"f32" | b"f64") {
+            is_float = true;
+        }
+    }
+    (i, is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_paths() {
+        assert_eq!(texts("std::time::Instant"), ["std", "::", "time", "::", "Instant"]);
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let l = lex("let x = \"thread_rng // not code\"; /* Instant::now */ y");
+        let idents: Vec<_> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| &t.text).collect();
+        assert_eq!(idents, ["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let l = lex("r#\"Instant\"# r#match b\"SystemTime\" br##\"x\"##");
+        let idents: Vec<_> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| &t.text).collect();
+        assert_eq!(idents, ["match"]);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Lit).count(), 3);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let l = lex("0.0 1 1e-5 2f64 0x1f 1..4 1.max(2)");
+        let kinds: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.kind, t.text.clone()))
+            .collect();
+        assert_eq!(kinds[0], (TokKind::Float, "0.0".into()));
+        assert_eq!(kinds[1], (TokKind::Int, "1".into()));
+        assert_eq!(kinds[2], (TokKind::Float, "1e-5".into()));
+        assert_eq!(kinds[3], (TokKind::Float, "2f64".into()));
+        assert_eq!(kinds[4], (TokKind::Int, "0x1f".into()));
+        assert_eq!(kinds[5], (TokKind::Int, "1".into()));
+        assert_eq!(kinds[6], (TokKind::Int, "4".into()));
+        assert_eq!(kinds[7], (TokKind::Int, "1".into()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Lit).count(), 2);
+    }
+
+    #[test]
+    fn directives_are_captured_with_position() {
+        let src = "\
+let a = 1; // gs3-lint: allow(d2) -- trailing
+// gs3-lint: allow(d1) -- standalone
+let b = 2;
+// plain comment\n";
+        let l = lex(src);
+        assert_eq!(l.directives.len(), 2);
+        assert!(l.directives[0].trailing);
+        assert_eq!(l.directives[0].line, 1);
+        assert!(!l.directives[1].trailing);
+        assert_eq!(l.directives[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ ident");
+        assert_eq!(l.toks.len(), 1);
+        assert_eq!(l.toks[0].text, "ident");
+    }
+
+    #[test]
+    fn line_numbers_advance_through_literals() {
+        let l = lex("\"multi\nline\"\nx");
+        let x = l.toks.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!(x.line, 3);
+    }
+}

@@ -1,0 +1,55 @@
+//! `gs3-lint` CLI: run the project rules over the workspace.
+//!
+//! ```text
+//! cargo run -p gs3-lint                # human-readable report, exit 1 on findings
+//! cargo run -p gs3-lint -- --json r.json   # also write a machine-readable report
+//! cargo run -p gs3-lint -- --root PATH     # lint a different checkout
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json_out = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!("usage: gs3-lint [--root DIR] [--json FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gs3-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(gs3_lint::find_workspace_root);
+    let files = match gs3_lint::load_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("gs3-lint: failed to read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings = gs3_lint::analyze(&files);
+    print!("{}", gs3_lint::diag::render_text(&findings));
+    if let Some(path) = json_out {
+        let json = gs3_lint::diag::render_json(&findings);
+        let to_stdout = path.as_os_str() == "-";
+        if to_stdout {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("gs3-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if findings.iter().any(|f| f.allowed.is_none()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

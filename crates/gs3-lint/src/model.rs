@@ -1,0 +1,268 @@
+//! The protocol model lint rules check against: the `Msg` and `Timer`
+//! enum variant sets, and a bracket-aware `match` expression parser.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+
+/// Variant sets extracted from `gs3-core/src/messages.rs` and
+/// `gs3-core/src/timers.rs`.
+#[derive(Debug, Default)]
+pub struct ProtocolModel {
+    pub msg_variants: BTreeSet<String>,
+    pub timer_variants: BTreeSet<String>,
+}
+
+impl ProtocolModel {
+    /// Extracts variant sets from the lexed workspace files.
+    /// `files` yields `(relative_path, tokens)`.
+    #[must_use]
+    pub fn extract<'a, I>(files: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, &'a [Tok])>,
+    {
+        let mut model = ProtocolModel::default();
+        for (rel, toks) in files {
+            if rel.ends_with("gs3-core/src/messages.rs") {
+                model.msg_variants = enum_variants(toks, "Msg");
+            } else if rel.ends_with("gs3-core/src/timers.rs") {
+                model.timer_variants = enum_variants(toks, "Timer");
+            }
+        }
+        model
+    }
+}
+
+/// Collects the variant names of `enum <name> { … }` from a token stream.
+#[must_use]
+pub fn enum_variants(toks: &[Tok], name: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].text == "enum" && toks[i + 1].text == name && toks[i + 2].text == "{" {
+            let mut depth = 1u32;
+            let mut j = i + 3;
+            let mut at_variant_start = true;
+            while j < toks.len() && depth > 0 {
+                let t = &toks[j];
+                match t.text.as_str() {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => depth -= 1,
+                    "," if depth == 1 => at_variant_start = true,
+                    "#" => {} // attribute on the next variant
+                    _ if depth == 1 && at_variant_start && t.kind == TokKind::Ident => {
+                        out.insert(t.text.clone());
+                        at_variant_start = false;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One parsed `match` expression.
+#[derive(Debug)]
+pub struct MatchExpr {
+    /// Line of the `match` keyword.
+    pub line: u32,
+    /// `Enum::Variant` pairs found in arm *patterns* (never bodies).
+    pub pattern_variants: Vec<(String, String, u32)>,
+    /// Line of a top-level `_ =>` wildcard arm, if present.
+    pub wildcard: Option<u32>,
+}
+
+/// Parses every `match` expression in a token stream.
+///
+/// Pattern tokens (between an arm's start and its `=>`) are separated from
+/// body tokens by bracket-depth tracking, so enum paths constructed inside
+/// arm bodies never count as dispatch coverage.
+#[must_use]
+pub fn find_matches(toks: &[Tok]) -> Vec<MatchExpr> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "match" {
+            // Skip the scrutinee to its opening brace at relative depth 0.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j >= toks.len() {
+                break;
+            }
+            out.push(parse_match_body(toks, i, j));
+            // Continue from inside the match so nested matches (inside arm
+            // bodies, at deeper bracket depth for this parse) are found too.
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses one match body whose `{` is at index `open`.
+fn parse_match_body(toks: &[Tok], match_idx: usize, open: usize) -> MatchExpr {
+    let mut m = MatchExpr { line: toks[match_idx].line, pattern_variants: Vec::new(), wildcard: None };
+    let mut depth = 1i32;
+    let mut j = open + 1;
+    let mut in_pattern = true;
+    let mut pattern_start = j;
+    while j < toks.len() && depth > 0 {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth -= 1;
+                // A `{ … }` arm body closing back to depth 1 ends the arm.
+                if depth == 1 && !in_pattern {
+                    in_pattern = true;
+                    pattern_start = j + 1;
+                }
+            }
+            "=>" if depth == 1 && in_pattern => {
+                scan_pattern(toks, pattern_start, j, &mut m);
+                in_pattern = false;
+            }
+            // A comma at arm depth separates arms whether the previous arm
+            // was an expression or a block followed by an optional comma.
+            "," if depth == 1 => {
+                in_pattern = true;
+                pattern_start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    m
+}
+
+/// Scans one arm pattern `toks[start..end]` for `Enum::Variant` pairs and
+/// top-level wildcards (`end` is the `=>` index).
+fn scan_pattern(toks: &[Tok], start: usize, end: usize, m: &mut MatchExpr) {
+    // Guards (`if …`) can mention enum paths without matching them; stop
+    // pattern scanning at a top-level `if`.
+    let mut limit = end;
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().take(end).skip(start) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "if" if depth == 0 && t.kind == TokKind::Ident => {
+                limit = k;
+                break;
+            }
+            _ => {}
+        }
+    }
+    if limit == start + 1 && toks[start].text == "_" {
+        m.wildcard = Some(toks[start].line);
+    }
+    for k in start..limit.saturating_sub(2) {
+        if toks[k].kind == TokKind::Ident
+            && toks[k + 1].text == "::"
+            && toks[k + 2].kind == TokKind::Ident
+            && matches!(toks[k].text.as_str(), "Msg" | "Timer")
+        {
+            m.pattern_variants.push((
+                toks[k].text.clone(),
+                toks[k + 2].text.clone(),
+                toks[k].line,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn extracts_variants_with_payloads_and_attrs() {
+        let src = "\
+pub enum Msg {
+    /// doc
+    A(OrgInfo),
+    B { pos: Point, current: Option<(NodeId, f64)> },
+    #[cfg(feature = \"x\")]
+    C,
+}\n";
+        let l = lex(src);
+        let v = enum_variants(&l.toks, "Msg");
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), ["A", "B", "C"]);
+    }
+
+    #[test]
+    fn patterns_only_not_bodies() {
+        let src = "\
+fn f(m: Msg) {
+    match m {
+        Msg::A(x) => send(Msg::C),
+        Msg::B { .. } => {}
+    }
+}\n";
+        let l = lex(src);
+        let ms = find_matches(&l.toks);
+        assert_eq!(ms.len(), 1);
+        let names: Vec<_> = ms[0].pattern_variants.iter().map(|(_, v, _)| v.as_str()).collect();
+        assert_eq!(names, ["A", "B"], "Msg::C in the body must not count");
+        assert!(ms[0].wildcard.is_none());
+    }
+
+    #[test]
+    fn wildcard_detection_is_top_level_only() {
+        let src = "\
+match m {
+    Msg::A(_) => 1,
+    _ => 0,
+}\n";
+        let l = lex(src);
+        let ms = find_matches(&l.toks);
+        assert!(ms[0].wildcard.is_some());
+
+        let src2 = "match m { Msg::A(_) => 1, Msg::B { .. } => 0, }";
+        let ms2 = find_matches(&lex(src2).toks);
+        assert!(ms2[0].wildcard.is_none(), "`_` inside a payload is not a wildcard arm");
+    }
+
+    #[test]
+    fn guard_paths_do_not_count_as_patterns() {
+        let src = "match m { x if x == Msg::A => 1, _ => 0, }";
+        let ms = find_matches(&lex(src).toks);
+        assert!(ms[0].pattern_variants.is_empty());
+    }
+
+    #[test]
+    fn nested_matches_are_separate() {
+        let src = "\
+match a {
+    Msg::A(x) => match x {
+        Timer::T1 => 1,
+        _ => 2,
+    },
+    _ => 3,
+}\n";
+        let ms = find_matches(&lex(src).toks);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].pattern_variants.len(), 1);
+        assert_eq!(ms[1].pattern_variants.len(), 1);
+    }
+
+    #[test]
+    fn struct_literal_scrutinee_does_not_confuse() {
+        let src = "match (f(a), g[0]) { (x, y) => x + y }";
+        let ms = find_matches(&lex(src).toks);
+        assert_eq!(ms.len(), 1);
+    }
+}

@@ -1,0 +1,460 @@
+//! The five contract rules.
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `d1` | no `std::collections::HashMap`/`HashSet` in protocol paths (`gs3-core`, `gs3-sim`) — iteration order would leak into traces and digests; use `FxHashMap` with sorted iteration, or `BTreeMap`/`BTreeSet` |
+//! | `d2` | no `rand::thread_rng`, `Instant::now`, `SystemTime`, or `std::time` reads outside `gs3-sim/src/time.rs` — all time and randomness must flow from the seeded simulation clock |
+//! | `d3` | no direct `f64 ==`/`!=` against float literals on geometry values, and no `partial_cmp(…).unwrap()` — use the NaN-total `total_cmp` comparators |
+//! | `t1` | protocol dispatch matches over `Msg`/`Timer` must be total: no `_ =>` wildcard arms in handler matches, and near-total matches must name every variant |
+//! | `t2` | every `Timer` class passed to `set_timer` must have a dispatch (expiry) arm somewhere in `gs3-core` |
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Finding;
+use crate::lexer::{Tok, TokKind};
+use crate::model::{find_matches, ProtocolModel};
+
+/// Method/function names whose `f64` results are geometry values; a
+/// float-literal equality against any of these is a `d3` finding in every
+/// crate (inside `gs3-geometry`, all float-literal equalities count).
+const GEOM_FNS: [&str; 8] =
+    ["length", "distance", "radians", "degrees", "dot", "cross", "norm", "length_squared"];
+
+fn is_protocol_path(rel: &str) -> bool {
+    rel.starts_with("crates/gs3-core/src") || rel.starts_with("crates/gs3-sim/src")
+}
+
+fn push(findings: &mut Vec<Finding>, rule: &'static str, rel: &str, line: u32, msg: String) {
+    findings.push(Finding { rule, rel: rel.to_string(), line, msg, allowed: None });
+}
+
+/// `d1`: unordered std hash containers in protocol paths.
+pub fn check_d1(rel: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
+    if !is_protocol_path(rel) {
+        return;
+    }
+    for t in toks {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            push(
+                findings,
+                "d1",
+                rel,
+                t.line,
+                format!(
+                    "std::collections::{} in a protocol path: hash iteration order would \
+                     leak into traces/digests — use FxHashMap with sorted iteration, or \
+                     BTreeMap/BTreeSet",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `d2`: ambient time or entropy outside the simulation clock.
+pub fn check_d2(rel: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
+    if rel.ends_with("gs3-sim/src/time.rs") {
+        return;
+    }
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "thread_rng" => push(
+                    findings,
+                    "d2",
+                    rel,
+                    t.line,
+                    "thread_rng draws ambient entropy — draw from the seeded engine RNG \
+                     (ctx.rng()) instead"
+                        .to_string(),
+                ),
+                "SystemTime" => push(
+                    findings,
+                    "d2",
+                    rel,
+                    t.line,
+                    "SystemTime reads the wall clock — use the simulation clock (SimTime)"
+                        .to_string(),
+                ),
+                "Instant" if toks.get(i + 1).is_some_and(|n| n.text == "::")
+                    && toks.get(i + 2).is_some_and(|n| n.text == "now") =>
+                {
+                    push(
+                        findings,
+                        "d2",
+                        rel,
+                        t.line,
+                        "Instant::now reads the wall clock — use the simulation clock (ctx.now())"
+                            .to_string(),
+                    );
+                }
+                // `std::time::<anything but Duration>` (Duration is an inert
+                // value type; Instant/SystemTime are clock reads).
+                "std" if toks.get(i + 1).is_some_and(|n| n.text == "::")
+                    && toks.get(i + 2).is_some_and(|n| n.text == "time")
+                    && toks.get(i + 3).is_some_and(|n| n.text == "::")
+                    && toks.get(i + 4).is_some_and(|n| n.text != "Duration") =>
+                {
+                    push(
+                        findings,
+                        "d2",
+                        rel,
+                        t.line,
+                        "std::time import beyond Duration — wall-clock types are banned in \
+                         deterministic paths"
+                            .to_string(),
+                    );
+                    i += 4;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `d3`: NaN-unsafe float comparisons on geometry values.
+pub fn check_d3(rel: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
+    let geometry_crate = rel.starts_with("crates/gs3-geometry");
+    for (i, t) in toks.iter().enumerate() {
+        // partial_cmp(…).unwrap() — a NaN anywhere poisons the unwrap.
+        if t.kind == TokKind::Ident
+            && t.text == "partial_cmp"
+            && i > 0
+            && toks[i - 1].text != "fn"
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            if let Some(close) = matching_close(toks, i + 1) {
+                if toks.get(close + 1).is_some_and(|n| n.text == ".")
+                    && toks.get(close + 2).is_some_and(|n| n.text == "unwrap")
+                {
+                    push(
+                        findings,
+                        "d3",
+                        rel,
+                        t.line,
+                        "partial_cmp(..).unwrap() panics on NaN — use f64::total_cmp"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        if t.text != "==" && t.text != "!=" {
+            continue;
+        }
+        let lit_right = toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Float)
+            || (toks.get(i + 1).is_some_and(|n| n.text == "-")
+                && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Float));
+        let lit_left = i > 0 && toks[i - 1].kind == TokKind::Float;
+        if !lit_right && !lit_left {
+            continue;
+        }
+        let geom_operand = (i > 0 && lhs_is_geometry(toks, i - 1))
+            || (lit_left && rhs_is_geometry(toks, i + 1));
+        if geometry_crate || geom_operand {
+            push(
+                findings,
+                "d3",
+                rel,
+                t.line,
+                format!(
+                    "float-literal `{}` on a geometry value is not NaN-total — compare via \
+                     f64::total_cmp (e.g. `x.total_cmp(&0.0).is_eq()`)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Whether the expression ending at `end` is a geometry accessor: a call
+/// to one of [`GEOM_FNS`] or an `.x`/`.y` field read.
+fn lhs_is_geometry(toks: &[Tok], end: usize) -> bool {
+    let t = &toks[end];
+    if t.text == ")" {
+        if let Some(open) = matching_open(toks, end) {
+            return open > 0
+                && toks[open - 1].kind == TokKind::Ident
+                && GEOM_FNS.contains(&toks[open - 1].text.as_str());
+        }
+        return false;
+    }
+    t.kind == TokKind::Ident
+        && (t.text == "x" || t.text == "y")
+        && end > 0
+        && toks[end - 1].text == "."
+}
+
+/// Whether the expression starting at `start` is a geometry accessor call
+/// chain (e.g. `0.0 == v.length()`).
+fn rhs_is_geometry(toks: &[Tok], start: usize) -> bool {
+    let mut i = start;
+    // Walk a `recv.method().method()`-style chain looking for a GEOM_FN.
+    let mut steps = 0;
+    while i < toks.len() && steps < 16 {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && GEOM_FNS.contains(&t.text.as_str()) {
+            return toks.get(i + 1).is_some_and(|n| n.text == "(");
+        }
+        match t.text.as_str() {
+            ";" | "," | "{" | "&&" | "||" => return false,
+            _ => {}
+        }
+        i += 1;
+        steps += 1;
+    }
+    false
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_close(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `(` matching the `)` at `close`.
+fn matching_open(toks: &[Tok], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in (0..=close).rev() {
+        match toks[j].text.as_str() {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `t1`: protocol dispatch totality over `Msg`/`Timer`.
+pub fn check_t1(rel: &str, toks: &[Tok], model: &ProtocolModel, findings: &mut Vec<Finding>) {
+    if !rel.starts_with("crates/gs3-core/src") {
+        return;
+    }
+    for m in find_matches(toks) {
+        let mut by_enum: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for (e, v, _) in &m.pattern_variants {
+            by_enum.entry(e.as_str()).or_default().insert(v.as_str());
+        }
+        if by_enum.is_empty() {
+            continue;
+        }
+        // A wildcard arm in a match that dispatches on protocol enums hides
+        // newly added variants from the compiler's exhaustiveness check.
+        if let Some(line) = m.wildcard {
+            push(
+                findings,
+                "t1",
+                rel,
+                line,
+                "wildcard `_ =>` arm in a protocol dispatch match — name every \
+                 Msg/Timer variant so new variants fail to compile until handled"
+                    .to_string(),
+            );
+        }
+        for (enum_name, seen) in &by_enum {
+            let all = match *enum_name {
+                "Msg" => &model.msg_variants,
+                _ => &model.timer_variants,
+            };
+            if all.is_empty() {
+                continue;
+            }
+            // Near-total matches (≥ half the enum) are dispatch matches and
+            // must be total; small matches are ordinary conditionals.
+            let threshold = (all.len() / 2).max(2);
+            if seen.len() >= threshold && seen.len() < all.len() {
+                let missing: Vec<&str> = all
+                    .iter()
+                    .map(String::as_str)
+                    .filter(|v| !seen.contains(*v))
+                    .collect();
+                push(
+                    findings,
+                    "t1",
+                    rel,
+                    m.line,
+                    format!(
+                        "dispatch match covers {}/{} {enum_name} variants — missing: {}",
+                        seen.len(),
+                        all.len(),
+                        missing.join(", ")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `t2` (workspace pass over `gs3-core`): every timer class that is set
+/// must have a reachable expiry arm in some dispatch match.
+pub fn check_t2(files: &[(String, Vec<Tok>)], model: &ProtocolModel, findings: &mut Vec<Finding>) {
+    if model.timer_variants.is_empty() {
+        return;
+    }
+    // (variant, rel, line) of each first set site, and the handled set.
+    let mut set_sites: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    let mut handled: BTreeSet<String> = BTreeSet::new();
+    for (rel, toks) in files {
+        if !rel.starts_with("crates/gs3-core/src") {
+            continue;
+        }
+        for m in find_matches(toks) {
+            for (e, v, _) in &m.pattern_variants {
+                if e == "Timer" {
+                    handled.insert(v.clone());
+                }
+            }
+        }
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && t.text == "set_timer"
+                && toks.get(i + 1).is_some_and(|n| n.text == "(")
+            {
+                let close = matching_close(toks, i + 1).unwrap_or(toks.len() - 1);
+                for k in i + 2..close.saturating_sub(2) {
+                    if toks[k].text == "Timer"
+                        && toks[k + 1].text == "::"
+                        && toks[k + 2].kind == TokKind::Ident
+                    {
+                        set_sites
+                            .entry(toks[k + 2].text.clone())
+                            .or_insert_with(|| (rel.clone(), toks[k].line));
+                    }
+                }
+            }
+        }
+    }
+    for (variant, (rel, line)) in &set_sites {
+        if !handled.contains(variant) {
+            findings.push(Finding {
+                rule: "t2",
+                rel: rel.clone(),
+                line: *line,
+                msg: format!(
+                    "Timer::{variant} is set here but no dispatch match handles its expiry \
+                     — the timer would fire into an unhandled arm"
+                ),
+                allowed: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_d3(rel: &str, src: &str) -> Vec<Finding> {
+        let mut f = Vec::new();
+        check_d3(rel, &lex(src).toks, &mut f);
+        f
+    }
+
+    #[test]
+    fn d1_flags_only_protocol_paths() {
+        let src = "use std::collections::HashMap;";
+        let mut f = Vec::new();
+        check_d1("crates/gs3-core/src/x.rs", &lex(src).toks, &mut f);
+        assert_eq!(f.len(), 1);
+        let mut f = Vec::new();
+        check_d1("crates/gs3-analysis/src/x.rs", &lex(src).toks, &mut f);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn d2_duration_is_exempt() {
+        let src = "use std::time::Duration; fn f() -> Duration { Duration::ZERO }";
+        let mut f = Vec::new();
+        check_d2("crates/gs3-bench/src/x.rs", &lex(src).toks, &mut f);
+        assert!(f.is_empty());
+        let src = "use std::time::Instant; let t = Instant::now();";
+        let mut f = Vec::new();
+        check_d2("crates/gs3-bench/src/x.rs", &lex(src).toks, &mut f);
+        assert_eq!(f.len(), 2, "import + call site");
+    }
+
+    #[test]
+    fn d2_exempts_the_sim_clock() {
+        let src = "let t = Instant::now();";
+        let mut f = Vec::new();
+        check_d2("crates/gs3-sim/src/time.rs", &lex(src).toks, &mut f);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn d3_geometry_accessor_anywhere() {
+        let f = run_d3("crates/gs3-core/src/x.rs", "if v.length() == 0.0 { }");
+        assert_eq!(f.len(), 1);
+        let f = run_d3("crates/gs3-core/src/x.rs", "if 0.0 == v.length() { }");
+        assert_eq!(f.len(), 1);
+        // Config sentinels outside the geometry crate are not geometry.
+        let f = run_d3("crates/gs3-core/src/x.rs", "if cfg.energy == 0.0 { }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn d3_everything_in_geometry_crate() {
+        let f = run_d3("crates/gs3-geometry/src/x.rs", "if len == 0.0 { }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn d3_partial_cmp_unwrap() {
+        let f = run_d3("crates/gs3-core/src/x.rs", "a.partial_cmp(&b).unwrap()");
+        assert_eq!(f.len(), 1);
+        // Trait impls (fn partial_cmp) and non-unwrap uses are fine.
+        let f = run_d3(
+            "crates/gs3-core/src/x.rs",
+            "fn partial_cmp(&self, o: &Self) -> Option<Ordering> { a.partial_cmp(&b) }",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn t2_set_without_handler() {
+        let model = ProtocolModel {
+            msg_variants: BTreeSet::new(),
+            timer_variants: ["Ping", "Pong"].iter().map(|s| s.to_string()).collect(),
+        };
+        let src = "\
+fn f(ctx: &mut Ctx) {
+    ctx.set_timer(d, Timer::Ping);
+    ctx.set_timer(d, Timer::Pong);
+    match t {
+        Timer::Ping => {}
+        Timer::Pong => {}
+    }
+}\n";
+        let files = vec![("crates/gs3-core/src/x.rs".to_string(), lex(src).toks)];
+        let mut f = Vec::new();
+        check_t2(&files, &model, &mut f);
+        assert!(f.is_empty());
+
+        let src2 = "fn f(ctx: &mut Ctx) { ctx.set_timer(d, Timer::Pong); match t { Timer::Ping => {} } }";
+        let files = vec![("crates/gs3-core/src/x.rs".to_string(), lex(src2).toks)];
+        let mut f = Vec::new();
+        check_t2(&files, &model, &mut f);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("Timer::Pong"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixture-driven self-tests: each `fixtures/*.rs` is a known-bad (or
+//! known-allowlisted) snippet; its `.expect` sidecar lists the exact
+//! diagnostics the analyzer must produce, as `rule:line` for errors and
+//! `allowed:rule:line` for justified allowlistings.
+//!
+//! Fixtures declare the workspace-relative path they pretend to live at
+//! via a `// pretend: <path>` first line, since every rule scopes by path.
+//! The harness always adds the `_model_*.rs` mini enums as
+//! `gs3-core/src/{messages,timers}.rs` stand-ins so totality rules have a
+//! variant universe.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use gs3_lint::{analyze, SourceFile};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn pretend_path(src: &str) -> String {
+    src.lines()
+        .next()
+        .and_then(|l| l.strip_prefix("// pretend:"))
+        .map(str::trim)
+        .expect("fixture must start with `// pretend: <path>`")
+        .to_string()
+}
+
+fn model_files() -> Vec<SourceFile> {
+    let dir = fixtures_dir();
+    let msgs = std::fs::read_to_string(dir.join("_model_messages.rs")).unwrap();
+    let timers = std::fs::read_to_string(dir.join("_model_timers.rs")).unwrap();
+    vec![
+        SourceFile::new("crates/gs3-core/src/messages.rs", &msgs),
+        SourceFile::new("crates/gs3-core/src/timers.rs", &timers),
+    ]
+}
+
+/// Runs one fixture and returns the actual diagnostic set on its path.
+fn run_fixture(name: &str) -> BTreeSet<String> {
+    let dir = fixtures_dir();
+    let src = std::fs::read_to_string(dir.join(name)).unwrap();
+    let rel = pretend_path(&src);
+    let mut files = model_files();
+    files.push(SourceFile::new(&rel, &src));
+    analyze(&files)
+        .into_iter()
+        .filter(|f| f.rel == rel)
+        .map(|f| {
+            if f.allowed.is_some() {
+                format!("allowed:{}:{}", f.rule, f.line)
+            } else {
+                format!("{}:{}", f.rule, f.line)
+            }
+        })
+        .collect()
+}
+
+fn expected(name: &str) -> BTreeSet<String> {
+    let path = fixtures_dir().join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()))
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn check(stem: &str) {
+    let actual = run_fixture(&format!("{stem}.rs"));
+    let want = expected(&format!("{stem}.expect"));
+    assert_eq!(actual, want, "fixture {stem} diagnostics diverge");
+}
+
+#[test]
+fn d1_std_hash() {
+    check("d1_std_hash");
+}
+
+#[test]
+fn d2_wall_clock() {
+    check("d2_wall_clock");
+}
+
+#[test]
+fn d3_float_eq() {
+    check("d3_float_eq");
+}
+
+#[test]
+fn t1_wildcard_dispatch() {
+    check("t1_wildcard_dispatch");
+}
+
+#[test]
+fn t2_unhandled_timer() {
+    check("t2_unhandled_timer");
+}
+
+#[test]
+fn allow_justified_is_green() {
+    check("allow_justified");
+    // The allowlisted finding must carry its justification text.
+    let dir = fixtures_dir();
+    let src = std::fs::read_to_string(dir.join("allow_justified.rs")).unwrap();
+    let rel = pretend_path(&src);
+    let mut files = model_files();
+    files.push(SourceFile::new(&rel, &src));
+    let findings = analyze(&files);
+    let f = findings.iter().find(|f| f.rel == rel).unwrap();
+    assert!(f.allowed.as_deref().unwrap().contains("wall-clock measurement"));
+}
+
+#[test]
+fn allow_without_justification_still_fails() {
+    check("allow_missing_justification");
+}
+
+#[test]
+fn allow_unused_is_flagged() {
+    check("allow_unused");
+}
+
+#[test]
+fn every_fixture_has_a_test() {
+    // Guards against adding a fixture and forgetting to wire it up.
+    let mut stems: Vec<String> = std::fs::read_dir(fixtures_dir())
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            let name = p.file_name()?.to_str()?.to_string();
+            name.strip_suffix(".rs")
+                .filter(|s| !s.starts_with('_'))
+                .map(str::to_string)
+        })
+        .collect();
+    stems.sort();
+    let wired = [
+        "allow_justified",
+        "allow_missing_justification",
+        "allow_unused",
+        "d1_std_hash",
+        "d2_wall_clock",
+        "d3_float_eq",
+        "t1_wildcard_dispatch",
+        "t2_unhandled_timer",
+    ];
+    assert_eq!(stems, wired, "update tests/fixtures.rs for new fixtures");
+}

@@ -1,0 +1,43 @@
+//! The workspace itself must be lint-clean: `cargo test -p gs3-lint`
+//! doubles as the static-analysis gate, so a determinism or totality
+//! regression fails the ordinary test suite even before CI runs the
+//! dedicated `lint` job.
+
+use gs3_lint::{analyze, load_workspace};
+
+#[test]
+fn workspace_has_no_unjustified_findings() {
+    let root = gs3_lint::find_workspace_root();
+    let files = load_workspace(&root).expect("workspace readable");
+    assert!(
+        files.len() > 50,
+        "workspace walk looks truncated: {} files",
+        files.len()
+    );
+    let findings = analyze(&files);
+    let errors: Vec<String> = findings
+        .iter()
+        .filter(|f| f.allowed.is_none())
+        .map(|f| format!("[{}] {}:{}: {}", f.rule, f.rel, f.line, f.msg))
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "unjustified lint findings:\n{}",
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn protocol_model_is_extracted_from_real_sources() {
+    let root = gs3_lint::find_workspace_root();
+    let files = load_workspace(&root).expect("workspace readable");
+    let model = gs3_lint::model::ProtocolModel::extract(
+        files.iter().map(|f| (f.rel.as_str(), f.lexed.toks.as_slice())),
+    );
+    // The real enums are large; an extraction regression would silently
+    // disable the totality rules.
+    assert!(model.msg_variants.len() >= 25, "Msg variants: {:?}", model.msg_variants);
+    assert!(model.timer_variants.len() >= 12, "Timer variants: {:?}", model.timer_variants);
+    assert!(model.msg_variants.contains("HeadInterAlive"));
+    assert!(model.timer_variants.contains("Retransmit"));
+}
