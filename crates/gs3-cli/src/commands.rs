@@ -9,6 +9,7 @@ use gs3_core::harness::{Network, NetworkBuilder, RunOutcome};
 use gs3_core::invariants::{check_all, Strictness};
 use gs3_core::{Mode, ReliabilityConfig};
 use gs3_geometry::Point;
+use gs3_mc::{Budgets, McStrategy, ModelChecker, Scenario};
 use gs3_sim::faults::{BurstLoss, FaultConfig};
 use gs3_sim::radio::EnergyModel;
 use gs3_sim::telemetry::{export_chrome_trace, export_jsonl, RecorderMode};
@@ -29,6 +30,9 @@ pub fn help() {
          \x20 watch  run under energy drain and watch the structure slide\n\
          \x20 chaos  configure, then run a scheduled fault plan (burst loss,\n\
          \x20        jamming, crash wave, state corruption) and certify healing\n\
+         \x20 mc     exhaustively model-check a pinned small field against a\n\
+         \x20        bounded adversary and report verified properties /\n\
+         \x20        minimized counterexamples\n\
          \x20 trace  configure, record the flight recorder for a while, and\n\
          \x20        export the event stream (JSONL or Chrome trace)\n\
          \x20 help   this text\n\
@@ -76,6 +80,24 @@ pub fn help() {
          \x20 --runs N         repeat against N consecutive seeds (1)\n\
          \x20 --threads N, -j N  worker threads for --runs > 1 (all cores);\n\
          \x20                  output is identical at any thread count\n\
+         \x20 --plan FILE      replay a FaultPlan JSON file instead of the\n\
+         \x20                  built-in schedule; also accepts a gs3-mc\n\
+         \x20                  counterexample file (its embedded plan is used)\n\
+         \n\
+         mc options (field and budgets; deterministic per scenario):\n\
+         \x20 --scenario NAME  pair5|triangle9|rel7|grid15|sparse7|all (all)\n\
+         \x20 --strategy S     bfs | dfs (bfs)\n\
+         \x20 --max-states N   state-expansion budget (50000)\n\
+         \x20 --max-depth N    per-path choice budget (4000)\n\
+         \x20 --max-fates N    scripted delivery fates per path (1)\n\
+         \x20 --max-crashes N  node crashes per path (1)\n\
+         \x20 --max-path-faults N  total faults per path (1)\n\
+         \x20 --horizon SECS   simulated exploration horizon (40)\n\
+         \x20 --heal-window SECS  healing bound after the last fault (25)\n\
+         \x20 --json           print the full report document only\n\
+         \x20 --out FILE       also write the report document here\n\
+         \x20 --ce-dir DIR     write each counterexample (and its standalone\n\
+         \x20                  FaultPlan) into DIR for artifact upload\n\
          \n\
          trace options:\n\
          \x20 --duration SECS  how long to record after configuration (60)\n\
@@ -327,25 +349,32 @@ pub fn chaos(a: &Args) -> CliResult {
         delay_max: SimDuration::from_millis(delay_max),
     };
     let corrupt_near = Point::new(0.4 * area, 0.3 * area);
-    let make_plan = || {
-        FaultPlan::new()
-            .at(SimDuration::ZERO, FaultKind::SetChannel { config: channel.clone() })
-            .at(SimDuration::from_secs(5), FaultKind::StartJam {
-                label: 0,
-                center: jam_center,
-                radius: jam_radius,
-            })
-            .at(SimDuration::from_secs(10), FaultKind::CrashRandom { count: crash })
-            .at(SimDuration::from_secs(20), FaultKind::CorruptState {
-                near: corrupt_near,
-                corruption: Corruption::Il { offset: gs3_geometry::Vec2::new(150.0, 90.0) },
-            })
-            .at(SimDuration::from_secs_f64(5.0 + jam_secs), FaultKind::StopJam { label: 0 })
+    let loaded = match a.get("plan") {
+        Some(path) => Some(load_plan(path)?),
+        None => None,
+    };
+    let make_plan: Box<dyn Fn() -> FaultPlan + Sync> = match loaded {
+        Some(plan) => Box::new(move || plan.clone()),
+        None => Box::new(move || {
+            FaultPlan::new()
+                .at(SimDuration::ZERO, FaultKind::SetChannel { config: channel.clone() })
+                .at(SimDuration::from_secs(5), FaultKind::StartJam {
+                    label: 0,
+                    center: jam_center,
+                    radius: jam_radius,
+                })
+                .at(SimDuration::from_secs(10), FaultKind::CrashRandom { count: crash })
+                .at(SimDuration::from_secs(20), FaultKind::CorruptState {
+                    near: corrupt_near,
+                    corruption: Corruption::Il { offset: gs3_geometry::Vec2::new(150.0, 90.0) },
+                })
+                .at(SimDuration::from_secs_f64(5.0 + jam_secs), FaultKind::StopJam { label: 0 })
+        }),
     };
 
     let runs: usize = a.num("runs", 1)?;
     if runs > 1 {
-        return chaos_multi(a, runs, json, &make_plan);
+        return chaos_multi(a, runs, json, &*make_plan);
     }
 
     let timeline = a.get("timeline").map(str::to_string);
@@ -475,6 +504,193 @@ fn chaos_multi(
         .count();
     if failed > 0 {
         return Err(format!("{failed}/{runs} chaos runs did not heal").into());
+    }
+    Ok(())
+}
+
+/// Load a [`FaultPlan`] from `path`. Accepts either a standalone plan
+/// document or a gs3-mc counterexample file, whose `plan` field is a
+/// verbatim plan document — so `gs3 chaos --plan` replays a checker
+/// finding directly from the artifact the checker wrote.
+fn load_plan(path: &str) -> Result<FaultPlan, Box<dyn std::error::Error>> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("--plan {path}: {e}"))?;
+    match FaultPlan::from_json(&doc) {
+        Ok(plan) => Ok(plan),
+        Err(plan_err) => match extract_embedded_plan(&doc) {
+            Some(embedded) => FaultPlan::from_json(embedded)
+                .map_err(|e| format!("--plan {path}: embedded plan: {e}").into()),
+            None => Err(format!("--plan {path}: {plan_err}").into()),
+        },
+    }
+}
+
+/// Slice the balanced JSON object following `"plan":` out of a
+/// counterexample document. String-aware, so braces inside quoted text
+/// don't unbalance the scan.
+fn extract_embedded_plan(doc: &str) -> Option<&str> {
+    let start = doc.find("\"plan\":")? + "\"plan\":".len();
+    let bytes = doc.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    let obj_start = i;
+    let (mut depth, mut in_str, mut escaped) = (0usize, false, false);
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+        } else {
+            match b {
+                b'"' => in_str = true,
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&doc[obj_start..=i]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// `gs3 mc` — bounded model checking of the protocol core on pinned
+/// small fields. Explores every schedule a bounded adversary can force
+/// (per-attempt drop/duplicate/delay, node crashes), checks the safety
+/// and convergence properties, and prints a deterministic report
+/// document CI can gate on and diff byte-for-byte. Exits nonzero when
+/// any property is violated; minimized counterexamples (and their
+/// standalone replay plans) go to `--ce-dir`.
+pub fn mc(a: &Args) -> CliResult {
+    let strategy: McStrategy = a
+        .get("strategy")
+        .unwrap_or("bfs")
+        .parse()
+        .map_err(|e| format!("option --strategy: {e}"))?;
+    let mut budgets = Budgets::default();
+    budgets.max_states = a.num("max-states", budgets.max_states)?;
+    budgets.max_depth = a.num("max-depth", budgets.max_depth)?;
+    budgets.max_fates = a.num("max-fates", budgets.max_fates)?;
+    budgets.max_crashes = a.num("max-crashes", budgets.max_crashes)?;
+    budgets.max_path_faults = a.num("max-path-faults", budgets.max_path_faults)?;
+    budgets.horizon =
+        SimDuration::from_secs_f64(a.num("horizon", budgets.horizon.as_secs_f64())?);
+    budgets.heal_window =
+        SimDuration::from_secs_f64(a.num("heal-window", budgets.heal_window.as_secs_f64())?);
+
+    let scenarios = match a.get("scenario").unwrap_or("all") {
+        "all" => Scenario::all(),
+        name => {
+            let known: Vec<&str> = Scenario::all().iter().map(|s| s.name).collect();
+            vec![Scenario::by_name(name).ok_or_else(|| {
+                format!(
+                    "option --scenario: unknown scenario {name:?} (expected one of {}, or all)",
+                    known.join(", ")
+                )
+            })?]
+        }
+    };
+
+    let json = a.flag("json");
+    let mut reports = Vec::with_capacity(scenarios.len());
+    for scenario in scenarios {
+        if !json && !a.flag("quiet") {
+            eprintln!("checking {} ({} nodes, {})...", scenario.name, scenario.nodes.len() + 1, strategy.name());
+        }
+        reports.push(ModelChecker { scenario, strategy, budgets }.run());
+    }
+
+    let mut doc = String::from("{\"version\":1,\"reports\":[");
+    for (i, rep) in reports.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&rep.to_json());
+    }
+    doc.push_str("]}");
+
+    if let Some(path) = a.get("out") {
+        std::fs::write(path, &doc)?;
+    }
+    if let Some(dir) = a.get("ce-dir") {
+        std::fs::create_dir_all(dir)?;
+        for rep in &reports {
+            for (i, ce) in rep.counterexamples.iter().enumerate() {
+                let stem = format!("ce-{}-{}-{i}", rep.scenario, ce.property.name());
+                std::fs::write(format!("{dir}/{stem}.json"), ce.to_json())?;
+                std::fs::write(format!("{dir}/{stem}.plan.json"), ce.plan.to_json())?;
+            }
+        }
+    }
+
+    if json {
+        println!("{doc}");
+    } else {
+        println!(
+            "{:>10}  {:>8}  {:>8}  {:>9}  {:>10}  result",
+            "scenario", "states", "deduped", "terminals", "coverage"
+        );
+        for rep in &reports {
+            let violations: u64 = rep.properties.iter().map(|p| p.violations).sum();
+            println!(
+                "{:>10}  {:>8}  {:>8}  {:>9}  {:>10}  {}",
+                rep.scenario,
+                rep.states_explored,
+                rep.states_deduped,
+                rep.terminals,
+                if rep.exhaustive { "exhaustive" } else { "partial" },
+                if violations == 0 {
+                    "VERIFIED".to_string()
+                } else {
+                    format!("{violations} VIOLATIONS")
+                }
+            );
+        }
+        println!();
+        println!("{:>22}  {:>10}  {:>10}", "property", "checked", "violations");
+        for p in gs3_mc::Property::all() {
+            let (mut checked, mut violations) = (0u64, 0u64);
+            for rep in &reports {
+                for stat in &rep.properties {
+                    if stat.property == *p {
+                        checked += stat.checked;
+                        violations += stat.violations;
+                    }
+                }
+            }
+            println!("{:>22}  {checked:>10}  {violations:>10}", p.name());
+        }
+        for rep in &reports {
+            for ce in &rep.counterexamples {
+                println!();
+                println!(
+                    "counterexample: {} / {} — {}",
+                    rep.scenario,
+                    ce.property.name(),
+                    ce.detail
+                );
+                println!("  replay: gs3 chaos --plan <file>  (plan: {})", ce.plan.to_json());
+            }
+        }
+    }
+
+    let violating: Vec<&str> =
+        reports.iter().filter(|r| r.has_violations()).map(|r| r.scenario.as_str()).collect();
+    if !violating.is_empty() {
+        return Err(format!("property violations in: {}", violating.join(", ")).into());
     }
     Ok(())
 }

@@ -11,6 +11,11 @@
 //!                [--crash N] [--jam X,Y] [--jam-radius M] [--jam-secs S]
 //!                [--json] [--timeline FILE]
 //!                             (scheduled fault plan + self-healing certificate)
+//! gs3 mc     [--scenario NAME|all] [--strategy bfs|dfs] [--max-states N]
+//!            [--max-fates N] [--max-crashes N] [--horizon SECS]
+//!            [--heal-window SECS] [--json] [--out FILE] [--ce-dir DIR]
+//!                    (bounded model checking of the protocol core against a
+//!                     bounded adversary, with replayable counterexamples)
 //! gs3 trace  ... [--duration SECS] [--capacity N] [--format jsonl|chrome]
 //!                [--out FILE]      (flight-recorder event-stream export)
 //! gs3 help
@@ -36,6 +41,7 @@ fn main() {
         Some("heal") => commands::heal(&parsed),
         Some("watch") => commands::watch(&parsed),
         Some("chaos") => commands::chaos(&parsed),
+        Some("mc") => commands::mc(&parsed),
         Some("trace") => commands::trace(&parsed),
         Some("help") | None => {
             commands::help();

@@ -37,7 +37,7 @@
 //! ```
 
 use gs3_geometry::{Point, Vec2};
-use gs3_sim::faults::FaultConfig;
+use gs3_sim::faults::{Fate, FaultConfig};
 use gs3_sim::telemetry::Episode;
 use gs3_sim::{NodeId, SimDuration, SimTime};
 
@@ -45,6 +45,7 @@ use std::collections::BTreeMap;
 
 use crate::harness::Network;
 use crate::invariants::{self, Strictness};
+use crate::json::{self, JsonValue};
 use crate::snapshot::Snapshot;
 
 /// Which head field a [`FaultKind::CorruptState`] event scrambles.
@@ -134,6 +135,22 @@ pub enum FaultKind {
         /// The new configuration.
         config: FaultConfig,
     },
+    /// Fail-stop one specific node by id. The model checker's precise
+    /// crash-replay primitive: where [`FaultKind::CrashRandom`] draws
+    /// victims from the harness RNG, this kills exactly the node a
+    /// counterexample named.
+    CrashNode {
+        /// The victim (killing an already-dead or unknown id is a no-op).
+        id: NodeId,
+    },
+    /// Install scripted per-attempt delivery fates (see
+    /// [`gs3_sim::faults::Fate`]). Attempt indices are global and
+    /// deterministic for a given seed, so a script recorded by the model
+    /// checker replays verbatim through the ordinary chaos harness.
+    SetScript {
+        /// `(attempt index, fate)` pairs, merged into any installed script.
+        ops: Vec<(u64, Fate)>,
+    },
 }
 
 impl FaultKind {
@@ -150,6 +167,8 @@ impl FaultKind {
             FaultKind::StartJam { .. } => "start_jam",
             FaultKind::StopJam { .. } => "stop_jam",
             FaultKind::SetChannel { .. } => "set_channel",
+            FaultKind::CrashNode { .. } => "crash_node",
+            FaultKind::SetScript { .. } => "set_script",
         }
     }
 }
@@ -211,6 +230,300 @@ impl FaultPlan {
     pub fn span(&self) -> SimDuration {
         self.events.iter().map(|e| e.after).max().unwrap_or(SimDuration::ZERO)
     }
+
+    /// Serializes the plan to a deterministic JSON document.
+    ///
+    /// Durations are integer microseconds; floats use Rust's
+    /// shortest-round-trip formatting, so [`FaultPlan::from_json`] on the
+    /// output reconstructs a structurally equal plan (the property the
+    /// model checker's counterexample fixtures rely on).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_kv(&mut out, "after_us", &e.after.as_micros().to_string());
+            out.push(',');
+            push_kv(&mut out, "kind", &json_string(e.kind.name()));
+            match &e.kind {
+                FaultKind::CrashDisk { center, radius } => {
+                    out.push(',');
+                    push_kv(&mut out, "center", &point_json(*center));
+                    out.push(',');
+                    push_kv(&mut out, "radius", &format!("{radius:?}"));
+                }
+                FaultKind::CrashRandom { count } => {
+                    out.push(',');
+                    push_kv(&mut out, "count", &count.to_string());
+                }
+                FaultKind::Join { pos } => {
+                    out.push(',');
+                    push_kv(&mut out, "pos", &point_json(*pos));
+                }
+                FaultKind::EnergyShock { center, radius, energy } => {
+                    out.push(',');
+                    push_kv(&mut out, "center", &point_json(*center));
+                    out.push(',');
+                    push_kv(&mut out, "radius", &format!("{radius:?}"));
+                    out.push(',');
+                    push_kv(&mut out, "energy", &format!("{energy:?}"));
+                }
+                FaultKind::CorruptState { near, corruption } => {
+                    out.push(',');
+                    push_kv(&mut out, "near", &point_json(*near));
+                    out.push(',');
+                    let c = match corruption {
+                        Corruption::Il { offset } => format!(
+                            "{{\"what\":\"il\",\"offset\":[{:?},{:?}]}}",
+                            offset.x, offset.y
+                        ),
+                        Corruption::Hops { hops } => {
+                            format!("{{\"what\":\"hops\",\"hops\":{hops}}}")
+                        }
+                        Corruption::Parent => "{\"what\":\"parent\"}".to_string(),
+                    };
+                    push_kv(&mut out, "corruption", &c);
+                }
+                FaultKind::MoveBig { to } => {
+                    out.push(',');
+                    push_kv(&mut out, "to", &point_json(*to));
+                }
+                FaultKind::StartJam { label, center, radius } => {
+                    out.push(',');
+                    push_kv(&mut out, "label", &label.to_string());
+                    out.push(',');
+                    push_kv(&mut out, "center", &point_json(*center));
+                    out.push(',');
+                    push_kv(&mut out, "radius", &format!("{radius:?}"));
+                }
+                FaultKind::StopJam { label } => {
+                    out.push(',');
+                    push_kv(&mut out, "label", &label.to_string());
+                }
+                FaultKind::SetChannel { config } => {
+                    out.push(',');
+                    let b = &config.burst;
+                    let cfg = format!(
+                        "{{\"burst\":{{\"p_enter\":{:?},\"p_exit\":{:?},\"loss_good\":{:?},\
+                         \"loss_bad\":{:?}}},\"unicast_loss\":{:?},\"duplicate\":{:?},\
+                         \"delay_prob\":{:?},\"delay_max_us\":{}}}",
+                        b.p_enter,
+                        b.p_exit,
+                        b.loss_good,
+                        b.loss_bad,
+                        config.unicast_loss,
+                        config.duplicate,
+                        config.delay_prob,
+                        config.delay_max.as_micros()
+                    );
+                    push_kv(&mut out, "config", &cfg);
+                }
+                FaultKind::CrashNode { id } => {
+                    out.push(',');
+                    push_kv(&mut out, "id", &id.raw().to_string());
+                }
+                FaultKind::SetScript { ops } => {
+                    out.push(',');
+                    let mut arr = String::from("[");
+                    for (j, (attempt, fate)) in ops.iter().enumerate() {
+                        if j > 0 {
+                            arr.push(',');
+                        }
+                        match fate {
+                            Fate::Deliver => {
+                                arr.push_str(&format!(
+                                    "{{\"attempt\":{attempt},\"fate\":\"deliver\"}}"
+                                ));
+                            }
+                            Fate::Drop => {
+                                arr.push_str(&format!(
+                                    "{{\"attempt\":{attempt},\"fate\":\"drop\"}}"
+                                ));
+                            }
+                            Fate::Duplicate => {
+                                arr.push_str(&format!(
+                                    "{{\"attempt\":{attempt},\"fate\":\"duplicate\"}}"
+                                ));
+                            }
+                            Fate::Delay(d) => {
+                                arr.push_str(&format!(
+                                    "{{\"attempt\":{attempt},\"fate\":\"delay\",\"delay_us\":{}}}",
+                                    d.as_micros()
+                                ));
+                            }
+                        }
+                    }
+                    arr.push(']');
+                    push_kv(&mut out, "ops", &arr);
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a plan previously produced by [`FaultPlan::to_json`] (or
+    /// written by hand — `gs3 chaos --plan FILE` loads this format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the document is not valid
+    /// JSON or does not match the plan schema.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let doc = json::parse(input).map_err(|e| e.to_string())?;
+        let version = doc
+            .get("version")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing numeric \"version\"")?;
+        if version != 1 {
+            return Err(format!("unsupported plan version {version}"));
+        }
+        let events = doc.get("events").and_then(JsonValue::as_arr).ok_or("missing \"events\" array")?;
+        let mut plan = FaultPlan::new();
+        for (i, ev) in events.iter().enumerate() {
+            let ctx = |field: &str| format!("event {i}: missing or malformed \"{field}\"");
+            let after = ev
+                .get("after_us")
+                .and_then(JsonValue::as_u64)
+                .map(SimDuration::from_micros)
+                .ok_or_else(|| ctx("after_us"))?;
+            let kind_name = ev.get("kind").and_then(JsonValue::as_str).ok_or_else(|| ctx("kind"))?;
+            let point = |field: &str| -> Result<Point, String> {
+                let arr = ev.get(field).and_then(JsonValue::as_arr).ok_or_else(|| ctx(field))?;
+                match arr {
+                    [x, y] => Ok(Point::new(
+                        x.as_f64().ok_or_else(|| ctx(field))?,
+                        y.as_f64().ok_or_else(|| ctx(field))?,
+                    )),
+                    _ => Err(ctx(field)),
+                }
+            };
+            let f64_field = |field: &str| -> Result<f64, String> {
+                ev.get(field).and_then(JsonValue::as_f64).ok_or_else(|| ctx(field))
+            };
+            let u64_field = |field: &str| -> Result<u64, String> {
+                ev.get(field).and_then(JsonValue::as_u64).ok_or_else(|| ctx(field))
+            };
+            let kind = match kind_name {
+                "crash_disk" => {
+                    FaultKind::CrashDisk { center: point("center")?, radius: f64_field("radius")? }
+                }
+                "crash_random" => FaultKind::CrashRandom { count: u64_field("count")? as usize },
+                "join" => FaultKind::Join { pos: point("pos")? },
+                "energy_shock" => FaultKind::EnergyShock {
+                    center: point("center")?,
+                    radius: f64_field("radius")?,
+                    energy: f64_field("energy")?,
+                },
+                "corrupt_state" => {
+                    let c = ev.get("corruption").ok_or_else(|| ctx("corruption"))?;
+                    let what =
+                        c.get("what").and_then(JsonValue::as_str).ok_or_else(|| ctx("corruption"))?;
+                    let corruption = match what {
+                        "il" => {
+                            let arr = c
+                                .get("offset")
+                                .and_then(JsonValue::as_arr)
+                                .ok_or_else(|| ctx("corruption.offset"))?;
+                            match arr {
+                                [x, y] => Corruption::Il {
+                                    offset: Vec2::new(
+                                        x.as_f64().ok_or_else(|| ctx("corruption.offset"))?,
+                                        y.as_f64().ok_or_else(|| ctx("corruption.offset"))?,
+                                    ),
+                                },
+                                _ => return Err(ctx("corruption.offset")),
+                            }
+                        }
+                        "hops" => Corruption::Hops {
+                            hops: c
+                                .get("hops")
+                                .and_then(JsonValue::as_u64)
+                                .ok_or_else(|| ctx("corruption.hops"))?
+                                as u32,
+                        },
+                        "parent" => Corruption::Parent,
+                        other => return Err(format!("event {i}: unknown corruption {other:?}")),
+                    };
+                    FaultKind::CorruptState { near: point("near")?, corruption }
+                }
+                "move_big" => FaultKind::MoveBig { to: point("to")? },
+                "start_jam" => FaultKind::StartJam {
+                    label: u64_field("label")? as u32,
+                    center: point("center")?,
+                    radius: f64_field("radius")?,
+                },
+                "stop_jam" => FaultKind::StopJam { label: u64_field("label")? as u32 },
+                "set_channel" => {
+                    let c = ev.get("config").ok_or_else(|| ctx("config"))?;
+                    let nested = |path: &str, field: &str| -> Result<f64, String> {
+                        c.get(path)
+                            .and_then(|b| b.get(field))
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| ctx(&format!("config.{path}.{field}")))
+                    };
+                    let top = |field: &str| -> Result<f64, String> {
+                        c.get(field)
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| ctx(&format!("config.{field}")))
+                    };
+                    FaultKind::SetChannel {
+                        config: FaultConfig {
+                            burst: gs3_sim::faults::BurstLoss {
+                                p_enter: nested("burst", "p_enter")?,
+                                p_exit: nested("burst", "p_exit")?,
+                                loss_good: nested("burst", "loss_good")?,
+                                loss_bad: nested("burst", "loss_bad")?,
+                            },
+                            unicast_loss: top("unicast_loss")?,
+                            duplicate: top("duplicate")?,
+                            delay_prob: top("delay_prob")?,
+                            delay_max: SimDuration::from_micros(
+                                c.get("delay_max_us")
+                                    .and_then(JsonValue::as_u64)
+                                    .ok_or_else(|| ctx("config.delay_max_us"))?,
+                            ),
+                        },
+                    }
+                }
+                "crash_node" => FaultKind::CrashNode { id: NodeId::new(u64_field("id")?) },
+                "set_script" => {
+                    let raw = ev.get("ops").and_then(JsonValue::as_arr).ok_or_else(|| ctx("ops"))?;
+                    let mut ops = Vec::with_capacity(raw.len());
+                    for (j, op) in raw.iter().enumerate() {
+                        let octx = || format!("event {i}: malformed script op {j}");
+                        let attempt =
+                            op.get("attempt").and_then(JsonValue::as_u64).ok_or_else(octx)?;
+                        let fate =
+                            match op.get("fate").and_then(JsonValue::as_str).ok_or_else(octx)? {
+                                "deliver" => Fate::Deliver,
+                                "drop" => Fate::Drop,
+                                "duplicate" => Fate::Duplicate,
+                                "delay" => Fate::Delay(SimDuration::from_micros(
+                                    op.get("delay_us").and_then(JsonValue::as_u64).ok_or_else(octx)?,
+                                )),
+                                other => {
+                                    return Err(format!("event {i}: unknown fate {other:?}"))
+                                }
+                            };
+                        ops.push((attempt, fate));
+                    }
+                    FaultKind::SetScript { ops }
+                }
+                other => return Err(format!("event {i}: unknown fault kind {other:?}")),
+            };
+            plan = plan.at(after, kind);
+        }
+        Ok(plan)
+    }
+}
+
+fn point_json(p: Point) -> String {
+    format!("[{:?},{:?}]", p.x, p.y)
 }
 
 /// Pacing knobs for [`Network::run_chaos_with`].
@@ -515,7 +828,7 @@ impl Network {
                     if start + e.after != target {
                         break;
                     }
-                    let outcome = self.inject(&e.kind, &mut jams);
+                    let outcome = self.apply_fault(&e.kind, &mut jams);
                     pending.push(outcomes.len());
                     outcomes.push(outcome);
                     next_event += 1;
@@ -605,7 +918,7 @@ impl Network {
     /// and big-node moves taint both endpoints of the hop. Channel-shaping
     /// faults (jam / channel config) seed no episode — they perturb the
     /// medium, not the structure.
-    fn inject(&mut self, kind: &FaultKind, jams: &mut BTreeMap<u32, u64>) -> FaultOutcome {
+    pub fn apply_fault(&mut self, kind: &FaultKind, jams: &mut BTreeMap<u32, u64>) -> FaultOutcome {
         let now = self.now();
         let detect = self.config().r + self.config().r_t;
         let mut episode = None;
@@ -733,6 +1046,24 @@ impl Network {
                 self.set_fault_config(config.clone());
                 (desc, 0)
             }
+            FaultKind::CrashNode { id } => {
+                if self.engine().is_alive(*id).unwrap_or(false) {
+                    let pos = self.engine().position(*id).ok();
+                    self.engine_mut().kill(*id).expect("liveness was just checked");
+                    let ep = self.engine_mut().open_episode(kind.name());
+                    if let Some(p) = pos {
+                        self.engine_mut().taint_episode_near(ep, p, detect);
+                    }
+                    episode = Some(ep);
+                    (format!("killed node {id}"), 1)
+                } else {
+                    (format!("node {id} already dead or unknown"), 0)
+                }
+            }
+            FaultKind::SetScript { ops } => {
+                self.engine_mut().faults_mut().install_script(ops.iter().copied());
+                (format!("installed {} scripted delivery fates", ops.len()), 0)
+            }
         };
         FaultOutcome { kind: kind.name(), detail, injected_at: now, killed, heal_latency: None, episode }
     }
@@ -763,6 +1094,93 @@ mod tests {
         assert!(!plan.is_empty());
         assert_eq!(plan.span(), SimDuration::from_secs(10));
         assert_eq!(plan.events()[0].kind.name(), "crash_random");
+    }
+
+    #[test]
+    fn plan_json_round_trips_every_kind() {
+        let plan = FaultPlan::new()
+            .at(
+                SimDuration::from_millis(1500),
+                FaultKind::CrashDisk { center: Point::new(12.5, -3.25), radius: 40.0 },
+            )
+            .at(SimDuration::from_secs(2), FaultKind::CrashRandom { count: 3 })
+            .at(SimDuration::from_secs(3), FaultKind::Join { pos: Point::new(0.1, 0.2) })
+            .at(
+                SimDuration::from_secs(4),
+                FaultKind::EnergyShock {
+                    center: Point::new(-7.0, 8.0),
+                    radius: 25.0,
+                    energy: 0.125,
+                },
+            )
+            .at(
+                SimDuration::from_secs(5),
+                FaultKind::CorruptState {
+                    near: Point::ORIGIN,
+                    corruption: Corruption::Il { offset: Vec2::new(3.0, -4.0) },
+                },
+            )
+            .at(
+                SimDuration::from_secs(6),
+                FaultKind::CorruptState {
+                    near: Point::new(1.0, 1.0),
+                    corruption: Corruption::Hops { hops: 9 },
+                },
+            )
+            .at(
+                SimDuration::from_secs(7),
+                FaultKind::CorruptState { near: Point::new(2.0, 2.0), corruption: Corruption::Parent },
+            )
+            .at(SimDuration::from_secs(8), FaultKind::MoveBig { to: Point::new(55.0, 66.0) })
+            .at(
+                SimDuration::from_secs(9),
+                FaultKind::StartJam { label: 4, center: Point::new(10.0, 10.0), radius: 30.0 },
+            )
+            .at(SimDuration::from_secs(10), FaultKind::StopJam { label: 4 })
+            .at(
+                SimDuration::from_secs(11),
+                FaultKind::SetChannel {
+                    config: FaultConfig {
+                        burst: gs3_sim::faults::BurstLoss::bursty(0.05, 3.0),
+                        unicast_loss: 0.01,
+                        duplicate: 0.02,
+                        delay_prob: 0.1,
+                        delay_max: SimDuration::from_millis(250),
+                    },
+                },
+            )
+            .at(SimDuration::from_secs(12), FaultKind::CrashNode { id: NodeId::new(17) })
+            .at(
+                SimDuration::from_secs(13),
+                FaultKind::SetScript {
+                    ops: vec![
+                        (0, Fate::Drop),
+                        (3, Fate::Duplicate),
+                        (5, Fate::Deliver),
+                        (9, Fate::Delay(SimDuration::from_millis(40))),
+                    ],
+                },
+            );
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).expect("round trip parses");
+        assert_eq!(back, plan);
+        // Serialization is deterministic: re-encoding is byte-identical.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn plan_from_json_rejects_malformed() {
+        assert!(FaultPlan::from_json("not json").is_err());
+        assert!(FaultPlan::from_json("{\"events\":[]}").is_err(), "missing version");
+        assert!(FaultPlan::from_json("{\"version\":2,\"events\":[]}").is_err());
+        assert!(
+            FaultPlan::from_json(
+                "{\"version\":1,\"events\":[{\"after_us\":0,\"kind\":\"bogus\"}]}"
+            )
+            .is_err()
+        );
+        let empty = FaultPlan::from_json("{\"version\":1,\"events\":[]}").unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub struct NetworkBuilder {
     faults: FaultConfig,
     reliability: Option<ReliabilityConfig>,
     flight_recorder: Option<usize>,
+    explicit_nodes: Vec<Point>,
 }
 
 impl Default for NetworkBuilder {
@@ -75,6 +76,7 @@ impl Default for NetworkBuilder {
             faults: FaultConfig::none(),
             reliability: None,
             flight_recorder: None,
+            explicit_nodes: Vec::new(),
         }
     }
 }
@@ -256,6 +258,17 @@ impl NetworkBuilder {
         self
     }
 
+    /// Places a small node at an exact position. Once any explicit node is
+    /// given, `build` skips the Poisson deployment entirely and spawns
+    /// exactly these nodes (plus the big node(s)) — the model checker uses
+    /// this to define tiny fully-pinned fields whose state space does not
+    /// depend on deployment sampling.
+    #[must_use]
+    pub fn with_small_node(mut self, pos: Point) -> Self {
+        self.explicit_nodes.push(pos);
+        self
+    }
+
     /// Deploys the network.
     ///
     /// # Errors
@@ -306,16 +319,23 @@ impl NetworkBuilder {
             bigs.push(eng.spawn_at(Gs3Node::big(cfg.clone()), *pos, SimTime::ZERO, None));
         }
 
-        // `lambda` is the paper's λ (expected nodes per unit-radius disk),
-        // which Deployment::disk takes directly: expected count = λ·r².
-        let mut deploy = Deployment::disk(self.area_radius, self.lambda)
-            .with_position_noise(self.position_noise);
-        for (c, g) in &self.gaps {
-            deploy = deploy.with_gap(*c, *g);
-        }
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        for pos in deploy.generate(&mut rng) {
-            eng.spawn_at(Gs3Node::small(cfg.clone()), pos, SimTime::ZERO, budget);
+        if self.explicit_nodes.is_empty() {
+            // `lambda` is the paper's λ (expected nodes per unit-radius
+            // disk), which Deployment::disk takes directly: expected
+            // count = λ·r².
+            let mut deploy = Deployment::disk(self.area_radius, self.lambda)
+                .with_position_noise(self.position_noise);
+            for (c, g) in &self.gaps {
+                deploy = deploy.with_gap(*c, *g);
+            }
+            for pos in deploy.generate(&mut rng) {
+                eng.spawn_at(Gs3Node::small(cfg.clone()), pos, SimTime::ZERO, budget);
+            }
+        } else {
+            for pos in &self.explicit_nodes {
+                eng.spawn_at(Gs3Node::small(cfg.clone()), *pos, SimTime::ZERO, budget);
+            }
         }
 
         Ok(Network { eng, big, bigs, cfg, rng, budget })
@@ -342,7 +362,10 @@ pub enum RunOutcome {
 }
 
 /// A deployed GS³ network under simulation.
-#[derive(Debug)]
+///
+/// `Clone` forks the entire simulation (engine, nodes, queue, RNG) into an
+/// independent copy — the model checker's state save/restore primitive.
+#[derive(Debug, Clone)]
 pub struct Network {
     eng: Engine<Gs3Node>,
     big: NodeId,

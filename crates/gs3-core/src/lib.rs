@@ -58,12 +58,14 @@
 mod big;
 pub mod chaos;
 pub mod config;
+pub mod fingerprint;
 pub mod harness;
 mod head_org;
 mod inter;
 mod intra;
 pub mod invariants;
 mod join;
+pub mod json;
 pub mod messages;
 pub mod node;
 mod reliable;

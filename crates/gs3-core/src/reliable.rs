@@ -27,7 +27,7 @@
 //! All tallies flow through [`Context::count`](gs3_sim::Context::count)
 //! into the trace's protocol counters and from there into `ChaosReport`.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
 use gs3_sim::{NodeId, SimDuration, SimTime};
 
@@ -63,6 +63,51 @@ pub(crate) struct Detector {
     pub samples: u32,
 }
 
+/// A per-sender anti-replay window, value-ordered (IPsec-style): `hi` is
+/// the highest sequence accepted so far and `recent` holds every accepted
+/// sequence still inside `(hi − window, hi]`. A delivery is rejected as a
+/// duplicate when its sequence is in `recent` *or* at-or-below the window
+/// floor.
+///
+/// The floor rule is what makes readmission impossible: an accepted
+/// sequence leaves `recent` only by falling below the floor, where the
+/// floor keeps rejecting it forever. The previous FIFO-evicting window
+/// lacked that property — under reordering, a sequence *higher* than the
+/// survivors could be evicted first and a late duplicate of it would
+/// dispatch twice (found by `gs3 mc`'s `no-dedup-readmit` oracle; replayed
+/// in `tests/mc_regressions.rs`). The price is that a first delivery
+/// arriving below the floor (delayed behind `window` fresh sequences) is
+/// rejected as stale; liveness is preserved by retransmission and, past
+/// the retry budget, the protocol-level give-up fallback.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct SeenWindow {
+    /// Highest sequence accepted from this sender.
+    pub hi: u64,
+    /// Accepted sequences in `(hi − window, hi]`.
+    pub recent: BTreeSet<u64>,
+}
+
+impl SeenWindow {
+    /// Admits or rejects one delivered sequence. Returns true when `seq`
+    /// is fresh (dispatch the inner message), false when it is a duplicate
+    /// or below the window floor.
+    pub fn admit(&mut self, seq: u64, window: u64) -> bool {
+        let window = window.max(1);
+        if seq.saturating_add(window) <= self.hi {
+            return false;
+        }
+        if !self.recent.insert(seq) {
+            return false;
+        }
+        self.hi = self.hi.max(seq);
+        let floor = self.hi.saturating_sub(window);
+        while self.recent.first().is_some_and(|&lo| lo <= floor) {
+            self.recent.pop_first();
+        }
+        true
+    }
+}
+
 /// Reliability-layer state carried by every node across role transitions.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ReliableState {
@@ -70,8 +115,8 @@ pub(crate) struct ReliableState {
     pub next_seq: u64,
     /// Unacked reliable sends by sequence number.
     pub pending: BTreeMap<u64, PendingSend>,
-    /// Per-sender windows of recently seen sequence numbers (dedup).
-    pub seen: BTreeMap<NodeId, VecDeque<u64>>,
+    /// Per-sender anti-replay windows (dedup).
+    pub seen: BTreeMap<NodeId, SeenWindow>,
     /// Per-neighbor inter-arrival estimators.
     pub detectors: BTreeMap<NodeId, Detector>,
     /// Peers suspected by the adaptive detector *earlier* than the legacy
@@ -180,8 +225,8 @@ impl Gs3Node {
     }
 
     /// Handles an incoming [`Msg::Reliable`]: ack every copy, dedup through
-    /// the bounded per-sender window, and dispatch the inner message at
-    /// most once per window.
+    /// the per-sender anti-replay window, and dispatch the inner message
+    /// at most once, ever (see [`SeenWindow`]).
     pub(crate) fn on_reliable(
         &mut self,
         from: NodeId,
@@ -190,16 +235,16 @@ impl Gs3Node {
         ctx: &mut Ctx<'_>,
     ) {
         ctx.unicast(from, Msg::DeliveryAck { seq });
-        let window = self.cfg.reliability.dedup_window.max(1);
+        let window = self.cfg.reliability.dedup_window.max(1) as u64;
         let seen = self.rel.seen.entry(from).or_default();
-        if seen.contains(&seq) {
+        if !seen.admit(seq, window) {
             ctx.count("reliable_dedup_hits");
             return;
         }
-        seen.push_back(seq);
-        while seen.len() > window {
-            seen.pop_front();
-        }
+        // The accept point, visible to the model checker's no-readmission
+        // oracle through the flight recorder (recorded only in Full mode;
+        // digest-inert). Sender id and sequence packed into one word.
+        ctx.event("rel_apply", (from.raw() << 40) | (seq & 0xFF_FFFF_FFFF));
         <Self as gs3_sim::Node>::on_message(self, from, inner, ctx);
     }
 
@@ -383,5 +428,46 @@ mod tests {
             mark_suspected(&mut rel, NodeId::new(i), SimTime::from_micros(i));
         }
         assert!(rel.suspected.len() <= 64 + 1);
+    }
+
+    #[test]
+    fn seen_window_basic_dedup() {
+        let mut w = SeenWindow::default();
+        assert!(w.admit(1, 16));
+        assert!(!w.admit(1, 16), "immediate duplicate rejected");
+        assert!(w.admit(2, 16));
+        assert!(!w.admit(2, 16));
+        assert!(!w.admit(1, 16));
+    }
+
+    // The readmission counterexample `gs3 mc` minimized against the old
+    // FIFO-evicting window (window = 2): accept 100, then the reordered
+    // 99 and 98, then 101 — FIFO eviction would push out 100 while 98/99
+    // stayed, so a late duplicate of 100 dispatched twice. The
+    // value-ordered window must reject every re-delivery of an accepted
+    // sequence, forever.
+    #[test]
+    fn seen_window_never_readmits_under_reordering() {
+        let mut w = SeenWindow::default();
+        assert!(w.admit(100, 2));
+        assert!(w.admit(99, 2), "in-window reordered arrival accepted");
+        assert!(!w.admit(98, 2), "below the floor: stale-rejected");
+        assert!(w.admit(101, 2));
+        assert!(!w.admit(100, 2), "accepted seq must never readmit");
+        assert!(!w.admit(99, 2), "accepted seq must never readmit");
+        assert!(!w.admit(101, 2));
+        assert!(w.admit(102, 2));
+        assert!(!w.admit(100, 2), "still rejected after more traffic");
+    }
+
+    #[test]
+    fn seen_window_memory_stays_bounded() {
+        let mut w = SeenWindow::default();
+        for seq in 1..=10_000u64 {
+            assert!(w.admit(seq, 16));
+        }
+        assert!(w.recent.len() <= 16, "window holds at most `window` seqs");
+        assert_eq!(w.hi, 10_000);
+        assert!(!w.admit(5, 16), "ancient seq stays rejected");
     }
 }

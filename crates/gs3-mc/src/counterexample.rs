@@ -1,0 +1,174 @@
+//! Violation traces and their conversion-ready form.
+
+use gs3_core::chaos::FaultPlan;
+use gs3_sim::faults::Fate;
+
+use crate::properties::Property;
+
+/// One branching decision along a search path.
+///
+/// A path is a sequence of choices applied to the scenario's converged
+/// root state; replaying the same sequence reproduces the same final
+/// state bit-for-bit (the simulation is deterministic once fates are
+/// scripted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Choice {
+    /// Execute the next pending engine event with no interference.
+    Step,
+    /// Execute the next pending engine event with one delivery attempt
+    /// scripted. `offset` is *relative*: the attempt scripted is the one
+    /// whose global index is `attempt_count() + offset` at the moment
+    /// this choice is applied. Relative encoding keeps a trace valid
+    /// when minimization removes earlier choices (absolute indices
+    /// would shift).
+    Fate {
+        /// Attempt-index offset from the live attempt counter.
+        offset: u64,
+        /// What happens to that attempt.
+        fate: Fate,
+    },
+    /// Crash a node (no engine event is consumed; the crash happens at
+    /// the current simulation instant, strictly before the next event).
+    Crash {
+        /// Raw id of the victim.
+        id: u64,
+    },
+    /// Run deterministically to the horizon. Always the last choice of a
+    /// complete path.
+    Run,
+}
+
+impl Choice {
+    fn push_json(&self, out: &mut String) {
+        match self {
+            Choice::Step => out.push_str("{\"kind\":\"step\"}"),
+            Choice::Fate { offset, fate } => {
+                out.push_str(&format!("{{\"kind\":\"fate\",\"offset\":{offset},"));
+                match fate {
+                    Fate::Deliver => out.push_str("\"fate\":\"deliver\"}"),
+                    Fate::Drop => out.push_str("\"fate\":\"drop\"}"),
+                    Fate::Duplicate => out.push_str("\"fate\":\"duplicate\"}"),
+                    Fate::Delay(d) => {
+                        out.push_str(&format!(
+                            "\"fate\":\"delay\",\"delay_us\":{}}}",
+                            d.as_micros()
+                        ));
+                    }
+                }
+            }
+            Choice::Crash { id } => out.push_str(&format!("{{\"kind\":\"crash\",\"id\":{id}}}")),
+            Choice::Run => out.push_str("{\"kind\":\"run\"}"),
+        }
+    }
+}
+
+/// Serialize a choice trace, run-length-encoding `Step` runs (a
+/// minimized trace is typically hundreds of steps, one fault, `Run`):
+/// `{"kind":"steps","n":360}`.
+fn push_choices_json(out: &mut String, choices: &[Choice]) {
+    out.push('[');
+    let mut first = true;
+    let mut i = 0;
+    while i < choices.len() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if matches!(choices[i], Choice::Step) {
+            let mut n = 1usize;
+            while i + n < choices.len() && matches!(choices[i + n], Choice::Step) {
+                n += 1;
+            }
+            if n == 1 {
+                out.push_str("{\"kind\":\"step\"}");
+            } else {
+                out.push_str(&format!("{{\"kind\":\"steps\",\"n\":{n}}}"));
+            }
+            i += n;
+        } else {
+            choices[i].push_json(out);
+            i += 1;
+        }
+    }
+    out.push(']');
+}
+
+/// A minimized, replayable property violation.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The violated property.
+    pub property: Property,
+    /// Human-readable specifics of the violation.
+    pub detail: String,
+    /// Scenario the trace starts from (by stable name).
+    pub scenario: String,
+    /// Scenario seed (duplicated here so the file is self-describing).
+    pub seed: u64,
+    /// The minimized choice trace, for the checker's own replay.
+    pub choices: Vec<Choice>,
+    /// The same trace as a standalone fault plan: replays through the
+    /// chaos harness with no model checker involved.
+    pub plan: FaultPlan,
+}
+
+impl Counterexample {
+    /// Serialize to the counterexample file format: a self-describing
+    /// JSON object whose `plan` field is a verbatim [`FaultPlan`]
+    /// document (loadable on its own by `FaultPlan::from_json`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"version\":1");
+        out.push_str(&format!(",\"scenario\":{}", crate::report::json_string(&self.scenario)));
+        out.push_str(&format!(",\"seed\":{}", self.seed));
+        out.push_str(&format!(",\"property\":\"{}\"", self.property.name()));
+        out.push_str(&format!(",\"detail\":{}", crate::report::json_string(&self.detail)));
+        out.push_str(",\"choices\":");
+        push_choices_json(&mut out, &self.choices);
+        out.push_str(",\"plan\":");
+        out.push_str(&self.plan.to_json());
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs3_sim::SimDuration;
+
+    #[test]
+    fn counterexample_json_is_self_describing() {
+        let ce = Counterexample {
+            property: Property::HealingConverges,
+            detail: "head 3 \"lost\"".into(),
+            scenario: "pair5".into(),
+            seed: 11,
+            choices: vec![
+                Choice::Step,
+                Choice::Step,
+                Choice::Step,
+                Choice::Fate { offset: 2, fate: Fate::Drop },
+                Choice::Step,
+                Choice::Fate { offset: 0, fate: Fate::Delay(SimDuration::from_millis(800)) },
+                Choice::Crash { id: 4 },
+                Choice::Run,
+            ],
+            plan: FaultPlan::new(),
+        };
+        let json = ce.to_json();
+        assert!(json.starts_with("{\"version\":1,\"scenario\":\"pair5\""));
+        assert!(json.contains("\"property\":\"healing_converges\""));
+        assert!(json.contains("{\"kind\":\"steps\",\"n\":3}"));
+        assert!(json.contains("{\"kind\":\"step\"},{\"kind\":\"fate\",\"offset\":0"));
+        assert!(json.contains("{\"kind\":\"fate\",\"offset\":2,\"fate\":\"drop\"}"));
+        assert!(json.contains("\"fate\":\"delay\",\"delay_us\":800000}"));
+        assert!(json.contains("{\"kind\":\"crash\",\"id\":4}"));
+        // The embedded plan must itself be a valid FaultPlan document.
+        let plan_at = json.find("\"plan\":").unwrap() + "\"plan\":".len();
+        let plan_doc = &json[plan_at..json.len() - 1];
+        assert!(FaultPlan::from_json(plan_doc).is_ok());
+        // And the whole file parses as JSON.
+        assert!(gs3_core::json::parse(&json).is_ok());
+    }
+}

@@ -1,0 +1,162 @@
+//! The checked properties, as predicates over forked network states.
+//!
+//! Two kinds:
+//!
+//! * **Terminal** properties are evaluated once a path reaches the
+//!   horizon (or quiesces): they assert that whatever faults the path
+//!   injected, the network *healed back* into a legal structure.
+//! * **Path** properties are evaluated along every edge of the search
+//!   tree. The only current path property, [`Property::NoDedupReadmit`],
+//!   is checked by the executor itself against the `rel_apply` delivery
+//!   oracle (a `(receiver, sender‖seq)` pair must be applied at most once
+//!   per path), so its `check_terminal` is vacuous.
+
+use std::collections::BTreeMap;
+
+use gs3_core::harness::Network;
+use gs3_core::snapshot::RoleView;
+use gs3_core::state::Role;
+
+/// One verifiable claim about the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Property {
+    /// Every terminal state satisfies the paper's dynamic invariants —
+    /// self-healing converged within the horizon, whatever the adversary
+    /// did within its fault budget.
+    HealingConverges,
+    /// No two live heads ever claim the same cell (ideal locations equal
+    /// at millimetre resolution) in a terminal state.
+    SingleHeadPerCell,
+    /// No live head is still quarantined in a terminal state while the
+    /// big node is alive: quarantine is a transient degradation, not a
+    /// stable configuration.
+    QuarantineDrains,
+    /// The reliable-delivery dedup window never re-admits a sequence
+    /// number it already applied, under any reordering, duplication, or
+    /// loss the adversary can script. Checked per-edge via the
+    /// `rel_apply` oracle.
+    NoDedupReadmit,
+}
+
+impl Property {
+    /// All properties, in report order.
+    #[must_use]
+    pub fn all() -> &'static [Property] {
+        &[
+            Property::HealingConverges,
+            Property::SingleHeadPerCell,
+            Property::QuarantineDrains,
+            Property::NoDedupReadmit,
+        ]
+    }
+
+    /// Stable snake_case name used in reports and counterexample files.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Property::HealingConverges => "healing_converges",
+            Property::SingleHeadPerCell => "single_head_per_cell",
+            Property::QuarantineDrains => "quarantine_drains",
+            Property::NoDedupReadmit => "no_dedup_readmit",
+        }
+    }
+
+    /// Whether the property is evaluated at horizon-terminal states
+    /// (`true`) or along every search edge (`false`).
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, Property::NoDedupReadmit)
+    }
+
+    /// Evaluate a terminal property against a terminal state. Returns a
+    /// human-readable violation detail, or `None` if the property holds.
+    /// Path properties always return `None` here.
+    #[must_use]
+    pub fn check_terminal(self, net: &Network) -> Option<String> {
+        match self {
+            Property::HealingConverges => {
+                let violations = net.check_invariants();
+                if violations.is_empty() {
+                    None
+                } else {
+                    // The first violation is detail enough; the replayed
+                    // FaultPlan reproduces the full list.
+                    Some(format!(
+                        "{} invariant violation(s) at horizon; first: {}",
+                        violations.len(),
+                        violations[0]
+                    ))
+                }
+            }
+            Property::SingleHeadPerCell => {
+                let snap = net.snapshot();
+                // Quantize ideal locations to millimetres, exactly as the
+                // structural signature does, so float noise cannot split
+                // one cell into two keys.
+                let mut cells: BTreeMap<(i64, i64), Vec<u64>> = BTreeMap::new();
+                for head in snap.heads().filter(|h| h.alive) {
+                    if let RoleView::Head { oil, .. } = &head.role {
+                        let key = (quant_mm(oil.x), quant_mm(oil.y));
+                        cells.entry(key).or_default().push(head.id.raw());
+                    }
+                }
+                cells.into_iter().find(|(_, heads)| heads.len() > 1).map(|(key, heads)| {
+                    format!(
+                        "cell at OIL ({:.3}, {:.3}) has {} live heads: {:?}",
+                        key.0 as f64 / 1000.0,
+                        key.1 as f64 / 1000.0,
+                        heads.len(),
+                        heads
+                    )
+                })
+            }
+            Property::QuarantineDrains => {
+                let eng = net.engine();
+                if !eng.is_alive(net.big_id()).unwrap_or(false) {
+                    // Without a root there is nothing to re-attach to;
+                    // staying quarantined is the correct behaviour.
+                    return None;
+                }
+                for id in eng.alive_ids() {
+                    let Ok(node) = eng.node(id) else { continue };
+                    if let Role::Head(h) = node.role() {
+                        if h.quarantined {
+                            return Some(format!(
+                                "head {} still quarantined at horizon with big node alive",
+                                id.raw()
+                            ));
+                        }
+                    }
+                }
+                None
+            }
+            Property::NoDedupReadmit => None,
+        }
+    }
+}
+
+fn quant_mm(v: f64) -> i64 {
+    (v * 1000.0).round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let names: Vec<_> = Property::all().iter().map(|p| p.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+        assert_eq!(names[0], "healing_converges");
+    }
+
+    #[test]
+    fn only_dedup_is_a_path_property() {
+        for p in Property::all() {
+            assert_eq!(p.is_terminal(), *p != Property::NoDedupReadmit);
+        }
+    }
+}

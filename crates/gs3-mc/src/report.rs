@@ -1,0 +1,170 @@
+//! The machine-readable result of one model-checking run.
+
+use std::collections::BTreeSet;
+
+use crate::counterexample::Counterexample;
+use crate::properties::Property;
+use crate::strategy::McStrategy;
+
+/// Per-property verification tally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyStat {
+    /// The property.
+    pub property: Property,
+    /// How many times the predicate was evaluated (terminal states for
+    /// terminal properties, search edges for path properties).
+    pub checked: u64,
+    /// How many evaluations violated it (before dedup/minimization).
+    pub violations: u64,
+}
+
+/// Everything `gs3 mc` reports, in a shape CI can gate on.
+///
+/// `to_json` is deterministic: the same `(scenario, seed, strategy,
+/// budgets)` produce a byte-identical document, so CI can diff two runs
+/// directly.
+#[derive(Debug, Clone)]
+pub struct McReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Frontier discipline used.
+    pub strategy: McStrategy,
+    /// States expanded (cloned, stepped, and checked).
+    pub states_explored: u64,
+    /// Candidate child states discarded because their fingerprint was
+    /// already visited.
+    pub states_deduped: u64,
+    /// Peak frontier length.
+    pub frontier_peak: u64,
+    /// Paths that reached the horizon (terminal states checked).
+    pub terminals: u64,
+    /// Paths cut short by `max_depth` (forced to run to the horizon).
+    pub depth_capped: u64,
+    /// True when `max_states` tripped before the frontier drained: the
+    /// run is sound but not exhaustive.
+    pub state_budget_exhausted: bool,
+    /// True when every reachable state within the fault budget was
+    /// visited (the frontier drained).
+    pub exhaustive: bool,
+    /// Distinct structural signatures across terminal states. With zero
+    /// fault budget on a deterministic system this has exactly one
+    /// element — the cross-validation anchor against the plain simulator.
+    pub terminal_signatures: BTreeSet<u64>,
+    /// Per-property tallies, in [`Property::all`] order.
+    pub properties: Vec<PropertyStat>,
+    /// Minimized, deduplicated counterexamples (capped; the per-property
+    /// `violations` counters are not).
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl McReport {
+    /// Serialize to the deterministic report document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"version\":1");
+        out.push_str(&format!(",\"scenario\":{}", json_string(&self.scenario)));
+        out.push_str(&format!(",\"seed\":{}", self.seed));
+        out.push_str(&format!(",\"strategy\":\"{}\"", self.strategy.name()));
+        out.push_str(&format!(",\"states_explored\":{}", self.states_explored));
+        out.push_str(&format!(",\"states_deduped\":{}", self.states_deduped));
+        out.push_str(&format!(",\"frontier_peak\":{}", self.frontier_peak));
+        out.push_str(&format!(",\"terminals\":{}", self.terminals));
+        out.push_str(&format!(",\"depth_capped\":{}", self.depth_capped));
+        out.push_str(&format!(",\"state_budget_exhausted\":{}", self.state_budget_exhausted));
+        out.push_str(&format!(",\"exhaustive\":{}", self.exhaustive));
+        out.push_str(",\"terminal_signatures\":[");
+        for (i, sig) in self.terminal_signatures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&sig.to_string());
+        }
+        out.push_str("],\"properties\":{");
+        for (i, stat) in self.properties.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"checked\":{},\"violations\":{}}}",
+                stat.property.name(),
+                stat.checked,
+                stat.violations
+            ));
+        }
+        out.push_str("},\"counterexamples\":[");
+        for (i, ce) in self.counterexamples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&ce.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// True when at least one property was violated.
+    #[must_use]
+    pub fn has_violations(&self) -> bool {
+        self.properties.iter().any(|p| p.violations > 0)
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_serializes_deterministically() {
+        let report = McReport {
+            scenario: "pair5".into(),
+            seed: 11,
+            strategy: McStrategy::Bfs,
+            states_explored: 0,
+            states_deduped: 0,
+            frontier_peak: 1,
+            terminals: 0,
+            depth_capped: 0,
+            state_budget_exhausted: false,
+            exhaustive: true,
+            terminal_signatures: BTreeSet::new(),
+            properties: Property::all()
+                .iter()
+                .map(|p| PropertyStat { property: *p, checked: 0, violations: 0 })
+                .collect(),
+            counterexamples: Vec::new(),
+        };
+        let json = report.to_json();
+        assert_eq!(json, report.to_json());
+        assert!(json.contains("\"healing_converges\":{\"checked\":0,\"violations\":0}"));
+        assert!(gs3_core::json::parse(&json).is_ok());
+        assert!(!report.has_violations());
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

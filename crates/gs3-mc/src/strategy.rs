@@ -1,0 +1,124 @@
+//! Exploration order and exploration budgets.
+
+use std::str::FromStr;
+
+use gs3_sim::SimDuration;
+
+/// Frontier discipline for the bounded search.
+///
+/// Both strategies visit the same state set when the search runs to
+/// exhaustion; they differ in which counterexample surfaces first and in
+/// peak frontier memory. BFS finds a *shortest* (fewest-choice) violation
+/// and is the default; DFS bounds frontier size by the path depth and
+/// reaches deep terminals sooner under a tight state budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McStrategy {
+    /// Breadth-first: pop the oldest frontier entry (queue).
+    Bfs,
+    /// Depth-first: pop the newest frontier entry (stack).
+    Dfs,
+}
+
+impl McStrategy {
+    /// Lowercase name, as accepted by [`FromStr`] and printed in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            McStrategy::Bfs => "bfs",
+            McStrategy::Dfs => "dfs",
+        }
+    }
+}
+
+impl FromStr for McStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "bfs" => Ok(McStrategy::Bfs),
+            "dfs" => Ok(McStrategy::Dfs),
+            other => Err(format!("unknown strategy `{other}` (expected bfs or dfs)")),
+        }
+    }
+}
+
+/// Resource bounds on a single model-checking run.
+///
+/// The *fault budgets* (`max_fates`, `max_crashes`) define the adversary:
+/// a path may deviate from the seed-deterministic schedule at most that
+/// many times. The *search budgets* (`max_states`, `max_depth`) cap the
+/// exploration itself; if either trips before the frontier drains the run
+/// is sound but not exhaustive, and [`crate::McReport::exhaustive`] says
+/// so.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budgets {
+    /// Maximum states expanded (dedup-distinct forks stepped).
+    pub max_states: u64,
+    /// Maximum choices along one path before it is forced to run
+    /// deterministically to the horizon.
+    pub max_depth: u32,
+    /// Maximum scripted delivery fates (drop / duplicate / delay) per path.
+    pub max_fates: u32,
+    /// Maximum node crashes per path.
+    pub max_crashes: u32,
+    /// Maximum faults of *any* kind per path. This is the knob that
+    /// keeps exhaustion tractable: with the default of 1 the checker
+    /// enumerates every single-fault schedule (each fate placement and
+    /// each crash placement, independently), which is quadratic in
+    /// schedule length rather than exponential.
+    pub max_path_faults: u32,
+    /// Wall-clock (simulated) horizon: paths stop branching past it and
+    /// terminal properties are checked on the state reached at this time.
+    pub horizon: SimDuration,
+    /// The healing bound: every injected fault extends its path's
+    /// deadline to at least `fault time + heal_window`, so "healing
+    /// converges" always grants the protocol this much time after the
+    /// *last* fault — a fault injected just before the horizon is not a
+    /// free violation. The default covers the slowest single-fault
+    /// healing observed on the shipped scenarios (18 s: failure
+    /// detection, bootup re-scan, and boundary-cell absorption) with
+    /// margin.
+    pub heal_window: SimDuration,
+    /// The delay applied by a `Fate::Delay` branch. One representative
+    /// delay keeps the branching factor finite; it is chosen shorter than
+    /// a retransmission interval so a delayed message races its own
+    /// retransmit rather than vanishing.
+    pub delay: SimDuration,
+}
+
+impl Default for Budgets {
+    fn default() -> Self {
+        Budgets {
+            max_states: 50_000,
+            max_depth: 4_000,
+            max_fates: 1,
+            max_crashes: 1,
+            max_path_faults: 1,
+            horizon: SimDuration::from_secs(40),
+            heal_window: SimDuration::from_secs(25),
+            delay: SimDuration::from_millis(800),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_parses_both_cases() {
+        assert_eq!("bfs".parse::<McStrategy>().unwrap(), McStrategy::Bfs);
+        assert_eq!("DFS".parse::<McStrategy>().unwrap(), McStrategy::Dfs);
+        assert!("dijkstra".parse::<McStrategy>().is_err());
+        assert_eq!(McStrategy::Bfs.name(), "bfs");
+    }
+
+    #[test]
+    fn default_budgets_are_single_fault() {
+        let b = Budgets::default();
+        assert_eq!(b.max_fates, 1);
+        assert_eq!(b.max_crashes, 1);
+        assert_eq!(b.max_path_faults, 1);
+        assert!(b.delay < SimDuration::from_secs(2), "delay must race the retransmit");
+    }
+}

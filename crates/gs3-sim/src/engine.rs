@@ -16,7 +16,7 @@ use gs3_geometry::Point;
 use gs3_telemetry::{tag_episode, Event, EventClass, RecorderMode, Telemetry, NO_PEER, NO_TAG};
 
 use crate::channel::ChannelManager;
-use crate::faults::{FaultConfig, FaultState};
+use crate::faults::{Fate, FaultConfig, FaultState};
 use crate::ids::NodeId;
 use crate::queue::EventQueue;
 use crate::radio::{EnergyModel, RadioModel};
@@ -62,7 +62,7 @@ pub trait Node {
 }
 
 /// Deferred effects a node callback requests.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Action<M, T> {
     Unicast { to: NodeId, msg: M },
     Broadcast { radius: f64, msg: M },
@@ -194,7 +194,7 @@ impl<M, T> Context<'_, M, T> {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum EventKind<M, T> {
     Start,
     Deliver { from: NodeId, msg: M, directed: bool },
@@ -202,7 +202,7 @@ enum EventKind<M, T> {
     ChannelGrant,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PendingEvent<M, T> {
     to: NodeId,
     kind: EventKind<M, T>,
@@ -212,7 +212,7 @@ struct PendingEvent<M, T> {
     tag: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Slot<N: Node> {
     node: N,
     position: Point,
@@ -268,6 +268,35 @@ pub struct Engine<N: Node> {
 /// Energy assigned when accounting is disabled.
 const UNLIMITED_ENERGY: f64 = f64::INFINITY;
 
+/// Cloning an engine forks the whole simulation — nodes, queue, RNG,
+/// channel claims, fault state, trace, telemetry — into an independent
+/// copy whose future is bit-identical to the original's until one of them
+/// is perturbed. This is the model checker's state save/restore primitive.
+/// The scratch buffers are not carried over (they are empty between
+/// callbacks, which is the only time a clone can happen).
+impl<N: Node + Clone> Clone for Engine<N> {
+    fn clone(&self) -> Self {
+        debug_assert!(self.action_buf.is_empty() && self.recv_buf.is_empty());
+        Engine {
+            radio: self.radio.clone(),
+            energy_model: self.energy_model.clone(),
+            slots: self.slots.clone(),
+            grid: self.grid.clone(),
+            queue: self.queue.clone(),
+            channel: self.channel.clone(),
+            faults: self.faults.clone(),
+            rng: self.rng.clone(),
+            trace: self.trace.clone(),
+            telemetry: self.telemetry.clone(),
+            now: self.now,
+            next_timer_id: self.next_timer_id,
+            events_processed: self.events_processed,
+            action_buf: Vec::new(),
+            recv_buf: Vec::new(),
+        }
+    }
+}
+
 impl<N: Node> Engine<N> {
     /// Creates an engine with the given channel model, energy model, and
     /// RNG seed.
@@ -297,6 +326,13 @@ impl<N: Node> Engine<N> {
     #[must_use]
     pub fn radio(&self) -> &RadioModel {
         &self.radio
+    }
+
+    /// The channel-reservation arbiter's live state (granted claims and
+    /// the waiting queue) — read-only, for canonical state fingerprints.
+    #[must_use]
+    pub fn channel_state(&self) -> &ChannelManager {
+        &self.channel
     }
 
     /// The live fault-injection state (adversarial channel + jams).
@@ -620,6 +656,81 @@ impl<N: Node> Engine<N> {
         self.queue.is_empty()
     }
 
+    /// Firing time of the earliest pending event, if any. The model
+    /// checker uses this to detect step boundaries (crash-injection
+    /// points) and horizon crossings without popping the queue.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending_event_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The raw 256-bit RNG state, folded into the model checker's state
+    /// fingerprint so two states about to draw different random streams
+    /// are never merged.
+    #[must_use]
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state_words()
+    }
+
+    /// Canonical per-event hashes of the pending queue, one `u64` per
+    /// pending event, in the queue's deterministic firing order
+    /// (`(time, seq)`).
+    ///
+    /// Each hash folds the event's *relative* firing time (`at − now`),
+    /// its firing rank, the receiver, and the payload — but not the
+    /// absolute time, the raw scheduling seq, or raw timer ids, so two
+    /// runs that reach structurally identical states through different
+    /// histories fingerprint equal. A timer event additionally folds
+    /// whether its id is still live in the owner's pending set: a
+    /// cancelled (stale) entry hashes differently from a live one.
+    /// Episode tags are telemetry-only and excluded.
+    #[must_use]
+    pub fn pending_event_hashes(&self) -> Vec<u64> {
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut entries: Vec<_> = self.queue.entries().collect();
+        entries.sort_by_key(|&(at, seq, _)| (at, seq));
+        entries
+            .iter()
+            .enumerate()
+            .map(|(rank, &(at, _seq, ev))| {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                eat(&mut h, &(rank as u64).to_le_bytes());
+                eat(&mut h, &at.saturating_since(self.now).as_micros().to_le_bytes());
+                eat(&mut h, &ev.to.raw().to_le_bytes());
+                match &ev.kind {
+                    EventKind::Start => eat(&mut h, &[0]),
+                    EventKind::Deliver { from, msg, directed } => {
+                        eat(&mut h, &[1, u8::from(*directed)]);
+                        eat(&mut h, &from.raw().to_le_bytes());
+                        eat(&mut h, format!("{msg:?}").as_bytes());
+                    }
+                    EventKind::Timer { timer_id, timer } => {
+                        let live = self.slots.get(ev.to.raw() as usize).is_some_and(|s| {
+                            s.pending_timers
+                                .binary_search_by_key(timer_id, |(tid, _)| *tid)
+                                .is_ok()
+                        });
+                        eat(&mut h, &[2, u8::from(live)]);
+                        eat(&mut h, format!("{timer:?}").as_bytes());
+                    }
+                    EventKind::ChannelGrant => eat(&mut h, &[3]),
+                }
+                h
+            })
+            .collect()
+    }
+
     fn dispatch(&mut self, ev: PendingEvent<N::Msg, N::Timer>) {
         let idx = ev.to.raw() as usize;
         let Some(slot) = self.slots.get_mut(idx) else {
@@ -818,6 +929,7 @@ impl<N: Node> Engine<N> {
     /// scheduled copy is folded into the trace digest. With an inert fault
     /// state this draws exactly one latency sample — bit-identical to the
     /// pre-fault engine.
+    #[allow(clippy::too_many_arguments)]
     fn schedule_delivery(
         &mut self,
         from: NodeId,
@@ -826,18 +938,36 @@ impl<N: Node> Engine<N> {
         msg: &N::Msg,
         tag: u64,
         directed: bool,
+        fate: Option<Fate>,
     ) {
-        let copies = if self.faults.duplicated(&mut self.rng) {
-            self.trace.record_duplicated();
-            2
-        } else {
-            1
+        let copies = match fate {
+            Some(Fate::Duplicate) => {
+                self.trace.record_scripted_duplicate();
+                2
+            }
+            Some(_) => 1,
+            None => {
+                if self.faults.duplicated(&mut self.rng) {
+                    self.trace.record_duplicated();
+                    2
+                } else {
+                    1
+                }
+            }
         };
         for _ in 0..copies {
             let mut latency = self.radio.latency(dist, &mut self.rng);
-            let extra = self.faults.extra_delay(&mut self.rng);
+            let extra = match fate {
+                Some(Fate::Delay(d)) => d,
+                Some(_) => SimDuration::ZERO,
+                None => self.faults.extra_delay(&mut self.rng),
+            };
             if !extra.is_zero() {
-                self.trace.record_delayed();
+                if fate.is_some() {
+                    self.trace.record_scripted_delay();
+                } else {
+                    self.trace.record_delayed();
+                }
                 latency = latency + extra;
             }
             self.telemetry.metrics.delivery_latency_us.record(latency.as_micros());
@@ -886,16 +1016,24 @@ impl<N: Node> Engine<N> {
             self.charge(from, self.energy_model.tx_cost(dist.min(self.radio.max_range)));
             return;
         }
-        // Adversarial-channel fates. Jamming is geometric (RNG-free); the
-        // rest draw from the engine RNG only when the knob is enabled.
-        if self.faults.jammed(from_pos, target_pos) {
-            self.trace.record_dropped_by_jam();
-        } else if self.faults.burst_dropped(&mut self.rng) {
-            self.trace.record_dropped_by_burst();
-        } else if self.faults.unicast_dropped(&mut self.rng) {
-            self.trace.record_dropped_unicast();
-        } else {
-            self.schedule_delivery(from, to, dist, &msg, tag, true);
+        // A scripted fate (the model checker's delivery-decision point)
+        // overrides the probabilistic cascade; unscripted attempts fall
+        // through to it. Jamming is geometric (RNG-free); the rest draw
+        // from the engine RNG only when the knob is enabled.
+        match self.faults.next_attempt(from, to, msg.kind(), false) {
+            Some(Fate::Drop) => self.trace.record_scripted_drop(),
+            Some(fate) => self.schedule_delivery(from, to, dist, &msg, tag, true, Some(fate)),
+            None => {
+                if self.faults.jammed(from_pos, target_pos) {
+                    self.trace.record_dropped_by_jam();
+                } else if self.faults.burst_dropped(&mut self.rng) {
+                    self.trace.record_dropped_by_burst();
+                } else if self.faults.unicast_dropped(&mut self.rng) {
+                    self.trace.record_dropped_unicast();
+                } else {
+                    self.schedule_delivery(from, to, dist, &msg, tag, true, None);
+                }
+            }
         }
         self.charge(from, self.energy_model.tx_cost(dist));
     }
@@ -925,6 +1063,18 @@ impl<N: Node> Engine<N> {
             if dist > range {
                 continue;
             }
+            let to = NodeId::new(h as u64);
+            match self.faults.next_attempt(from, to, msg.kind(), true) {
+                Some(Fate::Drop) => {
+                    self.trace.record_scripted_drop();
+                    continue;
+                }
+                Some(fate) => {
+                    self.schedule_delivery(from, to, dist, &msg, tag, false, Some(fate));
+                    continue;
+                }
+                None => {}
+            }
             if self.radio.broadcast_dropped(&mut self.rng) {
                 self.trace.record_broadcast_loss();
                 continue;
@@ -937,7 +1087,7 @@ impl<N: Node> Engine<N> {
                 self.trace.record_dropped_by_burst();
                 continue;
             }
-            self.schedule_delivery(from, NodeId::new(h as u64), dist, &msg, tag, false);
+            self.schedule_delivery(from, to, dist, &msg, tag, false, None);
         }
         receivers.clear();
         self.recv_buf = receivers;

@@ -28,9 +28,12 @@
 //! attempts. The stationary fraction of time spent in the bad state is
 //! `p_enter / (p_enter + p_exit)`.
 
+use std::collections::BTreeMap;
+
 use gs3_geometry::Point;
 use rand::Rng;
 
+use crate::ids::NodeId;
 use crate::time::SimDuration;
 
 /// Gilbert–Elliott two-state burst-loss parameters.
@@ -159,6 +162,45 @@ impl Default for FaultConfig {
     }
 }
 
+/// The scripted fate of a single delivery attempt.
+///
+/// Where the probabilistic [`FaultConfig`] knobs decide fates by drawing
+/// from the engine RNG, a *script* pins the fate of specific attempts by
+/// their global index — the pluggable delivery-decision point the model
+/// checker uses to branch on every possible channel behavior, and the
+/// mechanism by which its counterexamples replay deterministically.
+/// Scripted decisions draw no RNG at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Deliver normally (one copy, model latency, no extra delay).
+    Deliver,
+    /// Silently drop the attempt.
+    Drop,
+    /// Deliver two copies (each with an independently drawn latency).
+    Duplicate,
+    /// Deliver one copy held back by this extra delay — with a delay
+    /// longer than the inter-message spacing, the copy reorders behind
+    /// later traffic.
+    Delay(SimDuration),
+}
+
+/// One delivery attempt observed while attempt logging is on (the model
+/// checker probes a step with logging enabled to learn which attempts it
+/// can branch on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// Global attempt index (what a script op keys on).
+    pub index: u64,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver (for a broadcast, one per in-range receiver copy).
+    pub to: NodeId,
+    /// Message kind label ([`crate::Payload::kind`]).
+    pub kind: &'static str,
+    /// True for a per-receiver broadcast copy, false for a unicast.
+    pub broadcast: bool,
+}
+
 /// An active jamming (or partition) disk: no message can be sent from or
 /// delivered to any node inside it.
 #[derive(Debug, Clone, PartialEq)]
@@ -181,6 +223,17 @@ pub struct FaultState {
     burst_bad: bool,
     jams: Vec<Jam>,
     next_jam_id: u64,
+    /// Scripted fates by global attempt index. Consulted before every
+    /// probabilistic knob; an entry is consumed when its attempt happens.
+    script: BTreeMap<u64, Fate>,
+    /// Global delivery-attempt counter (every in-range unicast and every
+    /// per-receiver broadcast copy, scripted or not). Deterministic for a
+    /// given seed, which is what lets a script recorded in one run replay
+    /// in another.
+    attempts: u64,
+    /// When set, every attempt is appended to `attempt_log`.
+    log_attempts: bool,
+    attempt_log: Vec<AttemptRecord>,
 }
 
 impl FaultState {
@@ -189,7 +242,16 @@ impl FaultState {
     #[must_use]
     pub fn new(config: FaultConfig) -> Self {
         config.validate();
-        FaultState { config, burst_bad: false, jams: Vec::new(), next_jam_id: 0 }
+        FaultState {
+            config,
+            burst_bad: false,
+            jams: Vec::new(),
+            next_jam_id: 0,
+            script: BTreeMap::new(),
+            attempts: 0,
+            log_attempts: false,
+            attempt_log: Vec::new(),
+        }
     }
 
     /// The active configuration.
@@ -208,7 +270,7 @@ impl FaultState {
     /// every hook (and consumes no RNG) in that case.
     #[must_use]
     pub fn is_inert(&self) -> bool {
-        self.config.is_none() && self.jams.is_empty()
+        self.config.is_none() && self.jams.is_empty() && self.script.is_empty()
     }
 
     /// Starts jamming the disk of `radius` around `center`; returns a
@@ -232,6 +294,21 @@ impl FaultState {
     #[must_use]
     pub fn jams(&self) -> &[Jam] {
         &self.jams
+    }
+
+    /// True while the Gilbert–Elliott chain is in the lossy bad state
+    /// (part of the canonical state fingerprint: two states that differ
+    /// only in chain phase behave differently under burst loss).
+    #[must_use]
+    pub fn burst_in_bad_state(&self) -> bool {
+        self.burst_bad
+    }
+
+    /// The currently installed (not yet consumed) script, by attempt
+    /// index.
+    #[must_use]
+    pub fn script(&self) -> &BTreeMap<u64, Fate> {
+        &self.script
     }
 
     /// Whether a transmission from `from` to `to` is blocked by a jamming
@@ -286,6 +363,66 @@ impl FaultState {
     #[must_use]
     pub fn in_burst(&self) -> bool {
         self.burst_bad
+    }
+
+    /// Installs scripted fates keyed by global attempt index. Merges with
+    /// any ops already installed; a repeated index overwrites.
+    pub fn install_script(&mut self, ops: impl IntoIterator<Item = (u64, Fate)>) {
+        self.script.extend(ops);
+    }
+
+    /// Removes every scripted fate that has not yet been consumed.
+    pub fn clear_script(&mut self) {
+        self.script.clear();
+    }
+
+    /// Number of scripted fates not yet consumed.
+    #[must_use]
+    pub fn script_len(&self) -> usize {
+        self.script.len()
+    }
+
+    /// Total delivery attempts made so far (the index the *next* attempt
+    /// will get).
+    #[must_use]
+    pub fn attempt_count(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Turns per-attempt logging on or off. Logging is a model-checker
+    /// probe aid; it never affects fates, the RNG, or the trace digest.
+    pub fn set_attempt_logging(&mut self, on: bool) {
+        self.log_attempts = on;
+        if !on {
+            self.attempt_log.clear();
+        }
+    }
+
+    /// Drains and returns the attempts logged since logging was enabled
+    /// (or last drained).
+    pub fn take_attempt_log(&mut self) -> Vec<AttemptRecord> {
+        std::mem::take(&mut self.attempt_log)
+    }
+
+    /// Registers one delivery attempt: assigns it the next global index,
+    /// logs it when logging is on, and returns its scripted fate, if any
+    /// (consuming the script entry). Draws no RNG.
+    pub(crate) fn next_attempt(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: &'static str,
+        broadcast: bool,
+    ) -> Option<Fate> {
+        let index = self.attempts;
+        self.attempts += 1;
+        if self.log_attempts {
+            self.attempt_log.push(AttemptRecord { index, from, to, kind, broadcast });
+        }
+        if self.script.is_empty() {
+            return None;
+        }
+        self.script.remove(&index)
     }
 }
 

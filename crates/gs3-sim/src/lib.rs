@@ -89,6 +89,6 @@ pub mod trace;
 pub use gs3_telemetry as telemetry;
 
 pub use engine::{Context, Engine, EngineError, Node, Payload};
-pub use faults::{BurstLoss, FaultConfig, FaultState, Jam};
+pub use faults::{AttemptRecord, BurstLoss, Fate, FaultConfig, FaultState, Jam};
 pub use ids::NodeId;
 pub use time::{SimDuration, SimTime};

@@ -7,7 +7,7 @@ use crate::time::SimTime;
 
 /// A scheduled entry: fires at `at`; `seq` breaks ties FIFO so simultaneous
 /// events process in schedule order (deterministic replay).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -33,7 +33,7 @@ impl<E> Ord for Entry<E> {
 }
 
 /// A deterministic min-heap of timed events.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
@@ -84,6 +84,14 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn peak_len(&self) -> usize {
         self.peak
+    }
+
+    /// Visits every pending entry as `(fire time, scheduling seq, payload)`.
+    /// Iteration order is the heap's internal order — unspecified — so
+    /// callers that need a canonical view (the model checker's state
+    /// fingerprint) must sort by `(at, seq)` themselves.
+    pub fn entries(&self) -> impl Iterator<Item = (SimTime, u64, &E)> {
+        self.heap.iter().map(|e| (e.at, e.seq, &e.payload))
     }
 }
 

@@ -28,6 +28,11 @@ pub struct Trace {
     dropped_unicast: u64,
     duplicated: u64,
     delayed: u64,
+    // Scripted-fate accounting (all zero unless a channel script is
+    // installed — the model checker's decision point).
+    scripted_drops: u64,
+    scripted_duplicates: u64,
+    scripted_delays: u64,
     scheduled_deliveries: u64,
     /// Protocol-level named counters bumped via [`crate::Context::count`]
     /// (e.g. the reliability layer's retransmit/dedup/give-up tallies).
@@ -53,6 +58,9 @@ impl Default for Trace {
             dropped_unicast: 0,
             duplicated: 0,
             delayed: 0,
+            scripted_drops: 0,
+            scripted_duplicates: 0,
+            scripted_delays: 0,
             scheduled_deliveries: 0,
             proto_counters: BTreeMap::new(),
             digest: FNV_OFFSET,
@@ -111,6 +119,18 @@ impl Trace {
 
     pub(crate) fn record_delayed(&mut self) {
         self.delayed += 1;
+    }
+
+    pub(crate) fn record_scripted_drop(&mut self) {
+        self.scripted_drops += 1;
+    }
+
+    pub(crate) fn record_scripted_duplicate(&mut self) {
+        self.scripted_duplicates += 1;
+    }
+
+    pub(crate) fn record_scripted_delay(&mut self) {
+        self.scripted_delays += 1;
     }
 
     pub(crate) fn record_proto(&mut self, name: &'static str, by: u64) {
@@ -226,6 +246,24 @@ impl Trace {
     #[must_use]
     pub fn delayed(&self) -> u64 {
         self.delayed
+    }
+
+    /// Attempts dropped by a scripted [`crate::faults::Fate::Drop`].
+    #[must_use]
+    pub fn scripted_drops(&self) -> u64 {
+        self.scripted_drops
+    }
+
+    /// Attempts duplicated by a scripted [`crate::faults::Fate::Duplicate`].
+    #[must_use]
+    pub fn scripted_duplicates(&self) -> u64 {
+        self.scripted_duplicates
+    }
+
+    /// Attempts delayed by a scripted [`crate::faults::Fate::Delay`].
+    #[must_use]
+    pub fn scripted_delays(&self) -> u64 {
+        self.scripted_delays
     }
 
     /// Deliveries actually scheduled onto the wire (after all fault

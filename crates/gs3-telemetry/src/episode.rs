@@ -140,7 +140,7 @@ impl Episode {
 }
 
 /// Tracks open episodes and the sticky per-node taint map.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EpisodeTracker {
     episodes: Vec<Episode>,
     /// node → (episode, causal depth). A node keeps the *first* taint it

@@ -40,7 +40,7 @@ pub use recorder::{FlightRecorder, RecorderMode};
 
 /// The full telemetry bundle a simulation engine embeds: flight recorder,
 /// episode tracker, and metrics registry, advanced together.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     /// Structured event recorder (always-on counters, opt-in full ring).
     pub recorder: FlightRecorder,

@@ -105,7 +105,7 @@ impl LogHistogram {
 }
 
 /// The fixed set of engine-level histograms.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     /// Scheduled radio propagation latency per delivered copy (µs).
     pub delivery_latency_us: LogHistogram,

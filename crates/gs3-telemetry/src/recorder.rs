@@ -30,7 +30,7 @@ pub enum RecorderMode {
 }
 
 /// Bounded structured-event recorder. See the module docs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FlightRecorder {
     recording: bool,
     capacity: usize,

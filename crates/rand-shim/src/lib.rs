@@ -184,6 +184,18 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw 256-bit generator state, for canonical state
+        /// fingerprinting (the model checker folds it into its
+        /// visited-state hash so two states that would draw different
+        /// random streams are never merged). Shim-only API: callers must
+        /// gate on this crate if upstream `rand` is ever restored.
+        #[must_use]
+        pub fn state_words(&self) -> [u64; 4] {
+            self.s
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]

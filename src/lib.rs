@@ -11,6 +11,7 @@
 //! * [`core`] — the GS³ protocol (GS³-S / GS³-D / GS³-M) and its harness
 //! * [`baselines`] — LEACH-style and hop-based clustering comparators
 //! * [`analysis`] — analytics, metrics, and experiment drivers
+//! * [`mc`] — bounded model checking of the protocol core on small fields
 //!
 //! # Example
 //!
@@ -35,4 +36,5 @@ pub use gs3_analysis as analysis;
 pub use gs3_baselines as baselines;
 pub use gs3_core as core;
 pub use gs3_geometry as geometry;
+pub use gs3_mc as mc;
 pub use gs3_sim as sim;
