@@ -15,20 +15,26 @@
 //! CI runs it on every push to prove the suite itself works and to
 //! archive the artifact; real measurements come from a full run.
 //!
-//! `--gate BASELINE.json` turns the run into a regression gate: the
-//! recorder-off `steady_state_120s` throughput must stay within 2% of
-//! the baseline artifact's (the telemetry subsystem's contract is that
-//! disabled recording costs nothing on the hot path), or the process
-//! exits non-zero. The `steady_state_recorded_120s` scenario measures
-//! the opt-in cost of a Full-mode flight recorder on the same workload.
+//! `--gate BASELINE.json` turns the run into a regression gate: every
+//! steady scenario's events/sec must stay within 2% of the baseline
+//! artifact's, or the process exits non-zero. Wall-clock comparisons are
+//! only meaningful between runs on the same machine at the same `-j` —
+//! CI builds the baseline from the parent commit on the same runner.
+//!
+//! The `million_node_heal` scenario — a 1M-node deployment configuring
+//! from scratch and healing a crash disk — is never gated (it reports
+//! scale, not regression): `--skip-million` omits it, `--million-nodes N`
+//! shrinks it (CI smoke), and it always reports peak RSS alongside
+//! events/sec.
 
 // gs3-lint: allow-file(d2) -- events/sec measurement needs the wall clock; results (digests) never depend on it
 use std::time::Instant;
 
 use gs3_bench::runner::{run_grid, threads_from_args};
-use gs3_core::harness::{Network, NetworkBuilder};
+use gs3_core::harness::{Network, NetworkBuilder, RunOutcome};
 use gs3_core::invariants::{check_all_with, SnapshotIndex, Strictness};
 use gs3_core::{FaultKind, FaultPlan};
+use gs3_geometry::Point;
 use gs3_sim::faults::{BurstLoss, FaultConfig};
 use gs3_sim::SimDuration;
 
@@ -228,6 +234,69 @@ fn scenario_snapshot(scale: &Scale) -> Measurement {
     }
 }
 
+/// Peak resident set size (`VmHWM`) of this process in MiB. Linux-only;
+/// returns `None` elsewhere, and the artifact then reports `-1`.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Scale probe: configure a metropolis-sized deployment from scratch,
+/// crash a disk of it, and heal. Reported events/sec and peak RSS track
+/// headroom, not regressions — this scenario is never gated, runs after
+/// the grid (sequentially, so `VmHWM` reflects it alone; every other
+/// scenario is orders of magnitude smaller), and shrinks via
+/// `--million-nodes` for CI smoke.
+fn scenario_million(nodes: usize, area: f64) -> Measurement {
+    let mut net = build(nodes, area, 77);
+    let poll = net.config().intra_heartbeat;
+    // Same stability window as `run_to_fixpoint`...
+    let detect = (net.config().intra_timeout() * 2) + (net.config().inter_timeout() * 2);
+    let polls = (detect.as_micros() / poll.as_micros().max(1)) as u32 + 2;
+    // ...but a deadline sized to the deployment: diffusion reaches one
+    // more ring of cells (~R) per HEAD_ORG round, so the default 600 s
+    // would time out long before a 100-ring radius converges.
+    let rings = (area / 80.0).ceil().max(5.0);
+    let configure_deadline = SimDuration::from_secs(120 * rings as u64);
+
+    let start = Instant::now();
+    let configured = matches!(
+        net.run_to_fixpoint_with(poll, polls, net.now() + configure_deadline),
+        RunOutcome::Fixpoint { .. }
+    );
+    let configure_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    // Crash a ~2-cell disk halfway out from the big node; healing is a
+    // local repair, so the default-sized deadline suffices.
+    let killed = net.kill_disk(Point::new(area * 0.5, 0.0), 170.0).len();
+    let heal_start = Instant::now();
+    let refixed = matches!(
+        net.run_to_fixpoint_with(poll, polls, net.now() + SimDuration::from_secs(600)),
+        RunOutcome::Fixpoint { .. }
+    );
+    let clean = net.check_invariants_incremental().is_empty();
+    let heal_ms = heal_start.elapsed().as_secs_f64() * 1000.0;
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    Measurement {
+        scenario: "million_node_heal",
+        wall_ms,
+        events: net.engine().events_processed(),
+        peak_queue_depth: net.engine().peak_queue_depth(),
+        extra: vec![
+            ("nodes", nodes as f64),
+            ("configured", if configured { 1.0 } else { 0.0 }),
+            ("configure_ms", configure_ms),
+            ("killed", killed as f64),
+            ("healed", if refixed && clean { 1.0 } else { 0.0 }),
+            ("heal_ms", heal_ms),
+            ("peak_rss_mb", peak_rss_mb().unwrap_or(-1.0)),
+        ],
+    }
+}
+
 fn to_json(measurements: &[Measurement], smoke: bool, threads: usize) -> String {
     let mut out = String::from("{\"suite\":\"BENCH_core\",");
     out.push_str(&format!("\"smoke\":{smoke},\"threads\":{threads},\"scenarios\":["));
@@ -275,6 +344,17 @@ fn main() {
         .iter()
         .position(|a| a == "--gate")
         .and_then(|i| args.get(i + 1).cloned());
+    let skip_million = args.iter().any(|a| a == "--skip-million");
+    let million_nodes = args
+        .iter()
+        .position(|a| a == "--million-nodes")
+        .and_then(|i| args.get(i + 1))
+        .map(|n| n.parse().expect("--million-nodes takes a count"))
+        .unwrap_or(if smoke { 20_000 } else { 1_000_000 });
+    // Constant density across sizes: the committed nodes_large scenario
+    // pins 10k nodes in a 860-radius area, and everything else scales as
+    // sqrt(n) from there so per-cell population stays comparable.
+    let million_area = 860.0 * (million_nodes as f64 / 10_000.0).sqrt();
     let threads = threads_from_args();
     let scale = if smoke { &SMOKE } else { &FULL };
 
@@ -296,16 +376,35 @@ fn main() {
         scenario_invariants,
         scenario_snapshot,
     ];
-    let measurements = run_grid(&scenarios, threads, |f| f(scale));
+    let mut measurements = run_grid(&scenarios, threads, |f| f(scale));
+
+    // The scale probe runs after the grid, alone, so its peak-RSS reading
+    // is not polluted by concurrent scenarios (which are all far smaller).
+    if !skip_million {
+        eprintln!("  million_node_heal: configuring {million_nodes} nodes (area radius {million_area:.0})...");
+        measurements.push(scenario_million(million_nodes, million_area));
+    }
 
     for m in &measurements {
         eprintln!(
-            "  {:<18} {:>10.1} ms  {:>12} events  {:>12.0} ev/s  peak queue {}",
+            "  {:<26} {:>10.1} ms  {:>12} events  {:>12.0} ev/s  peak queue {}",
             m.scenario,
             m.wall_ms,
             m.events,
             m.events_per_sec(),
             m.peak_queue_depth
+        );
+    }
+    if let Some(m) = measurements.iter().find(|m| m.scenario == "million_node_heal") {
+        let get = |k: &str| m.extra.iter().find(|(n, _)| *n == k).map_or(-1.0, |(_, v)| *v);
+        eprintln!(
+            "  million_node_heal: configured={} healed={} killed={} configure {:.1}s heal {:.1}s peak RSS {:.0} MiB",
+            get("configured"),
+            get("healed"),
+            get("killed"),
+            get("configure_ms") / 1000.0,
+            get("heal_ms") / 1000.0,
+            get("peak_rss_mb"),
         );
     }
 
@@ -323,22 +422,35 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_core.json");
     println!("{json}");
 
-    // Regression gate against a stored baseline artifact: the recorder-off
-    // hot path must not have slowed down. Wall-clock noise makes this
-    // meaningful only on quiet machines at matching scale/-j, which is why
-    // it is opt-in.
+    // Regression gate against a stored baseline artifact: every grid
+    // scenario's events/sec must hold within 2%. The scale probe is
+    // exempt — it reports headroom, and its wall time is dominated by a
+    // one-off configuration whose cost the grid already covers. Wall-
+    // clock noise makes the gate meaningful only on quiet machines at
+    // matching scale/-j, which is why it is opt-in.
     if let Some(path) = gate_path {
         let baseline = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("gate baseline {path}: {e}"));
-        let base = extract_events_per_sec(&baseline, "steady_state_120s")
-            .expect("baseline lacks a steady_state_120s scenario");
-        let cur = plain.expect("suite always runs steady_state_120s").events_per_sec();
-        let delta = (base - cur) / base * 100.0;
-        eprintln!("gate: steady_state_120s {cur:.0} ev/s vs baseline {base:.0} ev/s ({delta:+.1}% regression)");
-        if cur < base * 0.98 {
-            eprintln!("gate FAILED: recorder-off throughput regressed more than 2%");
+        let mut failed = Vec::new();
+        for m in measurements.iter().filter(|m| m.scenario != "million_node_heal") {
+            let Some(base) = extract_events_per_sec(&baseline, m.scenario) else {
+                eprintln!("gate: baseline lacks {}; skipping", m.scenario);
+                continue;
+            };
+            let cur = m.events_per_sec();
+            let delta = (base - cur) / base * 100.0;
+            eprintln!(
+                "gate: {:<26} {cur:>12.0} ev/s vs baseline {base:>12.0} ({delta:+.1}%)",
+                m.scenario
+            );
+            if cur < base * 0.98 {
+                failed.push(m.scenario);
+            }
+        }
+        if !failed.is_empty() {
+            eprintln!("gate FAILED: events/sec regressed more than 2% in: {}", failed.join(", "));
             std::process::exit(1);
         }
-        eprintln!("gate OK (within 2%)");
+        eprintln!("gate OK (all scenarios within 2%)");
     }
 }

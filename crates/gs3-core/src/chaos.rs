@@ -774,8 +774,19 @@ impl Network {
     /// `settle` after the last event otherwise.
     pub fn run_chaos(&mut self, plan: &FaultPlan) -> ChaosReport {
         let opts = ChaosOptions::for_config(self.config());
-        self.run_chaos_with(plan, opts, |snap| {
-            invariants::check_all(snap, Strictness::Dynamic).len()
+        // One SnapshotIndex for the whole run, incrementally brought up to
+        // date each poll — the oracle's cost tracks the churn between
+        // polls, not the population.
+        let mut idx: Option<invariants::SnapshotIndex> = None;
+        self.run_chaos_with(plan, opts, move |snap| {
+            let idx = match &mut idx {
+                Some(idx) => {
+                    idx.update(snap);
+                    idx
+                }
+                slot => slot.insert(invariants::SnapshotIndex::build(snap)),
+            };
+            invariants::check_all_with(snap, Strictness::Dynamic, idx).len()
         })
     }
 

@@ -338,7 +338,7 @@ impl NetworkBuilder {
             }
         }
 
-        Ok(Network { eng, big, bigs, cfg, rng, budget })
+        Ok(Network { eng, big, bigs, cfg, rng, budget, scratch: Vec::new(), inv: None })
     }
 }
 
@@ -373,6 +373,12 @@ pub struct Network {
     cfg: Gs3Config,
     rng: StdRng,
     budget: Option<f64>,
+    // Reused id scratch for the perturbation helpers (kill_disk candidate
+    // collection, kill_random's alive census) — empty between calls.
+    scratch: Vec<NodeId>,
+    // Snapshot buffer + incrementally-maintained index for
+    // check_invariants_incremental; populated lazily on first use.
+    inv: Option<(Snapshot, crate::invariants::SnapshotIndex)>,
 }
 
 impl Network {
@@ -559,6 +565,34 @@ impl Network {
         crate::invariants::check_all(&self.snapshot(), strictness)
     }
 
+    /// [`check_invariants`](Network::check_invariants) against a cached
+    /// snapshot buffer and an incrementally-maintained
+    /// [`SnapshotIndex`](crate::invariants::SnapshotIndex): each call
+    /// refills the buffer and applies only the deltas since the previous
+    /// call to the index, so a polling loop pays for churn, not
+    /// population. Results are identical to `check_invariants`.
+    pub fn check_invariants_incremental(&mut self) -> Vec<crate::invariants::Violation> {
+        let strictness = match self.cfg.mode {
+            Mode::Static => crate::invariants::Strictness::Static,
+            _ => crate::invariants::Strictness::Dynamic,
+        };
+        let (mut snap, prev_idx) = match self.inv.take() {
+            Some((snap, idx)) => (snap, Some(idx)),
+            None => (self.snapshot(), None),
+        };
+        self.snapshot_into(&mut snap);
+        let idx = match prev_idx {
+            Some(mut idx) => {
+                idx.update(&snap);
+                idx
+            }
+            None => crate::invariants::SnapshotIndex::build(&snap),
+        };
+        let out = crate::invariants::check_all_with(&snap, strictness, &idx);
+        self.inv = Some((snap, idx));
+        out
+    }
+
     // ------------------------------------------------------------------
     // Perturbations (the paper's system model, Section 2.1)
     // ------------------------------------------------------------------
@@ -573,31 +607,41 @@ impl Network {
     /// killed ids. The big node survives (killing the root is a different
     /// experiment).
     pub fn kill_disk(&mut self, center: Point, radius: f64) -> Vec<NodeId> {
-        let victims: Vec<NodeId> = self
-            .eng
-            .alive_ids()
-            .filter(|id| {
-                *id != self.big
-                    && self.eng.position(*id).map(|p| center.distance(p) <= radius).unwrap_or(false)
-            })
-            .collect();
-        for id in &victims {
-            let _ = self.eng.kill(*id);
+        // Candidate collection goes through the spatial grid (cells
+        // overlapping the disk, not a full population scan) into the reused
+        // scratch; only the exact-size victim list the caller keeps is
+        // allocated. The grid query yields ascending id order — the same
+        // kill order the old alive_ids() scan produced, so digests match.
+        let mut candidates = std::mem::take(&mut self.scratch);
+        debug_assert!(candidates.is_empty());
+        self.eng.alive_in_disk_into(center, radius, &mut candidates);
+        candidates.retain(|id| *id != self.big);
+        let victims = candidates.clone();
+        for &id in &victims {
+            let _ = self.eng.kill(id);
         }
+        candidates.clear();
+        self.scratch = candidates;
         victims
     }
 
     /// Kills a uniformly random sample of `count` alive small nodes.
     pub fn kill_random(&mut self, count: usize) -> Vec<NodeId> {
-        let mut alive: Vec<NodeId> =
-            self.eng.alive_ids().filter(|id| *id != self.big).collect();
-        let mut victims = Vec::new();
-        for _ in 0..count.min(alive.len()) {
+        // The n-sized alive census lives in the reused scratch; only the
+        // count-sized victim list is allocated per call.
+        let mut alive = std::mem::take(&mut self.scratch);
+        debug_assert!(alive.is_empty());
+        alive.extend(self.eng.alive_ids().filter(|id| *id != self.big));
+        let n = count.min(alive.len());
+        let mut victims = Vec::with_capacity(n);
+        for _ in 0..n {
             let idx = self.rng.gen_range(0..alive.len());
             let id = alive.swap_remove(idx);
             let _ = self.eng.kill(id);
             victims.push(id);
         }
+        alive.clear();
+        self.scratch = alive;
         victims
     }
 
@@ -775,5 +819,54 @@ mod tests {
         let victims = net.kill_disk(Point::ORIGIN, 50.0);
         assert!(!victims.contains(&net.big_id()));
         assert!(net.engine().is_alive(net.big_id()).unwrap());
+    }
+
+    #[test]
+    fn trace_digest_is_pinned_across_queue_implementations() {
+        // CI runs this test once against the default radix queue and once
+        // with `--features gs3-sim/heap-queue`: the pinned constant is the
+        // executable statement that both queues pop in the exact same
+        // ascending (at, seq) order. Regenerate it only with a justified
+        // event-ordering change — a drift here means replay broke.
+        let mut net = NetworkBuilder::new()
+            .area_radius(150.0)
+            .expected_nodes(200)
+            .seed(23)
+            .build()
+            .unwrap();
+        net.run_for(SimDuration::from_secs(60));
+        net.kill_disk(Point::new(40.0, 10.0), 40.0);
+        net.run_for(SimDuration::from_secs(60));
+        assert_eq!(
+            net.engine().trace().digest(),
+            0xF306_5DB7_008D_9A1E,
+            "scheduled-delivery digest drifted"
+        );
+    }
+
+    #[test]
+    fn incremental_invariants_match_full_rebuild() {
+        let mut net = NetworkBuilder::new()
+            .area_radius(180.0)
+            .expected_nodes(250)
+            .seed(11)
+            .build()
+            .unwrap();
+        // Polled across configuration, a crash-disk heal, random deaths,
+        // and joins: the incremental path must stay indistinguishable
+        // from the rebuild-per-call one.
+        net.run_for(SimDuration::from_secs(40));
+        assert_eq!(net.check_invariants_incremental(), net.check_invariants());
+        net.kill_disk(Point::new(60.0, 0.0), 45.0);
+        for _ in 0..4 {
+            net.run_for(SimDuration::from_secs(15));
+            assert_eq!(net.check_invariants_incremental(), net.check_invariants());
+        }
+        net.kill_random(8);
+        net.join_node(Point::new(-90.0, 40.0));
+        for _ in 0..4 {
+            net.run_for(SimDuration::from_secs(15));
+            assert_eq!(net.check_invariants_incremental(), net.check_invariants());
+        }
     }
 }

@@ -73,6 +73,28 @@ fn head_fields(n: &NodeView) -> Option<(Point, NodeId, u32, &Vec<NodeId>)> {
     }
 }
 
+/// The per-node facts the index is derived from. The incremental
+/// [`SnapshotIndex::update`] diffs these against a new snapshot to find
+/// what changed; anything not captured here cannot affect the index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Fact {
+    alive: bool,
+    pos: Point,
+    /// `Some(il)` iff the node is an *alive head* (the only heads the
+    /// index tracks); dead or non-head nodes carry `None`.
+    il: Option<Point>,
+}
+
+impl Fact {
+    /// The fact for a node index the snapshot has not reached yet.
+    const ABSENT: Fact = Fact { alive: false, pos: Point::ORIGIN, il: None };
+
+    fn of(n: &NodeView) -> Fact {
+        let il = if n.alive { head_fields(n).map(|(il, ..)| il) } else { None };
+        Fact { alive: n.alive, pos: n.pos, il }
+    }
+}
+
 /// A per-snapshot spatial index shared by all geometric checks.
 ///
 /// Built once in `O(n)`, it replaces the all-pairs scans inside the
@@ -80,7 +102,13 @@ fn head_fields(n: &NodeView) -> Option<(Point, NodeId, u32, &Vec<NodeId>)> {
 /// near-linear in network size. Grid handles are indices into
 /// `Snapshot::nodes`, so every query resolves to a `NodeView` without a
 /// map lookup.
-#[derive(Debug)]
+///
+/// Long-lived callers (fixpoint polls, chaos oracles, the perf suite)
+/// keep one index alive and [`update`](SnapshotIndex::update) it against
+/// each new snapshot of the same network: the cost is then proportional
+/// to the churn since the last poll, not the population. [`build`] stays
+/// the from-scratch path and the equality oracle for the incremental one.
+#[derive(Debug, Clone)]
 pub struct SnapshotIndex {
     /// Indices of alive heads, ascending (snapshot order).
     heads: Vec<usize>,
@@ -96,6 +124,8 @@ pub struct SnapshotIndex {
     inner: BTreeSet<NodeId>,
     /// `inner` as a by-node-index mask for O(1) lookups on hot paths.
     inner_mask: Vec<bool>,
+    /// The facts the grids currently reflect, for delta detection.
+    facts: Vec<Fact>,
 }
 
 impl SnapshotIndex {
@@ -112,25 +142,126 @@ impl SnapshotIndex {
         // `max_range`: nodes sharing a cell are directly connected, which
         // lets the connectivity pass union whole cells at once.
         let mut alive = SpatialGrid::new((snap.max_range / std::f64::consts::SQRT_2).max(1.0));
+        let mut facts = Vec::with_capacity(snap.nodes.len());
         for (i, n) in snap.nodes.iter().enumerate() {
-            if !n.alive {
-                continue;
+            let fact = Fact::of(n);
+            if fact.alive {
+                alive.insert(i, fact.pos);
             }
-            alive.insert(i, n.pos);
-            if let Some((il, ..)) = head_fields(n) {
+            if let Some(il) = fact.il {
                 heads.push(i);
-                head_pos.insert(i, n.pos);
+                head_pos.insert(i, fact.pos);
                 head_il.insert(i, il);
             }
+            facts.push(fact);
         }
-        let inner = classify_inner(snap, &heads, &head_il, spacing);
+        let mut inner = BTreeSet::new();
         let mut inner_mask = vec![false; snap.nodes.len()];
-        for id in &inner {
-            if let Some(slot) = inner_mask.get_mut(id.raw() as usize) {
-                *slot = true;
+        for &i in &heads {
+            let il = facts[i].il.expect("indexed heads are heads");
+            if lattice_neighbor_count(i, il, &head_il, &facts, spacing) >= 6 {
+                inner.insert(snap.nodes[i].id);
+                inner_mask[i] = true;
             }
         }
-        SnapshotIndex { heads, head_pos, head_il, alive, spacing, inner, inner_mask }
+        SnapshotIndex { heads, head_pos, head_il, alive, spacing, inner, inner_mask, facts }
+    }
+
+    /// Brings the index up to date with `snap` by applying the deltas
+    /// since the snapshot it currently reflects: spawn/kill flips move
+    /// nodes in and out of the alive grid, role changes and head shifts
+    /// maintain the head grids, and the inner-cell classification is
+    /// redone only for heads within one neighbor radius of a changed IL.
+    /// Equivalent to `*self = SnapshotIndex::build(snap)` (the oracle the
+    /// churn tests compare against), at a cost proportional to the churn.
+    ///
+    /// `snap` must be a later snapshot of the *same network*: same `r` and
+    /// `max_range` (the grid geometry is fixed at build time) and node
+    /// indices never reused — snapshots only grow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` has fewer nodes than the previously-indexed
+    /// snapshot.
+    pub fn update(&mut self, snap: &Snapshot) {
+        debug_assert_eq!(
+            self.spacing,
+            head_spacing(snap.r),
+            "index reuse requires a constant R"
+        );
+        let n = snap.nodes.len();
+        assert!(n >= self.facts.len(), "snapshots only grow: ids are never reused");
+        self.facts.resize(n, Fact::ABSENT);
+        self.inner_mask.resize(n, false);
+        // ILs that appeared, vanished, or moved; only heads within one
+        // neighbor radius of one of these can change inner status.
+        let mut dirty_ils: Vec<Point> = Vec::new();
+        for (i, node) in snap.nodes.iter().enumerate() {
+            let new = Fact::of(node);
+            let old = self.facts[i];
+            if new == old {
+                continue;
+            }
+            match (old.alive, new.alive) {
+                (false, true) => self.alive.insert(i, new.pos),
+                (true, false) => self.alive.remove(i, old.pos),
+                (true, true) => self.alive.relocate(i, old.pos, new.pos),
+                (false, false) => {}
+            }
+            match (old.il, new.il) {
+                (None, Some(il)) => {
+                    self.head_pos.insert(i, new.pos);
+                    self.head_il.insert(i, il);
+                    let at = self.heads.binary_search(&i).unwrap_err();
+                    self.heads.insert(at, i);
+                    dirty_ils.push(il);
+                }
+                (Some(il), None) => {
+                    self.head_pos.remove(i, old.pos);
+                    self.head_il.remove(i, il);
+                    if let Ok(at) = self.heads.binary_search(&i) {
+                        self.heads.remove(at);
+                    }
+                    if self.inner_mask[i] {
+                        self.inner_mask[i] = false;
+                        self.inner.remove(&node.id);
+                    }
+                    dirty_ils.push(il);
+                }
+                (Some(old_il), Some(new_il)) => {
+                    self.head_pos.relocate(i, old.pos, new.pos);
+                    if old_il != new_il {
+                        self.head_il.relocate(i, old_il, new_il);
+                        dirty_ils.push(old_il);
+                        dirty_ils.push(new_il);
+                    }
+                }
+                (None, None) => {}
+            }
+            self.facts[i] = new;
+        }
+        if dirty_ils.is_empty() {
+            return;
+        }
+        let mut affected: Vec<usize> = Vec::new();
+        for &q in &dirty_ils {
+            self.head_il.for_each_candidate(q, 1.25 * self.spacing, |j| affected.push(j));
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        for &i in &affected {
+            let il = self.facts[i].il.expect("IL-grid members are alive heads");
+            let is_inner =
+                lattice_neighbor_count(i, il, &self.head_il, &self.facts, self.spacing) >= 6;
+            if is_inner != self.inner_mask[i] {
+                self.inner_mask[i] = is_inner;
+                if is_inner {
+                    self.inner.insert(snap.nodes[i].id);
+                } else {
+                    self.inner.remove(&snap.nodes[i].id);
+                }
+            }
+        }
     }
 
     /// The inner-cell heads of the indexed snapshot (see [`inner_heads`]).
@@ -146,31 +277,27 @@ impl SnapshotIndex {
     }
 }
 
-/// Heads with ≥6 lattice neighbors, via IL-grid range queries.
-fn classify_inner(
-    snap: &Snapshot,
-    heads: &[usize],
+/// How many of head `i`'s six lattice-neighbor ILs are occupied by other
+/// heads (IL at distance `spacing ± 0.25·spacing`), via an IL-grid range
+/// query.
+fn lattice_neighbor_count(
+    i: usize,
+    il: Point,
     head_il: &SpatialGrid,
+    facts: &[Fact],
     spacing: f64,
-) -> BTreeSet<NodeId> {
-    let mut inner = BTreeSet::new();
-    for &i in heads {
-        let (il, ..) = head_fields(&snap.nodes[i]).expect("indexed heads are heads");
-        let mut count = 0usize;
-        head_il.for_each_candidate(il, 1.25 * spacing, |j| {
-            if j == i {
-                return;
-            }
-            let (o_il, ..) = head_fields(&snap.nodes[j]).expect("indexed heads are heads");
-            if (il.distance(o_il) - spacing).abs() <= spacing * 0.25 {
-                count += 1;
-            }
-        });
-        if count >= 6 {
-            inner.insert(snap.nodes[i].id);
+) -> usize {
+    let mut count = 0usize;
+    head_il.for_each_candidate(il, 1.25 * spacing, |j| {
+        if j == i {
+            return;
         }
-    }
-    inner
+        let o_il = facts[j].il.expect("IL-grid members are alive heads");
+        if (il.distance(o_il) - spacing).abs() <= spacing * 0.25 {
+            count += 1;
+        }
+    });
+    count
 }
 
 /// I₁.₂: the head graph is a tree rooted at the big node (or at its proxy
@@ -1152,6 +1279,139 @@ mod tests {
             nodes.push(view);
         }
         snap(nodes)
+    }
+
+    /// Canonical view of a grid for equality checks: cell → sorted
+    /// members. Cell-member order is insertion-history dependent and never
+    /// leaks into check results, so it is erased here.
+    fn grid_cells(g: &SpatialGrid) -> BTreeMap<(i64, i64), Vec<usize>> {
+        let mut out = BTreeMap::new();
+        g.for_each_cell(|k, members| {
+            let mut m = members.to_vec();
+            m.sort_unstable();
+            out.insert(k, m);
+        });
+        out
+    }
+
+    /// Asserts the incrementally-updated index is indistinguishable from a
+    /// fresh [`SnapshotIndex::build`] of the same snapshot.
+    fn assert_index_matches_rebuild(s: &Snapshot, inc: &SnapshotIndex, ctx: &str) {
+        let full = SnapshotIndex::build(s);
+        assert_eq!(inc.heads, full.heads, "heads diverge {ctx}");
+        assert_eq!(inc.inner, full.inner, "inner set diverges {ctx}");
+        assert_eq!(inc.inner_mask, full.inner_mask, "inner mask diverges {ctx}");
+        assert_eq!(inc.facts, full.facts, "facts diverge {ctx}");
+        assert_eq!(grid_cells(&inc.alive), grid_cells(&full.alive), "alive grid diverges {ctx}");
+        assert_eq!(
+            grid_cells(&inc.head_pos),
+            grid_cells(&full.head_pos),
+            "head-pos grid diverges {ctx}"
+        );
+        assert_eq!(
+            grid_cells(&inc.head_il),
+            grid_cells(&full.head_il),
+            "head-IL grid diverges {ctx}"
+        );
+        assert_eq!(
+            check_all_with(s, Strictness::Dynamic, inc),
+            check_all_with(s, Strictness::Dynamic, &full),
+            "check results diverge {ctx}"
+        );
+    }
+
+    /// One random structural delta: spawn, kill, revive, move, head
+    /// shift (IL change), or role flip (associate ↔ head) — the event
+    /// classes [`SnapshotIndex::update`] maintains the index under.
+    fn mutate_snapshot(s: &mut Snapshot, rng: &mut rand::rngs::StdRng) {
+        use rand::Rng;
+        let spacing = head_spacing(s.r);
+        let lattice = |rng: &mut rand::rngs::StdRng| {
+            Point::new(
+                (f64::from(rng.gen_range(0u32..9)) - 4.0) * spacing * 0.5,
+                (f64::from(rng.gen_range(0u32..9)) - 4.0) * spacing * 0.5,
+            )
+        };
+        let i = rng.gen_range(0..s.nodes.len());
+        match rng.gen_range(0u32..10) {
+            0 => {
+                // Spawn (snapshots only grow; the new id is the new tail).
+                let id = s.nodes.len() as u64;
+                let pos = Point::new(rng.gen_range(-800.0..800.0), rng.gen_range(-800.0..800.0));
+                let view = if rng.gen_bool(0.5) {
+                    head(id, pos, lattice(rng), 0, 1, vec![])
+                } else {
+                    assoc(id, pos, rng.gen_range(0..id))
+                };
+                s.nodes.push(view);
+            }
+            1 | 2 => s.nodes[i].alive = false,
+            3 => s.nodes[i].alive = true,
+            4 | 5 => {
+                s.nodes[i].pos =
+                    Point::new(rng.gen_range(-800.0..800.0), rng.gen_range(-800.0..800.0));
+            }
+            6 | 7 => {
+                // Head shift: move the IL (and usually the head with it).
+                let new_il = lattice(rng);
+                if let RoleView::Head { il, .. } = &mut s.nodes[i].role {
+                    *il = new_il;
+                }
+                if rng.gen_bool(0.7) {
+                    s.nodes[i].pos = Point::new(
+                        new_il.x + rng.gen_range(-15.0..15.0),
+                        new_il.y + rng.gen_range(-15.0..15.0),
+                    );
+                }
+            }
+            8 => {
+                // Role flip: promote to head.
+                let il = lattice(rng);
+                let promoted = head(s.nodes[i].id.raw(), s.nodes[i].pos, il, 0, 1, vec![]);
+                s.nodes[i].role = promoted.role;
+            }
+            _ => {
+                // Role flip: demote to associate.
+                s.nodes[i].role = RoleView::Associate {
+                    head: NodeId::new(rng.gen_range(0..s.nodes.len()) as u64),
+                    cell_il: Point::ORIGIN,
+                    surrogate: rng.gen_bool(0.1),
+                    is_candidate: false,
+                };
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_index_matches_rebuild_under_churn() {
+        use rand::SeedableRng;
+        for seed in 0..20 {
+            let mut s = random_snapshot(seed);
+            let mut idx = SnapshotIndex::build(&s);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+            for step in 0..50 {
+                mutate_snapshot(&mut s, &mut rng);
+                idx.update(&s);
+                assert_index_matches_rebuild(&s, &idx, &format!("at seed {seed} step {step}"));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update_is_idempotent_on_no_change() {
+        let s = random_snapshot(3);
+        let mut idx = SnapshotIndex::build(&s);
+        idx.update(&s);
+        assert_index_matches_rebuild(&s, &idx, "after a no-op update");
+    }
+
+    #[test]
+    #[should_panic(expected = "never reused")]
+    fn incremental_update_rejects_shrinking_snapshots() {
+        let mut s = random_snapshot(5);
+        let mut idx = SnapshotIndex::build(&s);
+        s.nodes.pop();
+        idx.update(&s);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
         rules::check_d1(&f.rel, &f.lexed.toks, &mut findings);
         rules::check_d2(&f.rel, &f.lexed.toks, &mut findings);
         rules::check_d3(&f.rel, &f.lexed.toks, &mut findings);
+        rules::check_a1(&f.rel, &f.lexed.toks, &mut findings);
         rules::check_t1(&f.rel, &f.lexed.toks, &model, &mut findings);
     }
     rules::check_t2(&toks_by_file, &model, &mut findings);

@@ -1,4 +1,4 @@
-//! The five contract rules.
+//! The six contract rules.
 //!
 //! | rule | contract |
 //! |------|----------|
@@ -7,6 +7,7 @@
 //! | `d3` | no direct `f64 ==`/`!=` against float literals on geometry values, and no `partial_cmp(…).unwrap()` — use the NaN-total `total_cmp` comparators |
 //! | `t1` | protocol dispatch matches over `Msg`/`Timer` must be total: no `_ =>` wildcard arms in handler matches, and near-total matches must name every variant |
 //! | `t2` | every `Timer` class passed to `set_timer` must have a dispatch (expiry) arm somewhere in `gs3-core` |
+//! | `a1` | no `Box`/`Rc` and no std map/set types in the simulator's per-event hot path (`gs3-sim` engine/queue/spatial) — the million-node target needs dense arena columns indexed by `u32`, not per-node heap indirection or keyed lookups |
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -112,6 +113,58 @@ pub fn check_d2(rel: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
             }
         }
         i += 1;
+    }
+}
+
+/// Files forming the simulator's per-event hot path; `a1` keeps their
+/// storage dense.
+const HOT_PATHS: [&str; 3] = [
+    "crates/gs3-sim/src/engine.rs",
+    "crates/gs3-sim/src/queue.rs",
+    "crates/gs3-sim/src/spatial.rs",
+];
+
+/// `a1`: heap indirection in hot-path storage. The engine's scaling
+/// contract is arena/SoA columns indexed by dense `u32` node ids: a
+/// per-node `Box`/`Rc` adds a pointer chase per event, and a map/set
+/// keyed by id adds a hash or tree walk where `column[id.index()]` is a
+/// single load. (`FxHashMap` keyed by *cell coordinates* in the spatial
+/// grid is the deliberate exception — cell keys are sparse — and is not
+/// a std type, so it does not trip this rule.)
+pub fn check_a1(rel: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
+    if !HOT_PATHS.contains(&rel) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next = |s: &str| toks.get(i + 1).is_some_and(|n| n.text == s);
+        match t.text.as_str() {
+            "Box" | "Rc" if next("<") || next("::") => push(
+                findings,
+                "a1",
+                rel,
+                t.line,
+                format!(
+                    "{} in the per-event hot path: per-node heap indirection defeats the \
+                     arena/SoA layout — store the value inline in a dense column",
+                    t.text
+                ),
+            ),
+            "HashMap" | "HashSet" | "BTreeMap" | "BTreeSet" => push(
+                findings,
+                "a1",
+                rel,
+                t.line,
+                format!(
+                    "std {} in the per-event hot path: keyed lookups cost a hash/tree walk \
+                     per event — index a dense Vec column by NodeId instead",
+                    t.text
+                ),
+            ),
+            _ => {}
+        }
     }
 }
 
@@ -398,6 +451,28 @@ mod tests {
         let src = "let t = Instant::now();";
         let mut f = Vec::new();
         check_d2("crates/gs3-sim/src/time.rs", &lex(src).toks, &mut f);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn a1_flags_only_hot_paths() {
+        let src = "struct S { n: Vec<Box<Node>>, m: BTreeMap<u32, u64> } fn f() { Rc::new(3); }";
+        let mut f = Vec::new();
+        check_a1("crates/gs3-sim/src/engine.rs", &lex(src).toks, &mut f);
+        assert_eq!(f.len(), 3);
+        // Cold-path files in the same crate keep their ordered maps.
+        let mut f = Vec::new();
+        check_a1("crates/gs3-sim/src/trace.rs", &lex(src).toks, &mut f);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn a1_ignores_bare_idents_and_fxhashmap() {
+        // A plain ident that merely shadows the name is not heap storage,
+        // and the cell-keyed FxHashMap alias is the sanctioned exception.
+        let src = "let cells: FxHashMap<(i64, i64), Vec<usize>> = FxHashMap::default();";
+        let mut f = Vec::new();
+        check_a1("crates/gs3-sim/src/spatial.rs", &lex(src).toks, &mut f);
         assert!(f.is_empty());
     }
 

@@ -90,6 +90,11 @@ fn d3_float_eq() {
 }
 
 #[test]
+fn a1_hot_path_alloc() {
+    check("a1_hot_path_alloc");
+}
+
+#[test]
 fn t1_wildcard_dispatch() {
     check("t1_wildcard_dispatch");
 }
@@ -138,6 +143,7 @@ fn every_fixture_has_a_test() {
         .collect();
     stems.sort();
     let wired = [
+        "a1_hot_path_alloc",
         "allow_justified",
         "allow_missing_justification",
         "allow_unused",

@@ -8,8 +8,6 @@
 //! overlap; conflicting requests queue FIFO and are granted as earlier
 //! reservations release.
 
-use std::collections::VecDeque;
-
 use gs3_geometry::Point;
 
 use crate::ids::NodeId;
@@ -32,7 +30,9 @@ impl Claim {
 #[derive(Debug, Clone, Default)]
 pub struct ChannelManager {
     granted: Vec<Claim>,
-    waiting: VecDeque<Claim>,
+    // FIFO by insertion order; grants compact in place, so a plain Vec
+    // suffices (and keeps release_into allocation-free).
+    waiting: Vec<Claim>,
 }
 
 impl ChannelManager {
@@ -63,7 +63,7 @@ impl ChannelManager {
         let blocked = self.granted.iter().any(|c| c.conflicts(&claim))
             || self.waiting.iter().any(|c| c.conflicts(&claim));
         if blocked {
-            self.waiting.push_back(claim);
+            self.waiting.push(claim);
             false
         } else {
             self.granted.push(claim);
@@ -74,23 +74,40 @@ impl ChannelManager {
     /// Releases `owner`'s reservation (or cancels its queued request), and
     /// returns the owners of queued requests that become grantable, in FIFO
     /// order. Releasing without holding is a no-op returning an empty list.
+    ///
+    /// Allocating convenience wrapper over [`release_into`]; the engine hot
+    /// path uses the `_into` form with a reused scratch buffer.
+    ///
+    /// [`release_into`]: ChannelManager::release_into
     pub fn release(&mut self, owner: NodeId) -> Vec<NodeId> {
+        let mut newly = Vec::new();
+        self.release_into(owner, &mut newly);
+        newly
+    }
+
+    /// [`release`](ChannelManager::release), appending the newly-grantable
+    /// owners to `newly` (in FIFO order) instead of allocating a fresh list.
+    pub fn release_into(&mut self, owner: NodeId, newly: &mut Vec<NodeId>) {
         self.granted.retain(|c| c.owner != owner);
         self.waiting.retain(|c| c.owner != owner);
-        let mut newly = Vec::new();
-        let mut still_waiting = VecDeque::new();
-        while let Some(claim) = self.waiting.pop_front() {
+        // In-place compaction: `self.waiting[..w]` holds the claims already
+        // re-examined and still blocked, i.e. exactly the still-waiting
+        // prefix a newly-scanned claim must also queue behind for FIFO
+        // fairness.
+        let mut w = 0;
+        for r in 0..self.waiting.len() {
+            let claim = self.waiting[r];
             let blocked = self.granted.iter().any(|c| c.conflicts(&claim))
-                || still_waiting.iter().any(|c: &Claim| c.conflicts(&claim));
+                || self.waiting[..w].iter().any(|c| c.conflicts(&claim));
             if blocked {
-                still_waiting.push_back(claim);
+                self.waiting[w] = claim;
+                w += 1;
             } else {
                 newly.push(claim.owner);
                 self.granted.push(claim);
             }
         }
-        self.waiting = still_waiting;
-        newly
+        self.waiting.truncate(w);
     }
 
     /// True when `owner` currently holds a granted reservation.
@@ -194,6 +211,18 @@ mod tests {
         let granted = ch.release(id(2));
         assert!(granted.is_empty());
         assert_eq!(ch.waiting_count(), 0);
+    }
+
+    #[test]
+    fn release_into_appends_without_clearing() {
+        let mut ch = ChannelManager::new();
+        assert!(ch.request(id(1), Point::ORIGIN, 10.0));
+        assert!(!ch.request(id(2), Point::new(5.0, 0.0), 10.0));
+        let mut buf = vec![id(99)];
+        ch.release_into(id(1), &mut buf);
+        // Appends after existing contents — the caller owns clearing.
+        assert_eq!(buf, vec![id(99), id(2)]);
+        assert!(ch.holds(id(2)));
     }
 
     #[test]

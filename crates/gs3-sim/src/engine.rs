@@ -212,18 +212,60 @@ struct PendingEvent<M, T> {
     tag: u64,
 }
 
+/// Dense per-node storage in structure-of-arrays layout, indexed by
+/// [`NodeId::index`] (ids are spawn ranks, so the columns are append-only
+/// and never reindex).
+///
+/// The split is by access temperature: `positions`/`alive`/`energy` are
+/// the *hot* columns — every delivery, broadcast candidate scan, and
+/// energy charge reads them, and packing them densely keeps those scans in
+/// cache instead of striding over the full protocol state. `nodes` is the
+/// *cold* column (the protocol state machine, by far the widest field),
+/// touched only when a callback actually runs. `pending_timers` sits in
+/// between: consulted on timer dispatch and set/cancel.
 #[derive(Debug, Clone)]
-struct Slot<N: Node> {
-    node: N,
-    position: Point,
-    alive: bool,
-    energy: f64,
-    /// Live (id, payload) pairs, sorted by id (ids are handed out in
-    /// increasing order and removals preserve order). A timer event whose
-    /// id is absent here was cancelled — no separate cancelled-id list to
-    /// grow or drain: cancellation *is* removal, and the stale queue entry
-    /// identifies itself by absence when it fires.
-    pending_timers: Vec<(u64, N::Timer)>,
+struct Arena<N: Node> {
+    /// Cold: the protocol state machines.
+    nodes: Vec<N>,
+    /// Hot: current positions.
+    positions: Vec<Point>,
+    /// Hot: liveness flags.
+    alive: Vec<bool>,
+    /// Hot: remaining energy.
+    energy: Vec<f64>,
+    /// Warm: live (id, payload) timer pairs, sorted by id (ids are handed
+    /// out in increasing order and removals preserve order). A timer event
+    /// whose id is absent here was cancelled — no separate cancelled-id
+    /// list to grow or drain: cancellation *is* removal, and the stale
+    /// queue entry identifies itself by absence when it fires.
+    pending_timers: Vec<Vec<(u64, N::Timer)>>,
+}
+
+impl<N: Node> Arena<N> {
+    fn new() -> Self {
+        Arena {
+            nodes: Vec::new(),
+            positions: Vec::new(),
+            alive: Vec::new(),
+            energy: Vec::new(),
+            pending_timers: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Appends one node's row across every column; returns its index.
+    fn push(&mut self, node: N, position: Point, energy: f64) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(node);
+        self.positions.push(position);
+        self.alive.push(true);
+        self.energy.push(energy);
+        self.pending_timers.push(Vec::new());
+        idx
+    }
 }
 
 /// Errors reported by the engine API.
@@ -248,7 +290,7 @@ impl std::error::Error for EngineError {}
 pub struct Engine<N: Node> {
     radio: RadioModel,
     energy_model: EnergyModel,
-    slots: Vec<Slot<N>>,
+    arena: Arena<N>,
     grid: crate::spatial::SpatialGrid,
     queue: EventQueue<PendingEvent<N::Msg, N::Timer>>,
     channel: ChannelManager,
@@ -263,6 +305,8 @@ pub struct Engine<N: Node> {
     action_buf: Vec<Action<N::Msg, N::Timer>>,
     /// Reused across broadcasts for candidate collection.
     recv_buf: Vec<usize>,
+    /// Reused across channel releases for newly-granted owners.
+    grant_buf: Vec<NodeId>,
 }
 
 /// Energy assigned when accounting is disabled.
@@ -276,11 +320,13 @@ const UNLIMITED_ENERGY: f64 = f64::INFINITY;
 /// callbacks, which is the only time a clone can happen).
 impl<N: Node + Clone> Clone for Engine<N> {
     fn clone(&self) -> Self {
-        debug_assert!(self.action_buf.is_empty() && self.recv_buf.is_empty());
+        debug_assert!(
+            self.action_buf.is_empty() && self.recv_buf.is_empty() && self.grant_buf.is_empty()
+        );
         Engine {
             radio: self.radio.clone(),
             energy_model: self.energy_model.clone(),
-            slots: self.slots.clone(),
+            arena: self.arena.clone(),
             grid: self.grid.clone(),
             queue: self.queue.clone(),
             channel: self.channel.clone(),
@@ -293,6 +339,7 @@ impl<N: Node + Clone> Clone for Engine<N> {
             events_processed: self.events_processed,
             action_buf: Vec::new(),
             recv_buf: Vec::new(),
+            grant_buf: Vec::new(),
         }
     }
 }
@@ -306,7 +353,7 @@ impl<N: Node> Engine<N> {
         Engine {
             radio,
             energy_model,
-            slots: Vec::new(),
+            arena: Arena::new(),
             grid: crate::spatial::SpatialGrid::new(cell),
             queue: EventQueue::new(),
             channel: ChannelManager::new(),
@@ -319,6 +366,7 @@ impl<N: Node> Engine<N> {
             events_processed: 0,
             action_buf: Vec::new(),
             recv_buf: Vec::new(),
+            grant_buf: Vec::new(),
         }
     }
 
@@ -414,8 +462,7 @@ impl<N: Node> Engine<N> {
         self.grid.for_each_candidate(center, radius, |h| found.push(h));
         found.sort_unstable();
         for h in found {
-            let slot = &self.slots[h];
-            if slot.alive && slot.position.distance(center) <= radius {
+            if self.arena.alive[h] && self.arena.positions[h].distance(center) <= radius {
                 self.telemetry.episodes.taint_node(episode, h as u64);
             }
         }
@@ -464,42 +511,34 @@ impl<N: Node> Engine<N> {
     /// Panics if `at` is in the past.
     pub fn spawn_at(&mut self, node: N, position: Point, at: SimTime, energy: Option<f64>) -> NodeId {
         assert!(at >= self.now, "cannot spawn in the past");
-        let id = NodeId::new(self.slots.len() as u64);
-        self.grid.insert(self.slots.len(), position);
-        self.slots.push(Slot {
-            node,
-            position,
-            alive: true,
-            energy: energy.unwrap_or(UNLIMITED_ENERGY),
-            pending_timers: Vec::new(),
-        });
+        let idx = self.arena.len();
+        let id = NodeId::from_index(idx);
+        self.grid.insert(idx, position);
+        self.arena.push(node, position, energy.unwrap_or(UNLIMITED_ENERGY));
         self.queue.schedule(at, PendingEvent { to: id, kind: EventKind::Start, tag: NO_TAG });
         id
     }
 
-    fn slot(&self, id: NodeId) -> Result<&Slot<N>, EngineError> {
-        self.slots.get(id.raw() as usize).ok_or(EngineError::UnknownNode(id))
-    }
-
-    fn slot_mut(&mut self, id: NodeId) -> Result<&mut Slot<N>, EngineError> {
-        self.slots.get_mut(id.raw() as usize).ok_or(EngineError::UnknownNode(id))
+    fn check(&self, id: NodeId) -> Result<usize, EngineError> {
+        let idx = id.index();
+        if idx < self.arena.len() { Ok(idx) } else { Err(EngineError::UnknownNode(id)) }
     }
 
     /// Immutable access to a node's protocol state (for inspection by
     /// harnesses and invariant checkers).
     pub fn node(&self, id: NodeId) -> Result<&N, EngineError> {
-        self.slot(id).map(|s| &s.node)
+        self.check(id).map(|idx| &self.arena.nodes[idx])
     }
 
     /// Mutable access to a node's protocol state (used by harnesses to
     /// inject state corruption).
     pub fn node_mut(&mut self, id: NodeId) -> Result<&mut N, EngineError> {
-        self.slot_mut(id).map(|s| &mut s.node)
+        self.check(id).map(|idx| &mut self.arena.nodes[idx])
     }
 
     /// A node's current position.
     pub fn position(&self, id: NodeId) -> Result<Point, EngineError> {
-        self.slot(id).map(|s| s.position)
+        self.check(id).map(|idx| self.arena.positions[idx])
     }
 
     /// Schedules a crafted message for delivery to `to` after `after`,
@@ -514,7 +553,7 @@ impl<N: Node> Engine<N> {
         msg: N::Msg,
         after: SimDuration,
     ) -> Result<(), EngineError> {
-        self.slot(to)?;
+        self.check(to)?;
         self.queue.schedule(
             self.now + after,
             PendingEvent { to, kind: EventKind::Deliver { from, msg, directed: true }, tag: NO_TAG },
@@ -525,73 +564,92 @@ impl<N: Node> Engine<N> {
     /// Teleports a node (mobility is modeled as a sequence of such steps
     /// driven by the harness).
     pub fn set_position(&mut self, id: NodeId, position: Point) -> Result<(), EngineError> {
-        let idx = id.raw() as usize;
-        let old = self.slot(id)?.position;
+        let idx = self.check(id)?;
+        let old = self.arena.positions[idx];
         self.grid.relocate(idx, old, position);
-        self.slot_mut(id)?.position = position;
+        self.arena.positions[idx] = position;
         Ok(())
     }
 
     /// Whether a node is alive (spawned and not powered off/dead).
     pub fn is_alive(&self, id: NodeId) -> Result<bool, EngineError> {
-        self.slot(id).map(|s| s.alive)
+        self.check(id).map(|idx| self.arena.alive[idx])
     }
 
     /// A node's remaining energy.
     pub fn energy(&self, id: NodeId) -> Result<f64, EngineError> {
-        self.slot(id).map(|s| s.energy)
+        self.check(id).map(|idx| self.arena.energy[idx])
     }
 
     /// Overwrites a node's remaining energy (harness-level perturbation).
     pub fn set_energy(&mut self, id: NodeId, energy: f64) -> Result<(), EngineError> {
-        self.slot_mut(id)?.energy = energy;
+        let idx = self.check(id)?;
+        self.arena.energy[idx] = energy;
         Ok(())
     }
 
     /// Kills a node (fail-stop perturbation). Queued events to it are
     /// dropped at delivery time; its channel reservation is released.
     pub fn kill(&mut self, id: NodeId) -> Result<(), EngineError> {
-        let idx = id.raw() as usize;
-        let pos = self.slot(id)?.position;
-        let was_alive = self.slot(id)?.alive;
-        if !was_alive {
+        let idx = self.check(id)?;
+        if !self.arena.alive[idx] {
             return Ok(());
         }
-        self.slot_mut(id)?.alive = false;
-        self.grid.remove(idx, pos);
-        for granted in self.channel.release(id) {
+        self.arena.alive[idx] = false;
+        self.grid.remove(idx, self.arena.positions[idx]);
+        let mut newly = std::mem::take(&mut self.grant_buf);
+        self.channel.release_into(id, &mut newly);
+        for &granted in &newly {
             self.queue.schedule(
                 self.now + self.radio.base_latency,
                 PendingEvent { to: granted, kind: EventKind::ChannelGrant, tag: NO_TAG },
             );
         }
+        newly.clear();
+        self.grant_buf = newly;
         Ok(())
     }
 
     /// All node ids ever spawned.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.slots.len() as u64).map(NodeId::new)
+        (0..self.arena.len()).map(NodeId::from_index)
     }
 
     /// Ids of currently-alive nodes.
     pub fn alive_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.slots
+        self.arena
+            .alive
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.alive)
-            .map(|(i, _)| NodeId::new(i as u64))
+            .filter(|(_, alive)| **alive)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Appends the ids of alive nodes within `radius` of `center` to `out`,
+    /// in ascending id order, via the spatial grid (touches only the cells
+    /// overlapping the disk, not the whole population).
+    pub fn alive_in_disk_into(&self, center: Point, radius: f64, out: &mut Vec<NodeId>) {
+        let start = out.len();
+        self.grid.for_each_candidate(center, radius, |h| {
+            if self.arena.alive[h] && self.arena.positions[h].distance(center) <= radius {
+                out.push(NodeId::from_index(h));
+            }
+        });
+        // Grid cell iteration order is hash-map dependent; sort for the
+        // deterministic order every digest-bearing caller needs.
+        out[start..].sort_unstable();
     }
 
     /// Number of alive nodes.
     #[must_use]
     pub fn alive_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.alive).count()
+        self.arena.alive.iter().filter(|a| **a).count()
     }
 
     /// Total nodes ever spawned.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.slots.len()
+        self.arena.len()
     }
 
     /// Processes the single earliest pending event. Returns `false` when
@@ -716,10 +774,8 @@ impl<N: Node> Engine<N> {
                         eat(&mut h, format!("{msg:?}").as_bytes());
                     }
                     EventKind::Timer { timer_id, timer } => {
-                        let live = self.slots.get(ev.to.raw() as usize).is_some_and(|s| {
-                            s.pending_timers
-                                .binary_search_by_key(timer_id, |(tid, _)| *tid)
-                                .is_ok()
+                        let live = self.arena.pending_timers.get(ev.to.index()).is_some_and(|t| {
+                            t.binary_search_by_key(timer_id, |(tid, _)| *tid).is_ok()
                         });
                         eat(&mut h, &[2, u8::from(live)]);
                         eat(&mut h, format!("{timer:?}").as_bytes());
@@ -732,11 +788,8 @@ impl<N: Node> Engine<N> {
     }
 
     fn dispatch(&mut self, ev: PendingEvent<N::Msg, N::Timer>) {
-        let idx = ev.to.raw() as usize;
-        let Some(slot) = self.slots.get_mut(idx) else {
-            return;
-        };
-        if !slot.alive {
+        let idx = ev.to.index();
+        if !self.arena.alive.get(idx).copied().unwrap_or(false) {
             return;
         }
         match ev.kind {
@@ -748,7 +801,7 @@ impl<N: Node> Engine<N> {
                 // but only a *directed* (unicast) delivery propagates
                 // taint; broadcast receptions are ambient and only count.
                 if ev.tag != NO_TAG {
-                    let pos = self.slots[idx].position;
+                    let pos = self.arena.positions[idx];
                     self.telemetry.episodes.on_delivery(ev.tag, ev.to.raw(), (pos.x, pos.y), directed);
                 }
                 if self.telemetry.recorder.is_recording() {
@@ -771,13 +824,13 @@ impl<N: Node> Engine<N> {
                 self.with_ctx(ev.to, |node, ctx| node.on_message(from, msg, ctx));
             }
             EventKind::Timer { timer_id, timer } => {
-                let slot = &mut self.slots[idx];
+                let timers = &mut self.arena.pending_timers[idx];
                 // pending_timers is sorted by id; absence means the timer
                 // was cancelled and this queue entry is stale.
-                match slot.pending_timers.binary_search_by_key(&timer_id, |(tid, _)| *tid) {
+                match timers.binary_search_by_key(&timer_id, |(tid, _)| *tid) {
                     Ok(pos) => {
                         // Vec::remove (not swap_remove) keeps the sort.
-                        slot.pending_timers.remove(pos);
+                        timers.remove(pos);
                     }
                     Err(_) => return,
                 }
@@ -809,10 +862,10 @@ impl<N: Node> Engine<N> {
         if self.energy_model.is_disabled() || cost == 0.0 {
             return false;
         }
-        let slot = &mut self.slots[id.raw() as usize];
-        slot.energy -= cost;
-        if slot.energy <= 0.0 {
-            slot.energy = 0.0;
+        let energy = &mut self.arena.energy[id.index()];
+        *energy -= cost;
+        if *energy <= 0.0 {
+            *energy = 0.0;
             let _ = self.kill(id);
             true
         } else {
@@ -825,11 +878,8 @@ impl<N: Node> Engine<N> {
     where
         F: FnOnce(&mut N, &mut Context<'_, N::Msg, N::Timer>),
     {
-        let idx = id.raw() as usize;
-        let (position, energy) = {
-            let s = &self.slots[idx];
-            (s.position, s.energy)
-        };
+        let idx = id.index();
+        let (position, energy) = (self.arena.positions[idx], self.arena.energy[idx]);
         // The action buffer is engine-owned and reused across callbacks;
         // apply_actions never re-enters a callback (grants are queued as
         // events), so no nested borrow can occur.
@@ -845,11 +895,7 @@ impl<N: Node> Engine<N> {
             rng: &mut self.rng,
             actions: &mut actions,
         };
-        {
-            let slots = &mut self.slots;
-            let slot = &mut slots[idx];
-            f(&mut slot.node, &mut ctx);
-        }
+        f(&mut self.arena.nodes[idx], &mut ctx);
         self.apply_actions(id, &mut actions);
         actions.clear();
         self.action_buf = actions;
@@ -858,7 +904,7 @@ impl<N: Node> Engine<N> {
     fn apply_actions(&mut self, id: NodeId, actions: &mut Vec<Action<N::Msg, N::Timer>>) {
         for action in actions.drain(..) {
             // A node that powered itself off performs nothing further.
-            if !self.slots[id.raw() as usize].alive {
+            if !self.arena.alive[id.index()] {
                 break;
             }
             match action {
@@ -869,7 +915,7 @@ impl<N: Node> Engine<N> {
                     self.next_timer_id += 1;
                     // Ids are globally increasing, so a push keeps
                     // pending_timers sorted by id.
-                    self.slots[id.raw() as usize].pending_timers.push((timer_id, timer.clone()));
+                    self.arena.pending_timers[id.index()].push((timer_id, timer.clone()));
                     self.queue.schedule(
                         self.now + after,
                         PendingEvent {
@@ -882,10 +928,10 @@ impl<N: Node> Engine<N> {
                 Action::CancelTimers { timer } => {
                     // Removal is the whole cancellation: the queued event
                     // finds its id absent and drops itself when it fires.
-                    self.slots[id.raw() as usize].pending_timers.retain(|(_, t)| *t != timer);
+                    self.arena.pending_timers[id.index()].retain(|(_, t)| *t != timer);
                 }
                 Action::ReserveChannel { radius } => {
-                    let pos = self.slots[id.raw() as usize].position;
+                    let pos = self.arena.positions[id.index()];
                     if self.channel.request(id, pos, radius) {
                         self.queue.schedule(
                             self.now + self.radio.base_latency,
@@ -894,7 +940,9 @@ impl<N: Node> Engine<N> {
                     }
                 }
                 Action::ReleaseChannel => {
-                    for granted in self.channel.release(id) {
+                    let mut newly = std::mem::take(&mut self.grant_buf);
+                    self.channel.release_into(id, &mut newly);
+                    for &granted in &newly {
                         self.queue.schedule(
                             self.now + self.radio.base_latency,
                             PendingEvent {
@@ -904,6 +952,8 @@ impl<N: Node> Engine<N> {
                             },
                         );
                     }
+                    newly.clear();
+                    self.grant_buf = newly;
                 }
                 Action::PowerOff => {
                     let _ = self.kill(id);
@@ -993,7 +1043,7 @@ impl<N: Node> Engine<N> {
         }
         let tag = self.telemetry.episodes.tag_for_sender(from.raw());
         if tag != NO_TAG {
-            let pos = self.slots[from.raw() as usize].position;
+            let pos = self.arena.positions[from.index()];
             self.telemetry.episodes.on_send(tag, (pos.x, pos.y));
         }
         tag
@@ -1003,14 +1053,13 @@ impl<N: Node> Engine<N> {
         use crate::engine::Payload as _;
         self.trace.record_unicast(msg.kind());
         let tag = self.episode_tag(from);
-        let from_pos = self.slots[from.raw() as usize].position;
-        let Some(target) = self.slots.get(to.raw() as usize) else {
+        let from_pos = self.arena.positions[from.index()];
+        let Some(&target_pos) = self.arena.positions.get(to.index()) else {
             self.trace.record_unicast_failure();
             return;
         };
-        let target_pos = target.position;
         let dist = from_pos.distance(target_pos);
-        if !target.alive || dist > self.radio.max_range {
+        if !self.arena.alive[to.index()] || dist > self.radio.max_range {
             self.trace.record_unicast_failure();
             // The sender still burned transmit energy.
             self.charge(from, self.energy_model.tx_cost(dist.min(self.radio.max_range)));
@@ -1043,27 +1092,26 @@ impl<N: Node> Engine<N> {
         self.trace.record_broadcast(msg.kind());
         let tag = self.episode_tag(from);
         let range = self.radio.effective_range(radius);
-        let from_pos = self.slots[from.raw() as usize].position;
+        let from_pos = self.arena.positions[from.index()];
         let mut receivers = std::mem::take(&mut self.recv_buf);
         debug_assert!(receivers.is_empty());
         self.grid.for_each_candidate(from_pos, range, |h| {
-            if h != from.raw() as usize {
+            if h != from.index() {
                 receivers.push(h);
             }
         });
         // Deterministic receiver order regardless of hash-map iteration.
         receivers.sort_unstable();
         for &h in &receivers {
-            let slot = &self.slots[h];
-            if !slot.alive {
+            if !self.arena.alive[h] {
                 continue;
             }
-            let to_pos = slot.position;
+            let to_pos = self.arena.positions[h];
             let dist = from_pos.distance(to_pos);
             if dist > range {
                 continue;
             }
-            let to = NodeId::new(h as u64);
+            let to = NodeId::from_index(h);
             match self.faults.next_attempt(from, to, msg.kind(), true) {
                 Some(Fate::Drop) => {
                     self.trace.record_scripted_drop();
@@ -1299,11 +1347,11 @@ mod tests {
         eng.run_until(SimTime::from_micros(10_000_000));
         assert_eq!(eng.node(id).unwrap().ticks, 1000);
         assert_eq!(eng.node(id).unwrap().victims_fired, 1, "only the re-set victim fires");
-        let slot = &eng.slots[id.raw() as usize];
+        let timers = &eng.arena.pending_timers[id.index()];
         assert!(
-            slot.pending_timers.is_empty(),
+            timers.is_empty(),
             "cancellation reclaims immediately; {} entries leaked",
-            slot.pending_timers.len()
+            timers.len()
         );
     }
 
