@@ -134,6 +134,38 @@ fn scenario_steady_state(scale: &Scale) -> Measurement {
     }
 }
 
+/// Steady-state maintenance over a contended medium: the same converged
+/// network with the shared-medium contention layer on, so the number
+/// tracks the cost of carrier-sense checks, backoff scheduling, and
+/// collision scanning on every delivery.
+fn scenario_steady_state_contended(scale: &Scale) -> Measurement {
+    let mut net = NetworkBuilder::new()
+        .ideal_radius(80.0)
+        .radius_tolerance(18.0)
+        .area_radius(scale.area_mid)
+        .expected_nodes(scale.nodes_mid)
+        .seed(42)
+        .contention(gs3_sim::ContentionConfig::on())
+        .build()
+        .expect("valid parameters");
+    let _ = net.run_to_fixpoint();
+    let before = net.engine().events_processed();
+    let start = Instant::now();
+    net.run_for(SimDuration::from_secs(120));
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    Measurement {
+        scenario: "steady_state_contended_120s",
+        wall_ms,
+        events: net.engine().events_processed() - before,
+        peak_queue_depth: net.engine().peak_queue_depth(),
+        extra: vec![
+            ("nodes", scale.nodes_mid as f64),
+            ("mac_collisions", net.engine().trace().mac_collisions() as f64),
+            ("mac_defers", net.engine().trace().mac_defers() as f64),
+        ],
+    }
+}
+
 /// The steady-state workload again with a Full-mode flight recorder —
 /// the opt-in telemetry cost (ring writes per engine event) relative to
 /// `steady_state_120s`.
@@ -368,9 +400,10 @@ fn main() {
     // Scenarios are independent seeded workloads; fan them out like any
     // other experiment grid. Wall-clock numbers are only comparable
     // across commits when measured at the same -j.
-    let scenarios: [fn(&Scale) -> Measurement; 6] = [
+    let scenarios: [fn(&Scale) -> Measurement; 7] = [
         scenario_configure,
         scenario_steady_state,
+        scenario_steady_state_contended,
         scenario_steady_state_recorded,
         scenario_chaos,
         scenario_invariants,

@@ -1,0 +1,76 @@
+//! Regression gate over the committed `BENCH_chaos.json` artifact.
+//!
+//! The chaos sweep's congestion arm is the headline robustness claim of
+//! the contention layer: at the committed density × offered-load grid,
+//! congestion-adaptive degradation heals every run while the non-adaptive
+//! protocol congestion-collapses in at least one cell. This test pins
+//! that *shape* (not the raw counter values, which may drift with tuning)
+//! so a regression in either direction — adaptation stops healing, or the
+//! grid stops demonstrating a collapse — fails CI without re-running the
+//! 10-minute sweep.
+
+use std::path::Path;
+
+/// Extract every integer following `"<key>":` inside `doc`.
+fn all_ints(doc: &str, key: &str) -> Vec<u64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Slice `doc` down to one arm's object (everything from the arm key to
+/// its closing brace).
+fn arm_slices<'d>(doc: &'d str, arm: &str) -> Vec<&'d str> {
+    let needle = format!("\"{arm}\":{{");
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let end = rest.find('}').unwrap_or(rest.len());
+        out.push(&rest[..end]);
+    }
+    out
+}
+
+#[test]
+fn committed_chaos_artifact_shows_adaptive_healing_and_a_collapse() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_chaos.json");
+    let doc = std::fs::read_to_string(&path).expect("committed BENCH_chaos.json");
+    let cong = &doc[doc.find("\"congestion_cells\":").expect("congestion arm missing")..];
+
+    let on = arm_slices(cong, "adaptive_on");
+    let off = arm_slices(cong, "adaptive_off");
+    assert_eq!(on.len(), 4, "expected a 2×2 congestion grid");
+    assert_eq!(off.len(), on.len());
+
+    // Adaptive arm: every run of every cell configures and heals.
+    for cell in &on {
+        let runs = all_ints(cell, "runs")[0];
+        assert_eq!(all_ints(cell, "configured")[0], runs, "adaptive run failed to configure: {cell}");
+        assert_eq!(all_ints(cell, "healed")[0], runs, "adaptive run failed to heal: {cell}");
+    }
+    // Non-adaptive arm: at least one cell congestion-collapses.
+    let collapsed = off
+        .iter()
+        .filter(|cell| all_ints(cell, "healed")[0] < all_ints(cell, "runs")[0])
+        .count();
+    assert!(collapsed >= 1, "committed grid no longer demonstrates a congestion collapse");
+
+    // The reliability arm's long-standing shape still holds: every cell
+    // of the burst × churn grid heals in both arms.
+    let rel = &doc[..doc.find("\"congestion_cells\":").unwrap()];
+    for arm in ["reliable_off", "reliable_on"] {
+        for cell in arm_slices(rel, arm) {
+            let runs = all_ints(cell, "runs")[0];
+            assert_eq!(all_ints(cell, "healed")[0], runs, "{arm} cell no longer heals: {cell}");
+        }
+    }
+}

@@ -48,7 +48,8 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Keys that are boolean flags (take no value).
-const FLAG_KEYS: &[&str] = &["map", "static", "mobile", "quiet", "help", "json", "reliable"];
+const FLAG_KEYS: &[&str] =
+    &["map", "static", "mobile", "quiet", "help", "json", "reliable", "contended", "adaptive"];
 
 impl Args {
     /// Parses a token stream (`args[0]` must already be stripped).

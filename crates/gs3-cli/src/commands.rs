@@ -7,12 +7,13 @@ use gs3_bench::runner::run_grid;
 use gs3_core::chaos::{Corruption, FaultKind, FaultPlan};
 use gs3_core::harness::{Network, NetworkBuilder, RunOutcome};
 use gs3_core::invariants::{check_all, Strictness};
-use gs3_core::{Mode, ReliabilityConfig};
+use gs3_core::{CongestionConfig, Mode, ReliabilityConfig};
 use gs3_geometry::Point;
 use gs3_mc::{Budgets, McStrategy, ModelChecker, Scenario};
 use gs3_sim::faults::{BurstLoss, FaultConfig};
 use gs3_sim::radio::EnergyModel;
 use gs3_sim::telemetry::{export_chrome_trace, export_jsonl, RecorderMode};
+use gs3_sim::ContentionConfig;
 use gs3_sim::SimDuration;
 
 use crate::args::{ArgError, Args};
@@ -51,6 +52,12 @@ pub fn help() {
          \x20 --reliable       enable the control-plane reliability layer\n\
          \x20                  (acked retransmission, adaptive failure\n\
          \x20                  detection, quarantine mode)\n\
+         \x20 --contended      enable the shared-medium contention layer\n\
+         \x20                  (frame airtime, carrier-sense backoff,\n\
+         \x20                  receiver-side collisions)\n\
+         \x20 --adaptive       enable congestion-adaptive degradation\n\
+         \x20                  (heartbeat stretching and broadcast\n\
+         \x20                  suppression under observed contention)\n\
          \x20 --map            print an ASCII map of the structure\n\
          \x20 --quiet          suppress the metrics block\n\
          \n\
@@ -153,6 +160,12 @@ fn build_seeded(a: &Args, seed: u64) -> Result<Network, Box<dyn std::error::Erro
     }
     if a.flag("reliable") {
         b = b.reliability(ReliabilityConfig::on());
+    }
+    if a.flag("contended") {
+        b = b.contention(ContentionConfig::on());
+    }
+    if a.flag("adaptive") {
+        b = b.congestion(CongestionConfig::on());
     }
     Ok(b.build()?)
 }
@@ -440,6 +453,17 @@ pub fn chaos(a: &Args) -> CliResult {
         println!(
             "detector/quar:   {} false suspicions, {} quarantine entries, {} exits, {} drops",
             r.false_suspicions, r.quarantine_entries, r.quarantine_exits, r.quarantine_drops
+        );
+    }
+    if a.flag("contended") {
+        let m = &rep.mac;
+        println!(
+            "medium:          {} collisions, {} defers, {} backoff exhausted",
+            m.collisions, m.defers, m.backoff_exhausted
+        );
+        println!(
+            "congestion:      {} stretches, {} relaxes, {} suppressed broadcasts",
+            m.congestion_stretches, m.congestion_relaxes, m.suppressed_broadcasts
         );
     }
     println!("polls:           {} (max {} violations)", rep.polls, rep.max_violations);
@@ -750,7 +774,7 @@ fn with_budget(a: &Args, budget: &str) -> Args {
             tokens.push(v.to_string());
         }
     }
-    for flag in ["map", "static", "mobile", "quiet", "reliable"] {
+    for flag in ["map", "static", "mobile", "quiet", "reliable", "contended", "adaptive"] {
         if a.flag(flag) {
             tokens.push(format!("--{flag}"));
         }

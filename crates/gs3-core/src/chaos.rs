@@ -354,6 +354,11 @@ impl FaultPlan {
                                     d.as_micros()
                                 ));
                             }
+                            Fate::Collide => {
+                                arr.push_str(&format!(
+                                    "{{\"attempt\":{attempt},\"fate\":\"collide\"}}"
+                                ));
+                            }
                         }
                     }
                     arr.push(']');
@@ -506,6 +511,7 @@ impl FaultPlan {
                                 "delay" => Fate::Delay(SimDuration::from_micros(
                                     op.get("delay_us").and_then(JsonValue::as_u64).ok_or_else(octx)?,
                                 )),
+                                "collide" => Fate::Collide,
                                 other => {
                                     return Err(format!("event {i}: unknown fate {other:?}"))
                                 }
@@ -592,6 +598,28 @@ pub struct ReliabilityCounters {
     pub quarantine_drops: u64,
 }
 
+/// Shared-medium contention counters accumulated during a chaos run
+/// (deltas over the run window, taken from the trace's MAC counters and
+/// the congestion-adaptation protocol counters).
+///
+/// All zero when medium contention is disabled — the contention layer is
+/// RNG-inert and counter-inert off.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContentionCounters {
+    /// Frames corrupted by an overlapping transmission at the receiver.
+    pub collisions: u64,
+    /// Send attempts deferred by carrier sense (backoff scheduled).
+    pub defers: u64,
+    /// Frames dropped after exhausting the backoff retry budget.
+    pub backoff_exhausted: u64,
+    /// Times a node stretched its timer periods under observed congestion.
+    pub congestion_stretches: u64,
+    /// Times a node relaxed a previous stretch after the medium cleared.
+    pub congestion_relaxes: u64,
+    /// Periodic broadcasts suppressed while congested.
+    pub suppressed_broadcasts: u64,
+}
+
 /// The structured result of a chaos run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChaosReport {
@@ -622,6 +650,8 @@ pub struct ChaosReport {
     pub delayed: u64,
     /// Reliability-layer counters accumulated during the run.
     pub reliability: ReliabilityCounters,
+    /// Medium-contention counters accumulated during the run.
+    pub mac: ContentionCounters,
     /// Per-message-kind send counts over the run window (deltas vs the
     /// start-of-run trace), sorted by kind; zero-delta kinds are omitted.
     pub sent_by_kind: Vec<(&'static str, u64)>,
@@ -686,6 +716,24 @@ impl ChaosReport {
             ("quarantine_entries", self.reliability.quarantine_entries),
             ("quarantine_exits", self.reliability.quarantine_exits),
             ("quarantine_drops", self.reliability.quarantine_drops),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            push_kv(&mut out, key, &v.to_string());
+        }
+        out.push_str("},");
+        out.push_str("\"mac\":{");
+        for (i, (key, v)) in [
+            ("collisions", self.mac.collisions),
+            ("defers", self.mac.defers),
+            ("backoff_exhausted", self.mac.backoff_exhausted),
+            ("congestion_stretches", self.mac.congestion_stretches),
+            ("congestion_relaxes", self.mac.congestion_relaxes),
+            ("suppressed_broadcasts", self.mac.suppressed_broadcasts),
         ]
         .into_iter()
         .enumerate()
@@ -774,6 +822,13 @@ impl Network {
     /// `settle` after the last event otherwise.
     pub fn run_chaos(&mut self, plan: &FaultPlan) -> ChaosReport {
         let opts = ChaosOptions::for_config(self.config());
+        self.run_chaos_opts(plan, opts)
+    }
+
+    /// [`Network::run_chaos`] with explicit pacing but the standard
+    /// invariant oracle — for runs whose settle window must outlast the
+    /// default (congestion-stretched timers heal correctly but slowly).
+    pub fn run_chaos_opts(&mut self, plan: &FaultPlan, opts: ChaosOptions) -> ChaosReport {
         // One SnapshotIndex for the whole run, incrementally brought up to
         // date each poll — the oracle's cost tracks the churn between
         // polls, not the population.
@@ -912,6 +967,15 @@ impl Network {
                 quarantine_entries: delta("quarantine_entries"),
                 quarantine_exits: delta("quarantine_exits"),
                 quarantine_drops: delta("quarantine_drops"),
+            },
+            mac: ContentionCounters {
+                collisions: trace.mac_collisions() - trace0.mac_collisions(),
+                defers: trace.mac_defers() - trace0.mac_defers(),
+                backoff_exhausted: trace.mac_backoff_exhausted()
+                    - trace0.mac_backoff_exhausted(),
+                congestion_stretches: delta("congestion_stretch"),
+                congestion_relaxes: delta("congestion_relax"),
+                suppressed_broadcasts: delta("suppressed_broadcast"),
             },
             sent_by_kind,
             episodes,
@@ -1169,6 +1233,7 @@ mod tests {
                         (3, Fate::Duplicate),
                         (5, Fate::Deliver),
                         (9, Fate::Delay(SimDuration::from_millis(40))),
+                        (11, Fate::Collide),
                     ],
                 },
             );
@@ -1270,6 +1335,7 @@ mod tests {
             duplicated: 0,
             delayed: 0,
             reliability: ReliabilityCounters { retransmits: 4, ..ReliabilityCounters::default() },
+            mac: ContentionCounters { collisions: 6, ..ContentionCounters::default() },
             sent_by_kind: vec![("org", 12), ("org_reply", 3)],
             episodes: Vec::new(),
         };
@@ -1278,6 +1344,8 @@ mod tests {
         assert!(json.contains("\"digest\":\"0000000000000abc\""));
         assert!(json.contains("\"reliability\":{\"retransmits\":4,"));
         assert!(json.contains("\"quarantine_drops\":0}"));
+        assert!(json.contains("\"mac\":{\"collisions\":6,"));
+        assert!(json.contains("\"suppressed_broadcasts\":0}"));
         assert!(json.contains("\"sent_by_kind\":{\"org\":12,\"org_reply\":3}"));
         assert!(json.contains("\"heal_latency_us\":null"));
         assert!(json.contains("\"episode\":null"));

@@ -141,6 +141,79 @@ impl ReliabilityConfig {
     }
 }
 
+/// Knobs for congestion-adaptive graceful degradation.
+///
+/// Each node watches its own MAC contention counter (carrier-sense
+/// deferrals, backoff-exhausted drops, and corrupted frames observed
+/// locally — [`gs3_sim::engine::Context::mac_events`]) and, when the
+/// per-observation delta crosses `stretch_threshold`, multiplicatively
+/// stretches its periodic timers (heartbeats, reports) by `2^stretch_exp`
+/// and suppresses optional periodic broadcasts (sanity rounds, boundary
+/// probing). When the delta falls back below `clear_threshold` the stretch
+/// relaxes one step per quiet observation. This trades detection latency
+/// for offered load, defusing the broadcast-storm feedback loop where
+/// collisions kill heartbeats, false failure detections trigger election
+/// broadcasts, and the extra broadcasts cause more collisions.
+///
+/// Follows the repo's RNG-inertness convention: with `enabled == false`
+/// (the default) no counters are read, no state changes, every timer keeps
+/// its configured period, and runs are bit-identical to a build without
+/// the layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CongestionConfig {
+    /// Master switch for congestion adaptation.
+    pub enabled: bool,
+    /// MAC contention events observed since the last check (one check per
+    /// periodic-timer firing) at or above which the node stretches one
+    /// more step.
+    pub stretch_threshold: u64,
+    /// Delta strictly below which an observation counts as *quiet*.
+    /// Must be ≤ `stretch_threshold`; the gap is hysteresis.
+    pub clear_threshold: u64,
+    /// Consecutive quiet observations required before a stretched node
+    /// relaxes one step. A single quiet interval is usually just the lull
+    /// the stretch itself bought — relaxing on it re-ignites the storm and
+    /// the exponent flaps instead of settling.
+    pub relax_after: u32,
+    /// Cap on the stretch exponent: periods stretch at most
+    /// `2^max_stretch_exp` ×.
+    pub max_stretch_exp: u32,
+    /// Also skip optional periodic broadcasts (sanity-check rounds,
+    /// boundary re-probing) while stretched.
+    pub suppress_broadcasts: bool,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        CongestionConfig::disabled()
+    }
+}
+
+impl CongestionConfig {
+    /// The inert layer: no observation, no stretching. Byte-identical
+    /// runs to a build without the layer.
+    #[must_use]
+    pub fn disabled() -> Self {
+        CongestionConfig {
+            enabled: false,
+            stretch_threshold: 4,
+            clear_threshold: 1,
+            relax_after: 3,
+            max_stretch_exp: 3,
+            suppress_broadcasts: true,
+        }
+    }
+
+    /// Adaptation on with default tuning: stretch at ≥4 contention events
+    /// per observation, relax one step after 3 consecutive quiet
+    /// observations, up to 8× period stretch, optional broadcasts
+    /// suppressed while stretched.
+    #[must_use]
+    pub fn on() -> Self {
+        CongestionConfig { enabled: true, ..CongestionConfig::disabled() }
+    }
+}
+
 /// Tunable parameters of the GS³ protocol.
 ///
 /// `r` and `r_t` are the paper's `R` (ideal cell radius) and `R_t` (radius
@@ -212,6 +285,9 @@ pub struct Gs3Config {
     pub channel_reservation: bool,
     /// Control-plane reliability layer (default: disabled / RNG-inert).
     pub reliability: ReliabilityConfig,
+    /// Congestion-adaptive graceful degradation (default: disabled /
+    /// RNG-inert).
+    pub congestion: CongestionConfig,
 }
 
 /// Configuration validation failures.
@@ -279,6 +355,7 @@ impl Gs3Config {
             anchor_ils: true,
             channel_reservation: true,
             reliability: ReliabilityConfig::disabled(),
+            congestion: CongestionConfig::disabled(),
         })
     }
 

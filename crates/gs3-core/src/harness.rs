@@ -10,7 +10,9 @@ use gs3_sim::{Engine, NodeId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{ConfigError, Gs3Config, Mode, ReliabilityConfig};
+use gs3_sim::ContentionConfig;
+
+use crate::config::{CongestionConfig, ConfigError, Gs3Config, Mode, ReliabilityConfig};
 use crate::node::Gs3Node;
 use crate::snapshot::{view_role, NodeView, RoleView, Snapshot};
 use crate::state::Role;
@@ -51,6 +53,8 @@ pub struct NetworkBuilder {
     traffic_period: Option<SimDuration>,
     faults: FaultConfig,
     reliability: Option<ReliabilityConfig>,
+    contention: Option<ContentionConfig>,
+    congestion: Option<CongestionConfig>,
     flight_recorder: Option<usize>,
     explicit_nodes: Vec<Point>,
 }
@@ -75,6 +79,8 @@ impl Default for NetworkBuilder {
             traffic_period: None,
             faults: FaultConfig::none(),
             reliability: None,
+            contention: None,
+            congestion: None,
             flight_recorder: None,
             explicit_nodes: Vec::new(),
         }
@@ -247,6 +253,26 @@ impl NetworkBuilder {
         self
     }
 
+    /// Configures the shared-medium contention layer (airtime occupancy,
+    /// carrier-sense backoff, receiver-side collisions). The default is
+    /// the inert [`ContentionConfig::disabled`], under which runs are
+    /// bit-identical to a contention-free build.
+    #[must_use]
+    pub fn contention(mut self, cc: ContentionConfig) -> Self {
+        self.contention = Some(cc);
+        self
+    }
+
+    /// Configures congestion-adaptive graceful degradation (heartbeat
+    /// stretching and broadcast suppression under observed MAC
+    /// contention). Applied on top of `config` overrides; the default is
+    /// the inert [`CongestionConfig::disabled`].
+    #[must_use]
+    pub fn congestion(mut self, cc: CongestionConfig) -> Self {
+        self.congestion = Some(cc);
+        self
+    }
+
     /// Enables the full flight recorder with a ring of `capacity` events
     /// (see [`gs3_sim::telemetry::FlightRecorder`]). Recording is pure
     /// observation: scheduled-delivery digests are bit-identical with the
@@ -285,6 +311,9 @@ impl NetworkBuilder {
         if let Some(rc) = self.reliability {
             cfg.reliability = rc;
         }
+        if let Some(cc) = self.congestion {
+            cfg.congestion = cc;
+        }
         // With energy accounting on, heads retreat proactively while they
         // can still afford the handover chatter (head shift / cell shift
         // instead of abrupt death). ~40 coordination broadcasts of slack.
@@ -306,6 +335,9 @@ impl NetworkBuilder {
         };
         let mut eng: Engine<Gs3Node> = Engine::new(radio, energy_model, self.seed);
         eng.set_fault_config(self.faults);
+        if let Some(cc) = self.contention {
+            eng.set_contention(cc);
+        }
         if let Some(capacity) = self.flight_recorder {
             eng.set_recording(gs3_sim::telemetry::RecorderMode::Full { capacity });
         }

@@ -16,12 +16,13 @@ impl Gs3Node {
     /// Periodic `HEAD_INTER_CELL`: prune the neighbor/child tables, detect
     /// parent/child failures, expire a stale proxy role, and beat.
     pub(crate) fn on_inter_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
+        self.cong_observe(ctx);
         let me = ctx.id();
         let pos = ctx.position();
         let now = ctx.now();
-        let timeout = self.cfg.inter_timeout();
+        let timeout = self.cong_stretch(self.cfg.inter_timeout());
         let coord = self.cfg.coord_radius();
-        let period = self.cfg.inter_heartbeat;
+        let period = self.cong_stretch(self.cfg.inter_heartbeat);
         let proxy_ttl = self.cfg.proxy_ttl;
         let am_big = self.is_big();
 
@@ -625,10 +626,16 @@ impl Gs3Node {
                 })
             }
         };
+        // Boundary re-organization opens a broadcast-heavy HEAD_ORG round,
+        // but it is also what absorbs uncovered nodes — the densest
+        // broadcast source there is — so under congestion its cadence is
+        // stretched, never fully suppressed (a hole kept open by a probe
+        // storm can only be closed by re-organizing through the storm).
         if needs_reorg {
             self.start_head_org(ctx);
         }
         let jitter = self.phase_jitter(ctx, period);
+        let period = self.cong_stretch(period);
         ctx.set_timer(period + jitter, Timer::BoundaryTick);
     }
 }

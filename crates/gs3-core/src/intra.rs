@@ -16,13 +16,14 @@ impl Gs3Node {
     /// Periodic `HEAD_INTRA_CELL`: prune silent associates, run the
     /// head-shift / cell-shift / abandonment decision ladder, and beat.
     pub(crate) fn on_intra_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
+        self.cong_observe(ctx);
         let me = ctx.id();
         let pos = ctx.position();
         let now = ctx.now();
-        let timeout = self.cfg.intra_timeout();
+        let timeout = self.cong_stretch(self.cfg.intra_timeout());
         let (r_t, gr) = (self.cfg.r_t, self.cfg.gr);
         let cell_range = self.cfg.cell_radius_bound();
-        let period = self.cfg.intra_heartbeat;
+        let period = self.cong_stretch(self.cfg.intra_heartbeat);
         let retreat_energy = self.cfg.head_retreat_energy;
         let mobile = self.cfg.mode == Mode::Mobile;
         let is_big = self.is_big;
@@ -443,9 +444,10 @@ impl Gs3Node {
 
     /// Periodic associate-side liveness watch over the cell head.
     pub(crate) fn on_assoc_watch(&mut self, ctx: &mut Ctx<'_>) {
+        self.cong_observe(ctx);
         let now = ctx.now();
-        let timeout = self.cfg.intra_timeout();
-        let period = self.cfg.intra_heartbeat;
+        let timeout = self.cong_stretch(self.cfg.intra_timeout());
+        let period = self.cong_stretch(self.cfg.intra_heartbeat);
         let Role::Associate(a) = &mut self.role else {
             return;
         };

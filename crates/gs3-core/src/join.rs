@@ -22,6 +22,11 @@ impl Gs3Node {
         let coord = self.cfg.coord_radius();
         let window = self.cfg.join_window;
         let retry = self.cfg.join_retry;
+        // Uncovered nodes are the densest broadcast source in a young or
+        // damaged network; their probe cadence must shed load under
+        // contention or the join storm starves the very HEAD_ORG rounds
+        // that would absorb them.
+        self.cong_observe(ctx);
         match &mut self.role {
             Role::Bootup(b) => {
                 if b.awaiting_decision.is_some() {
@@ -49,12 +54,13 @@ impl Gs3Node {
                 let jitter_max = (retry.as_micros() * backoff_factor / 2).max(1);
                 let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..jitter_max));
                 let delay = (retry * backoff_factor + jitter).min(self.cfg.max_join_backoff());
-                ctx.set_timer(delay, Timer::JoinProbe);
+                ctx.set_timer(self.cong_stretch(delay), Timer::JoinProbe);
             }
             Role::Associate(a) if a.surrogate => {
                 // A surrogate keeps looking for a real head.
                 ctx.broadcast(coord, Msg::BootupProbe { pos: ctx.position() });
-                ctx.set_timer(retry, Timer::JoinProbe);
+                let delay = self.cong_stretch(retry);
+                ctx.set_timer(delay, Timer::JoinProbe);
             }
             _ => {}
         }

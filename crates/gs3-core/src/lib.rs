@@ -58,6 +58,7 @@
 mod big;
 pub mod chaos;
 pub mod config;
+mod congestion;
 pub mod fingerprint;
 pub mod harness;
 mod head_org;
@@ -76,7 +77,7 @@ pub mod timers;
 mod workload;
 
 pub use chaos::{ChaosOptions, ChaosReport, Corruption, FaultKind, FaultOutcome, FaultPlan};
-pub use config::{Gs3Config, Mode, ReliabilityConfig};
+pub use config::{CongestionConfig, Gs3Config, Mode, ReliabilityConfig};
 pub use harness::{Network, NetworkBuilder, RunOutcome};
 pub use node::Gs3Node;
 pub use snapshot::{NodeView, RoleView, Snapshot};

@@ -286,6 +286,53 @@ impl Payload for Msg {
             Msg::DeliveryAck { .. } => "delivery_ack",
         }
     }
+
+    /// Approximate serialized size, bits — drives frame airtime under
+    /// medium contention. Sized per field family: 64 bits per coordinate
+    /// pair / id / counter, plus list contents; tiny signals cost one
+    /// word. Only *relative* sizes matter (a `head_set` occupies the air
+    /// roughly an order of magnitude longer than an ack).
+    fn wire_bits(&self) -> u64 {
+        const WORD: u64 = 64;
+        // id + pos + il + parent_il + root_pos + hops
+        const ORG_INFO: u64 = 6 * WORD;
+        // head + head_pos + il + oil + icc_icp + hops + parent +
+        // parent_il + root_pos
+        const CELL_FIXED: u64 = 9 * WORD;
+        match self {
+            Msg::Org(_) => ORG_INFO,
+            Msg::OrgReply { .. } => 3 * WORD,
+            Msg::HeadOrgReply { .. } => 4 * WORD,
+            Msg::HeadSet { assignments, .. } => {
+                ORG_INFO + 3 * WORD * assignments.len() as u64
+            }
+            Msg::HeadIntraAlive(ci) | Msg::HeadRetreat(ci) | Msg::NewHeadAnnounce(ci) => {
+                CELL_FIXED + WORD * ci.candidates.len() as u64
+            }
+            Msg::HeadIntraAck { .. } => 2 * WORD,
+            Msg::AssociateAlive { .. } | Msg::BootupProbe { .. } => WORD,
+            Msg::HeadInterAlive(_) => 7 * WORD,
+            Msg::NewChildHead { .. } => 2 * WORD,
+            Msg::ParentSeek { .. } => 2 * WORD,
+            Msg::ParentSeekAck { .. } => 4 * WORD,
+            Msg::HeadJoinResp { .. } => 3 * WORD,
+            Msg::AssociateJoinResp { .. } => 2 * WORD,
+            Msg::AggregateReport { .. } => WORD,
+            Msg::Reliable { inner, .. } => WORD + inner.wire_bits(),
+            Msg::DeliveryAck { .. } => WORD,
+            // Bare signals cost one word.
+            Msg::AssociateRetreat
+            | Msg::ReplacingHead
+            | Msg::CellAbandoned
+            | Msg::ChildRetire
+            | Msg::SanityCheckReq
+            | Msg::SanityCheckValid
+            | Msg::HeadRetreatCorrupted
+            | Msg::SensorReport
+            | Msg::ProxyAssign
+            | Msg::ProxyRelease => WORD,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -35,19 +35,34 @@ pub struct Gs3Node {
     /// windows, failure detectors) — kept outside [`Role`] so it survives
     /// role transitions.
     pub(crate) rel: ReliableState,
+    /// Congestion-adaptation state (observation baseline and stretch
+    /// exponent) — also role-independent.
+    pub(crate) cong: crate::congestion::CongestionState,
 }
 
 impl Gs3Node {
     /// Creates a small node.
     #[must_use]
     pub fn small(cfg: Gs3Config) -> Self {
-        Gs3Node { cfg, is_big: false, role: Role::bootup(), rel: ReliableState::default() }
+        Gs3Node {
+            cfg,
+            is_big: false,
+            role: Role::bootup(),
+            rel: ReliableState::default(),
+            cong: Default::default(),
+        }
     }
 
     /// Creates the big node (initiator and root of the head graph).
     #[must_use]
     pub fn big(cfg: Gs3Config) -> Self {
-        Gs3Node { cfg, is_big: true, role: Role::bootup(), rel: ReliableState::default() }
+        Gs3Node {
+            cfg,
+            is_big: true,
+            role: Role::bootup(),
+            rel: ReliableState::default(),
+            cong: Default::default(),
+        }
     }
 
     /// Whether this is the big node.

@@ -80,10 +80,13 @@ impl Gs3Node {
             return;
         }
         let ok = self.hexagonal_relation_holds(ctx);
+        // Under congestion the round's broadcast is shed; the next
+        // unstretched tick re-checks.
+        let suppressed = !ok && self.cong_suppress(ctx);
         let Role::Head(h) = &mut self.role else {
             return;
         };
-        if !ok && h.sanity.is_none() && !h.neighbors.is_empty() {
+        if !ok && !suppressed && h.sanity.is_none() && !h.neighbors.is_empty() {
             h.sanity_rounds += 1;
             let round = h.sanity_rounds;
             let asked: Vec<NodeId> = h.neighbors.keys().copied().collect();

@@ -29,10 +29,11 @@ impl Gs3Node {
 
     /// The periodic workload tick.
     pub(crate) fn on_report_tick(&mut self, ctx: &mut Ctx<'_>) {
-        let period = self.cfg.report_period;
-        if period.is_zero() {
+        if self.cfg.report_period.is_zero() {
             return;
         }
+        self.cong_observe(ctx);
+        let period = self.cong_stretch(self.cfg.report_period);
         match &mut self.role {
             Role::Associate(a) if !a.surrogate => {
                 let head = a.head;

@@ -118,10 +118,11 @@ pub fn check_d2(rel: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
 
 /// Files forming the simulator's per-event hot path; `a1` keeps their
 /// storage dense.
-const HOT_PATHS: [&str; 3] = [
+const HOT_PATHS: [&str; 4] = [
     "crates/gs3-sim/src/engine.rs",
     "crates/gs3-sim/src/queue.rs",
     "crates/gs3-sim/src/spatial.rs",
+    "crates/gs3-sim/src/channel.rs",
 ];
 
 /// `a1`: heap indirection in hot-path storage. The engine's scaling

@@ -54,6 +54,7 @@ impl Choice {
                             d.as_micros()
                         ));
                     }
+                    Fate::Collide => out.push_str("\"fate\":\"collide\"}"),
                 }
             }
             Choice::Crash { id } => out.push_str(&format!("{{\"kind\":\"crash\",\"id\":{id}}}")),

@@ -10,7 +10,7 @@
 //! through messages.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use gs3_geometry::Point;
 use gs3_telemetry::{tag_episode, Event, EventClass, RecorderMode, Telemetry, NO_PEER, NO_TAG};
@@ -18,6 +18,7 @@ use gs3_telemetry::{tag_episode, Event, EventClass, RecorderMode, Telemetry, NO_
 use crate::channel::ChannelManager;
 use crate::faults::{Fate, FaultConfig, FaultState};
 use crate::ids::NodeId;
+use crate::medium::{ContentionConfig, MediumState, TxWindow};
 use crate::queue::EventQueue;
 use crate::radio::{EnergyModel, RadioModel};
 use crate::time::{SimDuration, SimTime};
@@ -31,6 +32,14 @@ pub trait Payload: Clone + std::fmt::Debug {
     /// A short static label for trace accounting.
     fn kind(&self) -> &'static str {
         "message"
+    }
+
+    /// Size of this message on the wire, in bits — divided by the radio
+    /// bitrate to obtain frame airtime when shared-medium contention is
+    /// enabled (ignored otherwise). The default suits small control
+    /// messages; protocols override it per variant.
+    fn wire_bits(&self) -> u64 {
+        512
     }
 }
 
@@ -84,6 +93,7 @@ pub struct Context<'a, M, T> {
     energy: f64,
     holds_channel: bool,
     record_events: bool,
+    mac_events: u64,
     rng: &'a mut StdRng,
     actions: &'a mut Vec<Action<M, T>>,
 }
@@ -119,6 +129,17 @@ impl<M, T> Context<'_, M, T> {
     #[must_use]
     pub fn holds_channel(&self) -> bool {
         self.holds_channel
+    }
+
+    /// Cumulative MAC contention events observed at this node:
+    /// carrier-sense deferrals, backoff-exhausted drops, and frames
+    /// corrupted by collision. The local congestion signal that
+    /// graceful-degradation policies poll (a rising delta between polls
+    /// means the neighborhood is congested). Always 0 while contention is
+    /// disabled and no collision fate is scripted.
+    #[must_use]
+    pub fn mac_events(&self) -> u64 {
+        self.mac_events
     }
 
     /// The deterministic per-engine RNG (for protocol-level jitter).
@@ -200,6 +221,11 @@ enum EventKind<M, T> {
     Deliver { from: NodeId, msg: M, directed: bool },
     Timer { timer_id: u64, timer: T },
     ChannelGrant,
+    /// A carrier-sense-deferred unicast retrying after backoff (the event
+    /// target is the sender; only scheduled while contention is enabled).
+    ResendUnicast { to: NodeId, msg: M, attempt: u32 },
+    /// A carrier-sense-deferred broadcast retrying after backoff.
+    ResendBroadcast { radius: f64, msg: M, attempt: u32 },
 }
 
 #[derive(Debug, Clone)]
@@ -210,6 +236,11 @@ struct PendingEvent<M, T> {
     /// Rides the queue so causal attribution needs no RNG and no extra
     /// scheduling — the digest stream is untouched by telemetry.
     tag: u64,
+    /// The airtime window of the transmission that scheduled this delivery
+    /// ([`TxWindow::NONE`] unless contention is enabled), consulted at
+    /// delivery time for receiver-side collision detection. Like `tag`,
+    /// excluded from every determinism hash.
+    tx: TxWindow,
 }
 
 /// Dense per-node storage in structure-of-arrays layout, indexed by
@@ -239,6 +270,10 @@ struct Arena<N: Node> {
     /// list to grow or drain: cancellation *is* removal, and the stale
     /// queue entry identifies itself by absence when it fires.
     pending_timers: Vec<Vec<(u64, N::Timer)>>,
+    /// Warm: per-node MAC contention events (deferrals, backoff-exhausted
+    /// drops, corrupted frames) — the local congestion signal surfaced via
+    /// [`Context::mac_events`]. All zero while contention is disabled.
+    mac_events: Vec<u64>,
 }
 
 impl<N: Node> Arena<N> {
@@ -249,6 +284,7 @@ impl<N: Node> Arena<N> {
             alive: Vec::new(),
             energy: Vec::new(),
             pending_timers: Vec::new(),
+            mac_events: Vec::new(),
         }
     }
 
@@ -264,6 +300,7 @@ impl<N: Node> Arena<N> {
         self.alive.push(true);
         self.energy.push(energy);
         self.pending_timers.push(Vec::new());
+        self.mac_events.push(0);
         idx
     }
 }
@@ -295,6 +332,8 @@ pub struct Engine<N: Node> {
     queue: EventQueue<PendingEvent<N::Msg, N::Timer>>,
     channel: ChannelManager,
     faults: FaultState,
+    contention: ContentionConfig,
+    medium: MediumState,
     rng: StdRng,
     trace: Trace,
     telemetry: Telemetry,
@@ -331,6 +370,8 @@ impl<N: Node + Clone> Clone for Engine<N> {
             queue: self.queue.clone(),
             channel: self.channel.clone(),
             faults: self.faults.clone(),
+            contention: self.contention.clone(),
+            medium: self.medium.clone(),
             rng: self.rng.clone(),
             trace: self.trace.clone(),
             telemetry: self.telemetry.clone(),
@@ -358,6 +399,8 @@ impl<N: Node> Engine<N> {
             queue: EventQueue::new(),
             channel: ChannelManager::new(),
             faults: FaultState::default(),
+            contention: ContentionConfig::disabled(),
+            medium: MediumState::default(),
             rng: StdRng::seed_from_u64(seed),
             trace: Trace::new(),
             telemetry: Telemetry::new(),
@@ -399,6 +442,21 @@ impl<N: Node> Engine<N> {
     /// burst-chain state are kept).
     pub fn set_fault_config(&mut self, config: FaultConfig) {
         self.faults.set_config(config);
+    }
+
+    /// The shared-medium contention configuration.
+    #[must_use]
+    pub fn contention(&self) -> &ContentionConfig {
+        &self.contention
+    }
+
+    /// Replaces the shared-medium contention configuration. Enabling
+    /// contention changes delivery schedules (and therefore digests); a
+    /// disabled configuration draws no RNG, schedules no events, and
+    /// reproduces the ideal-medium engine bit-for-bit.
+    pub fn set_contention(&mut self, config: ContentionConfig) {
+        config.validate();
+        self.contention = config;
     }
 
     /// The current simulation time.
@@ -515,7 +573,10 @@ impl<N: Node> Engine<N> {
         let id = NodeId::from_index(idx);
         self.grid.insert(idx, position);
         self.arena.push(node, position, energy.unwrap_or(UNLIMITED_ENERGY));
-        self.queue.schedule(at, PendingEvent { to: id, kind: EventKind::Start, tag: NO_TAG });
+        self.queue.schedule(
+            at,
+            PendingEvent { to: id, kind: EventKind::Start, tag: NO_TAG, tx: TxWindow::NONE },
+        );
         id
     }
 
@@ -556,7 +617,12 @@ impl<N: Node> Engine<N> {
         self.check(to)?;
         self.queue.schedule(
             self.now + after,
-            PendingEvent { to, kind: EventKind::Deliver { from, msg, directed: true }, tag: NO_TAG },
+            PendingEvent {
+                to,
+                kind: EventKind::Deliver { from, msg, directed: true },
+                tag: NO_TAG,
+                tx: TxWindow::NONE,
+            },
         );
         Ok(())
     }
@@ -602,7 +668,12 @@ impl<N: Node> Engine<N> {
         for &granted in &newly {
             self.queue.schedule(
                 self.now + self.radio.base_latency,
-                PendingEvent { to: granted, kind: EventKind::ChannelGrant, tag: NO_TAG },
+                PendingEvent {
+                    to: granted,
+                    kind: EventKind::ChannelGrant,
+                    tag: NO_TAG,
+                    tx: TxWindow::NONE,
+                },
             );
         }
         newly.clear();
@@ -747,7 +818,8 @@ impl<N: Node> Engine<N> {
     /// histories fingerprint equal. A timer event additionally folds
     /// whether its id is still live in the owner's pending set: a
     /// cancelled (stale) entry hashes differently from a live one.
-    /// Episode tags are telemetry-only and excluded.
+    /// Episode tags and transmission airtime windows are
+    /// observation/contention metadata and excluded.
     #[must_use]
     pub fn pending_event_hashes(&self) -> Vec<u64> {
         fn eat(h: &mut u64, bytes: &[u8]) {
@@ -781,6 +853,18 @@ impl<N: Node> Engine<N> {
                         eat(&mut h, format!("{timer:?}").as_bytes());
                     }
                     EventKind::ChannelGrant => eat(&mut h, &[3]),
+                    EventKind::ResendUnicast { to, msg, attempt } => {
+                        eat(&mut h, &[4]);
+                        eat(&mut h, &to.raw().to_le_bytes());
+                        eat(&mut h, &attempt.to_le_bytes());
+                        eat(&mut h, format!("{msg:?}").as_bytes());
+                    }
+                    EventKind::ResendBroadcast { radius, msg, attempt } => {
+                        eat(&mut h, &[5]);
+                        eat(&mut h, &radius.to_bits().to_le_bytes());
+                        eat(&mut h, &attempt.to_le_bytes());
+                        eat(&mut h, format!("{msg:?}").as_bytes());
+                    }
                 }
                 h
             })
@@ -795,6 +879,32 @@ impl<N: Node> Engine<N> {
         match ev.kind {
             EventKind::Start => self.with_ctx(ev.to, |node, ctx| node.on_start(ctx)),
             EventKind::Deliver { from, msg, directed } => {
+                // Receiver-side collision detection: a frame whose airtime
+                // window overlapped another transmission audible here was
+                // corrupted on the air — including by hidden terminals the
+                // sender's carrier sense could not hear. One branch when
+                // contention is off (tx is the NONE sentinel).
+                if !ev.tx.is_none() && self.medium.collides(ev.tx, self.arena.positions[idx]) {
+                    self.trace.record_mac_collision();
+                    self.arena.mac_events[idx] += 1;
+                    if self.telemetry.recorder.is_recording() {
+                        self.telemetry.recorder.record(Event {
+                            t_us: self.now.as_micros(),
+                            node: ev.to.raw(),
+                            class: EventClass::MacCollision,
+                            kind: msg.kind(),
+                            peer: from.raw(),
+                            episode: tag_episode(ev.tag),
+                            data: 0,
+                        });
+                    } else {
+                        self.telemetry.recorder.count_only(EventClass::MacCollision);
+                    }
+                    // The radio still listened to the corrupted frame.
+                    let rx = self.energy_model.rx;
+                    self.charge(ev.to, rx);
+                    return;
+                }
                 self.trace.record_delivery();
                 // Causal attribution: a delivery of a tagged message
                 // taints the receiver one hop deeper into the episode —
@@ -853,6 +963,12 @@ impl<N: Node> Engine<N> {
             EventKind::ChannelGrant => {
                 self.with_ctx(ev.to, |node, ctx| node.on_channel_granted(ctx));
             }
+            EventKind::ResendUnicast { to, msg, attempt } => {
+                self.try_unicast(ev.to, to, msg, attempt);
+            }
+            EventKind::ResendBroadcast { radius, msg, attempt } => {
+                self.try_broadcast(ev.to, radius, msg, attempt);
+            }
         }
     }
 
@@ -892,6 +1008,7 @@ impl<N: Node> Engine<N> {
             energy,
             holds_channel: self.channel.holds(id),
             record_events: self.telemetry.recorder.is_recording(),
+            mac_events: self.arena.mac_events[idx],
             rng: &mut self.rng,
             actions: &mut actions,
         };
@@ -922,6 +1039,7 @@ impl<N: Node> Engine<N> {
                             to: id,
                             kind: EventKind::Timer { timer_id, timer },
                             tag: NO_TAG,
+                            tx: TxWindow::NONE,
                         },
                     );
                 }
@@ -935,7 +1053,12 @@ impl<N: Node> Engine<N> {
                     if self.channel.request(id, pos, radius) {
                         self.queue.schedule(
                             self.now + self.radio.base_latency,
-                            PendingEvent { to: id, kind: EventKind::ChannelGrant, tag: NO_TAG },
+                            PendingEvent {
+                                to: id,
+                                kind: EventKind::ChannelGrant,
+                                tag: NO_TAG,
+                                tx: TxWindow::NONE,
+                            },
                         );
                     }
                 }
@@ -949,6 +1072,7 @@ impl<N: Node> Engine<N> {
                                 to: granted,
                                 kind: EventKind::ChannelGrant,
                                 tag: NO_TAG,
+                                tx: TxWindow::NONE,
                             },
                         );
                     }
@@ -989,6 +1113,7 @@ impl<N: Node> Engine<N> {
         tag: u64,
         directed: bool,
         fate: Option<Fate>,
+        tx: TxWindow,
     ) {
         let copies = match fate {
             Some(Fate::Duplicate) => {
@@ -1029,6 +1154,7 @@ impl<N: Node> Engine<N> {
                     to,
                     kind: EventKind::Deliver { from, msg: msg.clone(), directed },
                     tag,
+                    tx,
                 },
             );
         }
@@ -1049,9 +1175,84 @@ impl<N: Node> Engine<N> {
         tag
     }
 
+    /// Handles a carrier-sense deferral of `resend` (contention path
+    /// only): drops the frame once the retry budget is exhausted,
+    /// otherwise schedules the resend after a seeded slotted exponential
+    /// backoff — `1..=cw` whole slots, with `cw` doubling per retry.
+    fn mac_defer(&mut self, from: NodeId, resend: EventKind<N::Msg, N::Timer>, attempt: u32) {
+        self.arena.mac_events[from.index()] += 1;
+        if attempt >= self.contention.max_backoffs {
+            self.trace.record_mac_backoff_exhausted();
+            if self.telemetry.recorder.is_recording() {
+                self.telemetry.recorder.record(Event {
+                    t_us: self.now.as_micros(),
+                    node: from.raw(),
+                    class: EventClass::MacDefer,
+                    kind: "mac_backoff_exhausted",
+                    peer: NO_PEER,
+                    episode: self.telemetry.episodes.episode_of(from.raw()),
+                    data: u64::from(attempt),
+                });
+            } else {
+                self.telemetry.recorder.count_only(EventClass::MacDefer);
+            }
+            return;
+        }
+        self.trace.record_mac_defer();
+        if self.telemetry.recorder.is_recording() {
+            self.telemetry.recorder.record(Event {
+                t_us: self.now.as_micros(),
+                node: from.raw(),
+                class: EventClass::MacDefer,
+                kind: "mac_defer",
+                peer: NO_PEER,
+                episode: self.telemetry.episodes.episode_of(from.raw()),
+                data: u64::from(attempt),
+            });
+        } else {
+            self.telemetry.recorder.count_only(EventClass::MacDefer);
+        }
+        let cw = self.contention.window(attempt);
+        let slots = u64::from(self.rng.gen_range(1..=cw));
+        self.queue.schedule(
+            self.now + self.contention.slot * slots,
+            PendingEvent { to: from, kind: resend, tag: NO_TAG, tx: TxWindow::NONE },
+        );
+    }
+
+    /// Records a scripted [`Fate::Collide`] against the receiver: the
+    /// frame is corrupted on the air exactly as a medium-detected
+    /// collision would be (works with contention disabled, which is how
+    /// the model checker scripts worst-case collision schedules).
+    fn scripted_collision(&mut self, from: NodeId, to: NodeId, kind: &'static str) {
+        self.trace.record_mac_collision();
+        self.arena.mac_events[to.index()] += 1;
+        if self.telemetry.recorder.is_recording() {
+            self.telemetry.recorder.record(Event {
+                t_us: self.now.as_micros(),
+                node: to.raw(),
+                class: EventClass::MacCollision,
+                kind,
+                peer: from.raw(),
+                episode: self.telemetry.episodes.episode_of(to.raw()),
+                data: 0,
+            });
+        } else {
+            self.telemetry.recorder.count_only(EventClass::MacCollision);
+        }
+    }
+
     fn do_unicast(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
         use crate::engine::Payload as _;
         self.trace.record_unicast(msg.kind());
+        self.try_unicast(from, to, msg, 0);
+    }
+
+    /// One unicast transmission attempt (attempt 0 is the original send;
+    /// higher attempts are carrier-sense backoff retries and only occur
+    /// while contention is enabled).
+    fn try_unicast(&mut self, from: NodeId, to: NodeId, msg: N::Msg, attempt: u32) {
+        use crate::engine::Payload as _;
         let tag = self.episode_tag(from);
         let from_pos = self.arena.positions[from.index()];
         let Some(&target_pos) = self.arena.positions.get(to.index()) else {
@@ -1065,13 +1266,28 @@ impl<N: Node> Engine<N> {
             self.charge(from, self.energy_model.tx_cost(dist.min(self.radio.max_range)));
             return;
         }
+        // Carrier sense: while any audible transmission is on the air the
+        // sender defers instead of transmitting. Skipped entirely (no RNG,
+        // no events, no counters) while contention is disabled.
+        let tx = if self.contention.enabled {
+            if self.medium.busy(self.now.as_micros(), from_pos) {
+                let resend = EventKind::ResendUnicast { to, msg, attempt: attempt + 1 };
+                self.mac_defer(from, resend, attempt);
+                return;
+            }
+            let airtime = self.contention.airtime(msg.wire_bits());
+            self.medium.begin(self.now.as_micros(), airtime, from_pos, dist)
+        } else {
+            TxWindow::NONE
+        };
         // A scripted fate (the model checker's delivery-decision point)
         // overrides the probabilistic cascade; unscripted attempts fall
         // through to it. Jamming is geometric (RNG-free); the rest draw
         // from the engine RNG only when the knob is enabled.
         match self.faults.next_attempt(from, to, msg.kind(), false) {
             Some(Fate::Drop) => self.trace.record_scripted_drop(),
-            Some(fate) => self.schedule_delivery(from, to, dist, &msg, tag, true, Some(fate)),
+            Some(Fate::Collide) => self.scripted_collision(from, to, msg.kind()),
+            Some(fate) => self.schedule_delivery(from, to, dist, &msg, tag, true, Some(fate), tx),
             None => {
                 if self.faults.jammed(from_pos, target_pos) {
                     self.trace.record_dropped_by_jam();
@@ -1080,7 +1296,7 @@ impl<N: Node> Engine<N> {
                 } else if self.faults.unicast_dropped(&mut self.rng) {
                     self.trace.record_dropped_unicast();
                 } else {
-                    self.schedule_delivery(from, to, dist, &msg, tag, true, None);
+                    self.schedule_delivery(from, to, dist, &msg, tag, true, None, tx);
                 }
             }
         }
@@ -1090,9 +1306,28 @@ impl<N: Node> Engine<N> {
     fn do_broadcast(&mut self, from: NodeId, radius: f64, msg: N::Msg) {
         use crate::engine::Payload as _;
         self.trace.record_broadcast(msg.kind());
+        self.try_broadcast(from, radius, msg, 0);
+    }
+
+    /// One broadcast transmission attempt (attempt 0 is the original send;
+    /// higher attempts are carrier-sense backoff retries and only occur
+    /// while contention is enabled).
+    fn try_broadcast(&mut self, from: NodeId, radius: f64, msg: N::Msg, attempt: u32) {
+        use crate::engine::Payload as _;
         let tag = self.episode_tag(from);
         let range = self.radio.effective_range(radius);
         let from_pos = self.arena.positions[from.index()];
+        let tx = if self.contention.enabled {
+            if self.medium.busy(self.now.as_micros(), from_pos) {
+                let resend = EventKind::ResendBroadcast { radius, msg, attempt: attempt + 1 };
+                self.mac_defer(from, resend, attempt);
+                return;
+            }
+            let airtime = self.contention.airtime(msg.wire_bits());
+            self.medium.begin(self.now.as_micros(), airtime, from_pos, range)
+        } else {
+            TxWindow::NONE
+        };
         let mut receivers = std::mem::take(&mut self.recv_buf);
         debug_assert!(receivers.is_empty());
         self.grid.for_each_candidate(from_pos, range, |h| {
@@ -1117,8 +1352,12 @@ impl<N: Node> Engine<N> {
                     self.trace.record_scripted_drop();
                     continue;
                 }
+                Some(Fate::Collide) => {
+                    self.scripted_collision(from, to, msg.kind());
+                    continue;
+                }
                 Some(fate) => {
-                    self.schedule_delivery(from, to, dist, &msg, tag, false, Some(fate));
+                    self.schedule_delivery(from, to, dist, &msg, tag, false, Some(fate), tx);
                     continue;
                 }
                 None => {}
@@ -1135,7 +1374,7 @@ impl<N: Node> Engine<N> {
                 self.trace.record_dropped_by_burst();
                 continue;
             }
-            self.schedule_delivery(from, to, dist, &msg, tag, false, None);
+            self.schedule_delivery(from, to, dist, &msg, tag, false, None, tx);
         }
         receivers.clear();
         self.recv_buf = receivers;
@@ -1680,5 +1919,166 @@ mod tests {
         assert!(matches!(eng.node(NodeId::new(7)), Err(EngineError::UnknownNode(_))));
         let msg = format!("{}", EngineError::UnknownNode(NodeId::new(7)));
         assert!(msg.contains("n7"));
+    }
+
+    /// A node that unicasts to a fixed target every 100 ms (no target =
+    /// pure receiver), sampling its own congestion signal each tick.
+    #[derive(Debug, Clone)]
+    struct Blaster {
+        target: Option<NodeId>,
+        sent: u32,
+        received: u32,
+        mac_seen: u64,
+    }
+
+    impl Blaster {
+        fn to(target: Option<NodeId>) -> Self {
+            Blaster { target, sent: 0, received: 0, mac_seen: 0 }
+        }
+    }
+
+    impl Node for Blaster {
+        type Msg = Hop;
+        type Timer = T;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Hop, T>) {
+            ctx.set_timer(SimDuration::from_millis(100), T::Tick);
+        }
+
+        fn on_message(&mut self, _from: NodeId, _msg: Hop, _ctx: &mut Context<'_, Hop, T>) {
+            self.received += 1;
+        }
+
+        fn on_timer(&mut self, _t: T, ctx: &mut Context<'_, Hop, T>) {
+            self.mac_seen = ctx.mac_events();
+            if let Some(target) = self.target {
+                ctx.unicast(target, Hop(self.sent));
+                self.sent += 1;
+            }
+            ctx.set_timer(SimDuration::from_millis(100), T::Tick);
+        }
+    }
+
+    #[test]
+    fn disabled_contention_is_rng_inert() {
+        // An engine with an explicitly-set disabled contention config must
+        // replay the untouched engine bit-for-bit (digest and event
+        // count), and enabling contention on a contended topology must
+        // perturb the digest.
+        let run = |contention: Option<ContentionConfig>| {
+            let (mut eng, _) = line_engine(20, 40.0);
+            if let Some(cfg) = contention {
+                eng.set_contention(cfg);
+            }
+            eng.run_until(SimTime::from_micros(5_000_000));
+            (eng.trace().digest(), eng.events_processed())
+        };
+        assert_eq!(run(Some(ContentionConfig::disabled())), run(None));
+        assert_eq!(run(None).0, run(None).0);
+        let contended = |enabled: bool| {
+            let mut eng = Engine::new(RadioModel::ideal(150.0), EnergyModel::disabled(), 9);
+            let cfg = if enabled {
+                ContentionConfig::on()
+            } else {
+                ContentionConfig::disabled()
+            };
+            eng.set_contention(cfg);
+            let b = eng.spawn(Blaster::to(None), Point::new(100.0, 0.0));
+            eng.spawn(Blaster::to(Some(b)), Point::ORIGIN);
+            eng.spawn(Blaster::to(Some(b)), Point::new(10.0, 0.0));
+            eng.run_for(SimDuration::from_secs(10));
+            eng.trace().digest()
+        };
+        assert_ne!(contended(true), contended(false), "contention must be observable");
+    }
+
+    #[test]
+    fn hidden_terminals_collide_at_the_receiver() {
+        // A — 100 m — B — 100 m — C: A and C cannot hear each other
+        // (unicast audibility reaches only the 100 m to B), so carrier
+        // sense never defers; their synchronized frames overlap at B and
+        // every copy is corrupted.
+        let mut eng = Engine::new(RadioModel::ideal(150.0), EnergyModel::disabled(), 7);
+        eng.set_contention(ContentionConfig::on());
+        let b = eng.spawn(Blaster::to(None), Point::new(100.0, 0.0));
+        eng.spawn(Blaster::to(Some(b)), Point::ORIGIN);
+        eng.spawn(Blaster::to(Some(b)), Point::new(200.0, 0.0));
+        eng.run_for(SimDuration::from_secs(10));
+        let t = eng.trace();
+        assert!(t.mac_collisions() > 0, "hidden terminals must collide");
+        assert_eq!(t.mac_defers(), 0, "out of carrier-sense range: no deferrals");
+        assert_eq!(eng.node(b).unwrap().received, 0, "every overlapped frame corrupts");
+        assert!(
+            t.deliveries() < t.scheduled_deliveries(),
+            "corrupted frames are scheduled but never delivered"
+        );
+    }
+
+    #[test]
+    fn carrier_sense_defers_and_still_delivers() {
+        // Two co-located senders: the second hears the first's frame on
+        // the air, defers with backoff, and retries clear of it — traffic
+        // gets through without collisions.
+        let mut eng = Engine::new(RadioModel::ideal(150.0), EnergyModel::disabled(), 7);
+        eng.set_contention(ContentionConfig::on());
+        let b = eng.spawn(Blaster::to(None), Point::new(100.0, 0.0));
+        let a1 = eng.spawn(Blaster::to(Some(b)), Point::ORIGIN);
+        let a2 = eng.spawn(Blaster::to(Some(b)), Point::new(5.0, 0.0));
+        eng.run_for(SimDuration::from_secs(10));
+        let t = eng.trace();
+        assert!(t.mac_defers() > 0, "co-located senders must defer");
+        assert_eq!(t.mac_collisions(), 0, "carrier sense prevents the collision");
+        let sent = eng.node(a1).unwrap().sent + eng.node(a2).unwrap().sent;
+        let received = eng.node(b).unwrap().received;
+        // All but the handful still in flight at the deadline arrive.
+        assert!(received + 4 >= sent && received > 0, "deferred frames still arrive: {received}/{sent}");
+        // The deferring node observed its own congestion signal.
+        let seen = eng.node(a1).unwrap().mac_seen + eng.node(a2).unwrap().mac_seen;
+        assert!(seen > 0, "ctx.mac_events surfaces deferrals to the protocol");
+    }
+
+    #[test]
+    fn backoff_exhaustion_drops_frames() {
+        // With a zero-retry budget, any busy channel at send time drops
+        // the frame outright.
+        let mut eng = Engine::new(RadioModel::ideal(150.0), EnergyModel::disabled(), 7);
+        eng.set_contention(ContentionConfig { max_backoffs: 0, ..ContentionConfig::on() });
+        let b = eng.spawn(Blaster::to(None), Point::new(100.0, 0.0));
+        eng.spawn(Blaster::to(Some(b)), Point::ORIGIN);
+        eng.spawn(Blaster::to(Some(b)), Point::new(5.0, 0.0));
+        eng.run_for(SimDuration::from_secs(10));
+        let t = eng.trace();
+        assert!(t.mac_backoff_exhausted() > 0, "zero budget must exhaust");
+        assert_eq!(t.mac_defers(), 0, "no retries were ever scheduled");
+    }
+
+    #[test]
+    fn scripted_collide_corrupts_without_contention() {
+        // Fate::Collide works with the medium model disabled — the model
+        // checker's handle on worst-case collision schedules.
+        let mut eng = chatter_pair(crate::faults::FaultConfig::none());
+        eng.faults_mut().install_script([(0, Fate::Collide)]);
+        eng.run_for(SimDuration::from_secs(1));
+        let t = eng.trace();
+        assert_eq!(t.mac_collisions(), 1, "the scripted attempt collides");
+        let sent = eng.node(NodeId::new(0)).unwrap().sent;
+        assert!(
+            eng.node(NodeId::new(1)).unwrap().received < sent,
+            "the collided frame (attempt 0) never arrived"
+        );
+        assert!(eng.faults().script().is_empty(), "script entry consumed");
+    }
+
+    #[test]
+    fn contention_telemetry_counts_mac_classes() {
+        let mut eng = Engine::new(RadioModel::ideal(150.0), EnergyModel::disabled(), 7);
+        eng.set_contention(ContentionConfig::on());
+        let b = eng.spawn(Blaster::to(None), Point::new(100.0, 0.0));
+        eng.spawn(Blaster::to(Some(b)), Point::ORIGIN);
+        eng.spawn(Blaster::to(Some(b)), Point::new(5.0, 0.0));
+        eng.run_for(SimDuration::from_secs(10));
+        let rec = &eng.telemetry().recorder;
+        assert_eq!(rec.of_class(EventClass::MacDefer), eng.trace().mac_defers());
+        assert_eq!(rec.of_class(EventClass::MacCollision), eng.trace().mac_collisions());
     }
 }

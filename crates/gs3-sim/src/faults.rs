@@ -182,6 +182,12 @@ pub enum Fate {
     /// longer than the inter-message spacing, the copy reorders behind
     /// later traffic.
     Delay(SimDuration),
+    /// Corrupt the attempt as if a colliding transmission overlapped it at
+    /// the receiver: the frame is lost, and MAC collision accounting (the
+    /// congestion signal graceful degradation listens to) fires — which is
+    /// how the model checker scripts worst-case collision schedules
+    /// without a probabilistic medium.
+    Collide,
 }
 
 /// One delivery attempt observed while attempt logging is on (the model

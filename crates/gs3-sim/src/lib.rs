@@ -77,6 +77,7 @@ pub mod engine;
 pub mod faults;
 pub mod fxhash;
 mod ids;
+pub mod medium;
 pub mod queue;
 pub mod radio;
 pub mod rng;
@@ -91,4 +92,5 @@ pub use gs3_telemetry as telemetry;
 pub use engine::{Context, Engine, EngineError, Node, Payload};
 pub use faults::{AttemptRecord, BurstLoss, Fate, FaultConfig, FaultState, Jam};
 pub use ids::NodeId;
+pub use medium::ContentionConfig;
 pub use time::{SimDuration, SimTime};

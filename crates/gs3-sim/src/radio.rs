@@ -44,14 +44,17 @@ impl RadioModel {
         }
     }
 
-    /// Same as [`RadioModel::ideal`] but with lossy broadcasts.
+    /// Same as [`RadioModel::ideal`] but with lossy broadcasts. `loss ==
+    /// 1.0` (total broadcast blackout) is a legitimate adversarial
+    /// setting: destination-aware unicast still works, so it isolates the
+    /// protocol paths that genuinely require broadcast.
     ///
     /// # Panics
     ///
-    /// Panics if `loss` is not in `[0, 1)`.
+    /// Panics if `loss` is not in `[0, 1]`.
     #[must_use]
     pub fn lossy(max_range: f64, loss: f64) -> Self {
-        assert!((0.0..1.0).contains(&loss), "broadcast loss must be in [0, 1)");
+        assert!((0.0..=1.0).contains(&loss), "broadcast loss must be in [0, 1]");
         RadioModel { broadcast_loss: loss, ..RadioModel::ideal(max_range) }
     }
 
@@ -204,5 +207,12 @@ mod tests {
     #[should_panic(expected = "broadcast loss")]
     fn lossy_rejects_bad_rate() {
         let _ = RadioModel::lossy(100.0, 1.5);
+    }
+
+    #[test]
+    fn lossy_accepts_total_blackout() {
+        let model = RadioModel::lossy(100.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((0..1000).all(|_| model.broadcast_dropped(&mut rng)));
     }
 }

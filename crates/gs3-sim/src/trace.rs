@@ -33,6 +33,11 @@ pub struct Trace {
     scripted_drops: u64,
     scripted_duplicates: u64,
     scripted_delays: u64,
+    // Shared-medium contention accounting (all zero while contention is
+    // disabled and no `Fate::Collide` is scripted).
+    mac_collisions: u64,
+    mac_defers: u64,
+    mac_backoff_exhausted: u64,
     scheduled_deliveries: u64,
     /// Protocol-level named counters bumped via [`crate::Context::count`]
     /// (e.g. the reliability layer's retransmit/dedup/give-up tallies).
@@ -61,6 +66,9 @@ impl Default for Trace {
             scripted_drops: 0,
             scripted_duplicates: 0,
             scripted_delays: 0,
+            mac_collisions: 0,
+            mac_defers: 0,
+            mac_backoff_exhausted: 0,
             scheduled_deliveries: 0,
             proto_counters: BTreeMap::new(),
             digest: FNV_OFFSET,
@@ -131,6 +139,18 @@ impl Trace {
 
     pub(crate) fn record_scripted_delay(&mut self) {
         self.scripted_delays += 1;
+    }
+
+    pub(crate) fn record_mac_collision(&mut self) {
+        self.mac_collisions += 1;
+    }
+
+    pub(crate) fn record_mac_defer(&mut self) {
+        self.mac_defers += 1;
+    }
+
+    pub(crate) fn record_mac_backoff_exhausted(&mut self) {
+        self.mac_backoff_exhausted += 1;
     }
 
     pub(crate) fn record_proto(&mut self, name: &'static str, by: u64) {
@@ -266,6 +286,26 @@ impl Trace {
         self.scripted_delays
     }
 
+    /// Frames corrupted by an overlapping transmission audible at the
+    /// receiver (or a scripted [`crate::faults::Fate::Collide`]).
+    #[must_use]
+    pub fn mac_collisions(&self) -> u64 {
+        self.mac_collisions
+    }
+
+    /// Send attempts deferred by carrier sense (each backoff round counts
+    /// once).
+    #[must_use]
+    pub fn mac_defers(&self) -> u64 {
+        self.mac_defers
+    }
+
+    /// Frames dropped after exhausting the backoff retry budget.
+    #[must_use]
+    pub fn mac_backoff_exhausted(&self) -> u64 {
+        self.mac_backoff_exhausted
+    }
+
     /// Deliveries actually scheduled onto the wire (after all fault
     /// filtering; duplicates count per copy).
     #[must_use]
@@ -319,6 +359,13 @@ impl fmt::Display for Trace {
                 self.dropped_unicast,
                 self.duplicated,
                 self.delayed
+            )?;
+        }
+        if self.mac_collisions + self.mac_defers + self.mac_backoff_exhausted > 0 {
+            writeln!(
+                f,
+                "medium: {} collisions, {} defers, {} backoff exhausted",
+                self.mac_collisions, self.mac_defers, self.mac_backoff_exhausted
             )?;
         }
         for (kind, count) in &self.per_kind_sent {

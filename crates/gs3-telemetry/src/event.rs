@@ -14,11 +14,18 @@ pub enum EventClass {
     Timer,
     /// A protocol-level event emitted by a node handler via `Ctx::event`.
     Protocol,
+    /// A send attempt deferred by carrier sense (engine contention path;
+    /// never recorded while contention is disabled).
+    MacDefer,
+    /// A frame corrupted by an overlapping transmission at the receiver
+    /// (engine contention path; never recorded while contention is
+    /// disabled).
+    MacCollision,
 }
 
 impl EventClass {
     /// Number of distinct classes (size of the per-class counter array).
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 5;
 
     /// Dense index for per-class counter arrays.
     #[must_use]
@@ -27,6 +34,8 @@ impl EventClass {
             Self::Delivery => 0,
             Self::Timer => 1,
             Self::Protocol => 2,
+            Self::MacDefer => 3,
+            Self::MacCollision => 4,
         }
     }
 
@@ -37,6 +46,8 @@ impl EventClass {
             Self::Delivery => "delivery",
             Self::Timer => "timer",
             Self::Protocol => "protocol",
+            Self::MacDefer => "mac_defer",
+            Self::MacCollision => "mac_collision",
         }
     }
 }
@@ -104,6 +115,9 @@ mod tests {
         assert_eq!(EventClass::Delivery.index(), 0);
         assert_eq!(EventClass::Timer.index(), 1);
         assert_eq!(EventClass::Protocol.index(), 2);
+        assert_eq!(EventClass::MacDefer.index(), 3);
+        assert_eq!(EventClass::MacCollision.index(), 4);
+        assert_eq!(EventClass::MacCollision.index() + 1, EventClass::COUNT);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Shared-medium contention: RNG-inertness of the disabled layer, the
+//! collision/backoff machinery under load, and congestion-adaptive
+//! graceful degradation.
+//!
+//! The inertness tests are the PR-boundary contract: a build carrying the
+//! contention code but leaving it disabled must replay byte-identical
+//! digests to a build that never had it, so every pre-existing pinned
+//! digest (see `trace_digest_is_pinned_across_queue_implementations` in
+//! gs3-core) keeps holding without edits.
+
+use gs3::core::harness::NetworkBuilder;
+use gs3::core::{CongestionConfig, FaultKind, FaultPlan};
+use gs3::sim::{ContentionConfig, SimDuration};
+
+fn builder(seed: u64) -> NetworkBuilder {
+    NetworkBuilder::new()
+        .ideal_radius(40.0)
+        .radius_tolerance(14.0)
+        .area_radius(140.0)
+        .expected_nodes(200)
+        .seed(seed)
+}
+
+fn crash_plan() -> FaultPlan {
+    FaultPlan::new().at(SimDuration::from_secs(5), FaultKind::CrashRandom { count: 5 })
+}
+
+/// The digest a default (contention-free) build of this scenario replays.
+/// Pinned at the PR boundary that introduced the contention layer: any
+/// later change to this value means a disabled layer shifted the RNG
+/// stream or the delivery schedule.
+const PINNED_CONTENTION_OFF_DIGEST: u64 = 0xE455_163D_3737_F5BC;
+
+#[test]
+fn disabled_contention_and_congestion_are_rng_inert() {
+    let run = |explicit: bool| {
+        let mut b = builder(11);
+        if explicit {
+            b = b.contention(ContentionConfig::disabled()).congestion(CongestionConfig::disabled());
+        }
+        let mut net = b.build().unwrap();
+        net.run_to_fixpoint().unwrap();
+        let rep = net.run_chaos(&crash_plan());
+        let t = net.engine().trace().clone();
+        (rep, t)
+    };
+    let (default_rep, default_trace) = run(false);
+    let (off_rep, off_trace) = run(true);
+    assert_eq!(
+        default_rep.digest, off_rep.digest,
+        "explicitly disabled contention/congestion must not shift the RNG stream"
+    );
+    assert_eq!(default_rep.to_json(), off_rep.to_json());
+    for t in [&default_trace, &off_trace] {
+        assert_eq!(t.mac_collisions(), 0, "disabled contention moved a MAC counter");
+        assert_eq!(t.mac_defers(), 0);
+        assert_eq!(t.mac_backoff_exhausted(), 0);
+        assert_eq!(t.proto("congestion_stretch"), 0, "disabled congestion layer stretched");
+        assert_eq!(t.proto("suppressed_broadcast"), 0);
+    }
+    assert_eq!(off_rep.mac, Default::default(), "disabled layers moved a report counter");
+    assert_eq!(
+        default_rep.digest, PINNED_CONTENTION_OFF_DIGEST,
+        "contention-off digest drifted from the pinned pre-contention value"
+    );
+}
+
+#[test]
+fn contended_medium_collides_defers_and_still_heals() {
+    let mut net = builder(11).contention(ContentionConfig::on()).build().unwrap();
+    net.run_to_fixpoint().unwrap();
+    let rep = net.run_chaos(&crash_plan());
+    assert!(rep.mac.collisions > 0, "a dense contended field must see collisions");
+    assert!(rep.mac.defers > 0, "carrier sense must defer some transmissions");
+    assert!(rep.healed(), "moderate contention must not break healing: {}", rep.to_json());
+    // The JSON report carries the MAC block (mirrors the reliability
+    // block) with the same numbers the report struct holds.
+    let doc = rep.to_json();
+    assert!(
+        doc.contains(&format!("\"mac\":{{\"collisions\":{},", rep.mac.collisions)),
+        "mac block missing from report JSON: {doc}"
+    );
+}
+
+#[test]
+fn congestion_adaptation_stretches_under_offered_load() {
+    let run = |adaptive: bool| {
+        let mut b = builder(23)
+            .traffic(SimDuration::from_secs(4))
+            .contention(ContentionConfig::on());
+        if adaptive {
+            b = b.congestion(CongestionConfig::on());
+        }
+        let mut net = b.build().unwrap();
+        // A loaded contended field may converge slowly; a bounded run
+        // suffices — the assertions are about the adaptation machinery,
+        // not the final structure.
+        net.run_for(SimDuration::from_secs(300));
+        net.engine().trace().clone()
+    };
+    let plain = run(false);
+    assert_eq!(plain.proto("congestion_stretch"), 0, "adaptation off must never stretch");
+    assert_eq!(plain.proto("congestion_relax"), 0);
+    let adaptive = run(true);
+    assert!(
+        adaptive.proto("congestion_stretch") > 0,
+        "an adaptive node under load+contention must stretch"
+    );
+    assert!(
+        adaptive.mac_collisions() < plain.mac_collisions(),
+        "load shedding must reduce collisions: adaptive {} vs plain {}",
+        adaptive.mac_collisions(),
+        plain.mac_collisions()
+    );
+}
