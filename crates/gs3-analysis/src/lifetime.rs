@@ -11,12 +11,13 @@
 use std::collections::BTreeMap;
 
 use gs3_core::harness::NetworkBuilder;
+use gs3_core::invariants::SnapshotIndex;
 use gs3_core::snapshot::RoleView;
 use gs3_geometry::Point;
 use gs3_sim::radio::EnergyModel;
 use gs3_sim::{NodeId, SimDuration, SimTime};
 
-use crate::metrics::measure;
+use crate::metrics::{coverage_ratio_with, measure};
 
 /// Outcome of one lifetime run.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,9 +57,13 @@ pub fn run_lifetime(
     let mut net = builder.energy(energy, budget).build().expect("valid builder");
     let _ = net.run_to_fixpoint();
 
-    let snap0 = net.snapshot();
-    let initial_heads: Vec<NodeId> = snap0.heads().map(|n| n.id).collect();
-    let m0 = measure(&snap0);
+    // One snapshot buffer refilled in place each sample, and one
+    // incrementally-maintained index: each poll costs the churn since the
+    // last one, not an O(n) connectivity rebuild.
+    let mut snap = net.snapshot();
+    let mut idx = SnapshotIndex::build(&snap);
+    let initial_heads: Vec<NodeId> = snap.heads().map(|n| n.id).collect();
+    let m0 = measure(&snap);
     let mean_cell_population = if m0.heads == 0 {
         0.0
     } else {
@@ -86,7 +91,8 @@ pub fn run_lifetime(
                 first_head_death = Some(net.now());
             }
         }
-        let snap = net.snapshot();
+        net.snapshot_into(&mut snap);
+        idx.update(&snap);
         for h in snap.heads() {
             if let RoleView::Head { oil, icc_icp, .. } = &h.role {
                 let key = quantize(*oil, snap.r);
@@ -99,8 +105,8 @@ pub fn run_lifetime(
                 }
             }
         }
-        let m = measure(&snap);
-        if maintained_lifetime.is_none() && m.coverage_ratio < coverage_floor {
+        let coverage = coverage_ratio_with(&snap, &idx);
+        if maintained_lifetime.is_none() && coverage < coverage_floor {
             maintained_lifetime = Some(net.now());
             break;
         }

@@ -8,7 +8,9 @@
 use std::collections::BTreeMap;
 
 use gs3_core::snapshot::{RoleView, Snapshot};
-use gs3_core::invariants::physically_connected_to_big;
+use gs3_core::invariants::{
+    physically_connected_to_big, physically_connected_to_big_with, SnapshotIndex,
+};
 use gs3_geometry::hex::{Axial, HexLayout};
 use gs3_geometry::{head_spacing, Point};
 use gs3_sim::NodeId;
@@ -69,6 +71,36 @@ impl StructureMetrics {
     }
 }
 
+/// The coverage ratio alone, reusing a caller-maintained
+/// [`SnapshotIndex`] so tight sampling loops (lifetime experiments poll
+/// every few simulated seconds) pay for the churn since the last sample
+/// instead of an `O(n)` connectivity rebuild. The index must already
+/// reflect `snap` (call [`SnapshotIndex::update`] first).
+#[must_use]
+pub fn coverage_ratio_with(snap: &Snapshot, idx: &SnapshotIndex) -> f64 {
+    coverage_of(snap, &physically_connected_to_big_with(snap, idx))
+}
+
+/// Fraction of big-connected alive nodes that are in a cell.
+fn coverage_of(snap: &Snapshot, reachable: &std::collections::BTreeSet<NodeId>) -> f64 {
+    let covered = snap
+        .nodes
+        .iter()
+        .filter(|n| {
+            n.alive
+                && reachable.contains(&n.id)
+                && !matches!(n.role, RoleView::Bootup | RoleView::BigAway { .. })
+        })
+        .count();
+    if reachable.is_empty() {
+        0.0
+    } else {
+        // The big node itself is counted covered whatever its role.
+        (covered + usize::from(reachable.contains(&snap.big))).min(reachable.len()) as f64
+            / reachable.len() as f64
+    }
+}
+
 /// Measures a snapshot.
 #[must_use]
 pub fn measure(snap: &Snapshot) -> StructureMetrics {
@@ -121,23 +153,7 @@ pub fn measure(snap: &Snapshot) -> StructureMetrics {
     let il_dev: Vec<f64> = heads.iter().map(|(_, p, il)| p.distance(*il)).collect();
 
     // Coverage.
-    let reachable = physically_connected_to_big(snap);
-    let covered = snap
-        .nodes
-        .iter()
-        .filter(|n| {
-            n.alive
-                && reachable.contains(&n.id)
-                && !matches!(n.role, RoleView::Bootup | RoleView::BigAway { .. })
-        })
-        .count();
-    let coverage_ratio = if reachable.is_empty() {
-        0.0
-    } else {
-        // The big node itself is counted covered whatever its role.
-        (covered + usize::from(reachable.contains(&snap.big))).min(reachable.len()) as f64
-            / reachable.len() as f64
-    };
+    let coverage_ratio = coverage_of(snap, &physically_connected_to_big(snap));
 
     // Lattice occupancy: anchor the ideal lattice at the big node's OIL
     // (its original cell center) and classify each populated site.

@@ -12,6 +12,10 @@
 //! * [`cluster`] — shared clustering types and the quality metrics
 //!   (radius bounds, head spacing, misassignment, load balance) used by
 //!   the `baseline_compare` experiment.
+//! * [`sim`] — a round-driven workload/energy simulator that drives the
+//!   baselines through the same convergecast traffic and energy model the
+//!   GS³ data plane runs under, for the reports-per-joule and lifetime
+//!   comparison.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,5 +23,7 @@
 pub mod cluster;
 pub mod hop;
 pub mod leach;
+pub mod sim;
 
 pub use cluster::{quality, ClusterQuality, Clustering};
+pub use sim::{run_baseline, Baseline, BaselineOutcome, BaselineSimConfig};

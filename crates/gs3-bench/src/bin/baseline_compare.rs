@@ -2,37 +2,107 @@
 //! measured: GS³ vs a LEACH-style randomized clustering \[10\] vs
 //! geography-unaware hop-based clustering \[3\].
 //!
-//! Claims quantified:
+//! Two parts:
 //!
-//! * LEACH "guarantees neither the placement nor the number of clusters" —
-//!   head spacing and cluster radius are unbounded; every rotation round
-//!   reshuffles the entire network (healing is global).
-//! * Hop-based clustering bounds only the *logical* radius — the
-//!   geographic radius is unbounded and clusters interleave (members whose
-//!   nearest head belongs to another cluster).
-//! * GS³ bounds the geographic radius in `[√3R−2R_t, √3R+2R_t]` head
-//!   spacing and `R + 2R_t/√3` cell radius, with zero interleaving, and
-//!   heals locally.
+//! 1. *Static structure quality* — head spacing, cluster radius,
+//!    misassignment, load balance over one shared deployment (the claims
+//!    of Section 6 quantified).
+//! 2. *Workload lifetime* — all three schemes driven through the same
+//!    convergecast traffic and energy model: GS³ runs the real
+//!    event-level data plane (`gs3-dataplane`), the baselines run the
+//!    round-driven simulator of `gs3_baselines::sim` with accounting
+//!    deliberately tilted in their favor. Reports-per-joule, first
+//!    energy death, and alive-floor lifetime under churn land in
+//!    `BENCH_dataplane.json`, together with the `Ω(n_c)` sweep: the
+//!    maintained/unmaintained lifetime ratio as cell population grows
+//!    (§4.3.5.1 claim 3).
 //!
 //! ```text
-//! cargo run --release -p gs3-bench --bin baseline_compare
+//! cargo run --release -p gs3-bench --bin baseline_compare -- [--smoke] [-j N]
+//!                                                            [--out BENCH_dataplane.json]
 //! ```
+//!
+//! `--smoke` shrinks the workload comparison so CI can prove the binary
+//! and the artifact shape on every push; the committed artifact comes
+//! from a full run.
 
+use gs3_analysis::lifetime::run_lifetime;
 use gs3_analysis::metrics::measure;
 use gs3_analysis::report::{num, Table};
 use gs3_baselines::cluster::{quality, Clustering};
 use gs3_baselines::hop::{cluster as hop_cluster, HopConfig};
 use gs3_baselines::leach::{Leach, LeachConfig};
+use gs3_baselines::sim::{run_baseline, Baseline, BaselineOutcome, BaselineSimConfig};
+use gs3_bench::runner::{run_grid, threads_from_args};
 use gs3_bench::banner;
 use gs3_core::harness::NetworkBuilder;
-use gs3_core::RoleView;
+use gs3_core::{DataplaneConfig, RoleView};
 use gs3_geometry::Point;
+use gs3_sim::radio::EnergyModel;
+use gs3_sim::SimDuration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
-    banner("SEC6", "Related-work claims — GS3 vs LEACH vs hop-based clustering");
+/// Scale knobs for the workload comparison; `--smoke` shrinks everything.
+struct Scale {
+    nodes: usize,
+    area: f64,
+    budget: f64,
+    rounds: u64,
+    sweep_nodes: &'static [usize],
+    sweep_horizon_secs: u64,
+}
 
+/// Full scale: a ≥10k-node deployment under churn, per the lifetime
+/// claims the artifact certifies.
+const FULL: Scale = Scale {
+    nodes: 10_000,
+    area: 860.0,
+    budget: 300.0,
+    rounds: 240,
+    sweep_nodes: &[140, 220, 320],
+    sweep_horizon_secs: 4000,
+};
+
+const SMOKE: Scale = Scale {
+    nodes: 600,
+    area: 270.0,
+    budget: 60.0,
+    rounds: 30,
+    sweep_nodes: &[140, 220],
+    sweep_horizon_secs: 600,
+};
+
+/// Shared workload parameters: one 20 s round = four 5 s report periods,
+/// five churn deaths per round, run ends when half the nodes are gone.
+const ROUND_SECS: f64 = 20.0;
+const REPORT_PERIOD_SECS: u64 = 5;
+const CHURN_PER_ROUND: usize = 5;
+const ALIVE_FLOOR: f64 = 0.5;
+const RADIO_RANGE: f64 = 160.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_dataplane.json".to_string());
+    let threads = threads_from_args();
+    let scale = if smoke { &SMOKE } else { &FULL };
+
+    banner("SEC6", "Related-work claims — GS3 vs LEACH vs hop-based clustering");
+    static_quality_section();
+
+    println!("\n--- workload lifetime: convergecast under churn ({} nodes) ---\n", scale.nodes);
+    let json = dataplane_section(scale, smoke, threads);
+    std::fs::write(&out_path, &json).expect("write BENCH_dataplane.json");
+    println!("\nartifact → {out_path}");
+}
+
+/// Part 1: the original static structure-quality comparison.
+fn static_quality_section() {
     // One shared deployment so the comparison is apples-to-apples: run
     // GS³ to fixpoint, then hand the same node positions to the baselines.
     let r = 80.0;
@@ -139,6 +209,257 @@ fn main() {
          LEACH shows near-zero min spacing and a heavy radius tail; hop-based\n\
          shows geographic interleaving (misassigned fraction ≫ 0)."
     );
+}
+
+/// One arm's lifetime measurements, scheme-agnostic.
+struct ArmOutcome {
+    arm: &'static str,
+    reports_delivered: u64,
+    energy_spent: f64,
+    first_death_secs: Option<f64>,
+    lifetime_secs: Option<f64>,
+}
+
+impl ArmOutcome {
+    fn reports_per_joule(&self) -> f64 {
+        if self.energy_spent > 0.0 {
+            self.reports_delivered as f64 / self.energy_spent
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| v.map_or("-1".to_string(), |s| format!("{s:.1}"));
+        format!(
+            "{{\"arm\":\"{}\",\"reports_delivered\":{},\"energy_spent\":{:.3},\
+             \"reports_per_joule\":{:.4},\"first_death_s\":{},\"lifetime_s\":{}}}",
+            self.arm,
+            self.reports_delivered,
+            self.energy_spent,
+            self.reports_per_joule(),
+            opt(self.first_death_secs),
+            opt(self.lifetime_secs),
+        )
+    }
+}
+
+fn from_baseline(arm: &'static str, out: &BaselineOutcome) -> ArmOutcome {
+    ArmOutcome {
+        arm,
+        reports_delivered: out.reports_delivered,
+        energy_spent: out.energy_spent,
+        first_death_secs: out.first_death_secs,
+        lifetime_secs: out.lifetime_secs,
+    }
+}
+
+/// The GS³ arm: the real discrete-event data plane under energy
+/// accounting and the same per-round churn the baselines get.
+fn run_gs3(scale: &Scale) -> ArmOutcome {
+    let energy = EnergyModel::normalized(RADIO_RANGE);
+    // An energy-conscious duty cycle: heartbeats matched to the round
+    // scale instead of the default fast-detection tuning, so keep-alive
+    // chatter doesn't swamp the data traffic either scheme carries. The
+    // baselines' round model charges no keep-alive at all — another
+    // handicap in their favor.
+    let mut cfg = gs3_core::Gs3Config::new(80.0, 18.0)
+        .expect("valid parameters")
+        .with_mode(gs3_core::Mode::Dynamic);
+    cfg.intra_heartbeat = SimDuration::from_secs(10);
+    cfg.inter_heartbeat = SimDuration::from_secs(15);
+    let mut net = NetworkBuilder::new()
+        .config(cfg)
+        .area_radius(scale.area)
+        .expected_nodes(scale.nodes)
+        .seed(29)
+        .traffic(SimDuration::from_secs(REPORT_PERIOD_SECS))
+        .dataplane(DataplaneConfig::on())
+        // Configuration runs on an effectively bottomless battery: the
+        // round model hands the baselines their construction for free, so
+        // GS³'s one-off self-configuration spend is likewise excluded.
+        // The measurement budget is installed below, once converged — from
+        // then on every heartbeat, report, and repair drains it.
+        .energy(energy, 1e12)
+        .build()
+        .expect("valid parameters");
+    let _ = net.run_to_fixpoint();
+    let ids: Vec<_> = net.engine().ids().collect();
+    for id in ids {
+        if net.engine().energy(id).map(f64::is_finite).unwrap_or(false) {
+            let _ = net.engine_mut().set_energy(id, scale.budget);
+        }
+    }
+    let n0 = net.engine().alive_count();
+    // Deliveries during the (free-battery) configuration phase don't
+    // count toward the measured workload.
+    let r0 = net.sink_ledger().map_or(0, |l| l.reports);
+
+    let mut first_death_secs = None;
+    let mut lifetime_secs = None;
+    let t0 = net.now();
+    for _round in 0..scale.rounds {
+        net.run_for(SimDuration::from_secs_f64(ROUND_SECS));
+        let now_secs = net.now().saturating_since(t0).as_secs_f64();
+        if first_death_secs.is_none() {
+            // Energy depletion shows as a zeroed budget; churn victims
+            // below keep whatever charge they had left.
+            let depleted = net
+                .engine()
+                .ids()
+                .any(|id| net.engine().energy(id).map(|e| e == 0.0).unwrap_or(false));
+            if depleted {
+                first_death_secs = Some(now_secs);
+            }
+        }
+        net.kill_random(CHURN_PER_ROUND);
+        let alive_frac = net.engine().alive_count() as f64 / n0.max(1) as f64;
+        if alive_frac < ALIVE_FLOOR {
+            lifetime_secs = Some(now_secs);
+            break;
+        }
+    }
+
+    // Total dissipation: budget minus what remains, over every
+    // battery-powered node (the mains-powered big node reads ∞).
+    let energy_spent: f64 = net
+        .engine()
+        .ids()
+        .filter_map(|id| net.engine().energy(id).ok())
+        .filter(|e| e.is_finite())
+        .map(|e| (scale.budget - e).clamp(0.0, scale.budget))
+        .sum();
+    ArmOutcome {
+        arm: "gs3",
+        reports_delivered: net.sink_ledger().map_or(0, |l| l.reports).saturating_sub(r0),
+        energy_spent,
+        first_death_secs,
+        lifetime_secs,
+    }
+}
+
+/// Part 2: the three arms through the same workload, plus the `Ω(n_c)`
+/// lifetime sweep; returns the `BENCH_dataplane.json` document.
+fn dataplane_section(scale: &Scale, smoke: bool, threads: usize) -> String {
+    // The baselines run over the same deployment geometry: take the node
+    // positions GS³ deployed with (seed 29) and the big node's position
+    // as the sink.
+    let net = NetworkBuilder::new()
+        .ideal_radius(80.0)
+        .radius_tolerance(18.0)
+        .area_radius(scale.area)
+        .expected_nodes(scale.nodes)
+        .seed(29)
+        .build()
+        .expect("valid parameters");
+    let snap = net.snapshot();
+    let points: Vec<Point> = snap.nodes.iter().map(|n| n.pos).collect();
+    let sink = points[snap.big.raw() as usize];
+    drop(net);
+
+    let cfg = BaselineSimConfig {
+        round_secs: ROUND_SECS,
+        reports_per_round: (ROUND_SECS as u32) / (REPORT_PERIOD_SECS as u32),
+        budget: scale.budget,
+        radio_range: RADIO_RANGE,
+        sink,
+        churn_deaths_per_round: CHURN_PER_ROUND,
+        alive_floor: ALIVE_FLOOR,
+    };
+    let energy = EnergyModel::normalized(RADIO_RANGE);
+    // LEACH's P targets one head per ~cell (n_c ≈ n / cells at this
+    // density ≈ 20), matching GS³'s head fraction.
+    let leach_p = 0.05;
+
+    // Three arms, fanned out like any other grid; results stay in arm
+    // order so the artifact is byte-identical at any -j.
+    let outcomes = run_grid(&[0usize, 1, 2], threads, |&arm| match arm {
+        0 => run_gs3(scale),
+        1 => {
+            let b = Baseline::Leach(Leach::new(points.len(), LeachConfig { p: leach_p }));
+            from_baseline("leach", &run_baseline(&points, b, &energy, &cfg, scale.rounds, 99))
+        }
+        _ => {
+            let b = Baseline::Hop(HopConfig { radio_range: RADIO_RANGE, max_hops: 2 });
+            from_baseline("hop", &run_baseline(&points, b, &energy, &cfg, scale.rounds, 99))
+        }
+    });
+
+    let mut t = Table::new(["arm", "reports", "energy", "reports/J", "first death (s)", "lifetime (s)"]);
+    for o in &outcomes {
+        let opt = |v: Option<f64>| v.map_or("—".to_string(), |s| format!("{s:.0}"));
+        t.row([
+            o.arm.into(),
+            format!("{}", o.reports_delivered),
+            num(o.energy_spent),
+            format!("{:.4}", o.reports_per_joule()),
+            opt(o.first_death_secs),
+            opt(o.lifetime_secs),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Ω(n_c) sweep: lifetime under pure maintenance as density (and so
+    // cell population) grows — the maintained/unmaintained ratio must not
+    // shrink with n_c.
+    println!("\n--- Ω(n_c) sweep: maintained vs unmaintained lifetime ---\n");
+    let sweep = run_grid(scale.sweep_nodes, threads, |&n| {
+        let builder = NetworkBuilder::new()
+            .ideal_radius(80.0)
+            .radius_tolerance(20.0)
+            .area_radius(120.0)
+            .expected_nodes(n)
+            .seed(31);
+        run_lifetime(
+            builder,
+            EnergyModel::normalized(RADIO_RANGE),
+            400.0,
+            SimDuration::from_secs(scale.sweep_horizon_secs),
+            SimDuration::from_secs(10),
+            0.5,
+        )
+    });
+    let mut sweep_json = Vec::new();
+    let mut st = Table::new(["n_c (mean)", "first head death (s)", "maintained (s)", "lengthening"]);
+    for res in &sweep {
+        let first = res.first_head_death.map(|t| t.as_secs_f64());
+        let maintained = res.maintained_lifetime.map(|t| t.as_secs_f64());
+        let opt = |v: Option<f64>| v.map_or("—".to_string(), |s| format!("{s:.0}"));
+        st.row([
+            format!("{:.1}", res.mean_cell_population),
+            opt(first),
+            opt(maintained),
+            res.lengthening_factor.map_or("—".to_string(), |f| format!("{f:.2}×")),
+        ]);
+        let j = |v: Option<f64>| v.map_or("-1".to_string(), |s| format!("{s:.1}"));
+        sweep_json.push(format!(
+            "{{\"mean_cell_population\":{:.2},\"first_head_death_s\":{},\"maintained_s\":{},\
+             \"lengthening\":{}}}",
+            res.mean_cell_population,
+            j(first),
+            j(maintained),
+            res.lengthening_factor.map_or("-1".to_string(), |f| format!("{f:.3}")),
+        ));
+    }
+    println!("{}", st.render());
+    println!(
+        "expected shape: the baselines' round model is a lossless upper bound —\n\
+         free construction, perfect aggregation, guaranteed delivery — while the\n\
+         GS³ arm runs the real event-level data plane (frame loss, queue drops,\n\
+         stale routes, reports dying in flight with their relays), so its\n\
+         reports-per-joule lands below the LEACH bound but within a small\n\
+         constant of it. The paper's own claim is the sweep: the lengthening\n\
+         factor grows with n_c — every cell member takes a turn as head (Ω(n_c))."
+    );
+
+    format!(
+        "{{\"suite\":\"BENCH_dataplane\",\"smoke\":{smoke},\"nodes\":{},\
+         \"churn_per_round\":{CHURN_PER_ROUND},\"round_secs\":{ROUND_SECS},\"arms\":[{}],\
+         \"lifetime_sweep\":[{}]}}",
+        scale.nodes,
+        outcomes.iter().map(ArmOutcome::to_json).collect::<Vec<_>>().join(","),
+        sweep_json.join(","),
+    )
 }
 
 /// Converts a GS³ snapshot into the baseline [`Clustering`] representation.

@@ -166,6 +166,35 @@ fn scenario_steady_state_contended(scale: &Scale) -> Measurement {
     }
 }
 
+/// Steady-state with the convergecast data plane on: sequenced reports,
+/// per-head queue/credit work, and sink accounting riding on top of the
+/// heartbeat load — the marginal cost of real traffic.
+fn scenario_steady_state_dataplane(scale: &Scale) -> Measurement {
+    let mut net = NetworkBuilder::new()
+        .ideal_radius(80.0)
+        .radius_tolerance(18.0)
+        .area_radius(scale.area_mid)
+        .expected_nodes(scale.nodes_mid)
+        .seed(42)
+        .traffic(SimDuration::from_secs(2))
+        .dataplane(gs3_core::DataplaneConfig::on())
+        .build()
+        .expect("valid parameters");
+    let _ = net.run_to_fixpoint();
+    let before = net.engine().events_processed();
+    let start = Instant::now();
+    net.run_for(SimDuration::from_secs(120));
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let delivered = net.sink_ledger().map_or(0, |l| l.reports);
+    Measurement {
+        scenario: "steady_state_dataplane_120s",
+        wall_ms,
+        events: net.engine().events_processed() - before,
+        peak_queue_depth: net.engine().peak_queue_depth(),
+        extra: vec![("nodes", scale.nodes_mid as f64), ("reports_delivered", delivered as f64)],
+    }
+}
+
 /// The steady-state workload again with a Full-mode flight recorder —
 /// the opt-in telemetry cost (ring writes per engine event) relative to
 /// `steady_state_120s`.
@@ -400,10 +429,11 @@ fn main() {
     // Scenarios are independent seeded workloads; fan them out like any
     // other experiment grid. Wall-clock numbers are only comparable
     // across commits when measured at the same -j.
-    let scenarios: [fn(&Scale) -> Measurement; 7] = [
+    let scenarios: [fn(&Scale) -> Measurement; 8] = [
         scenario_configure,
         scenario_steady_state,
         scenario_steady_state_contended,
+        scenario_steady_state_dataplane,
         scenario_steady_state_recorded,
         scenario_chaos,
         scenario_invariants,

@@ -113,7 +113,8 @@ fn row2_lifetime_factor(threads: usize) {
             // along the head graph with in-network aggregation — heads
             // relay everything, so their dissipation dominates.
             .traffic(SimDuration::from_secs(1));
-        let energy = EnergyModel { tx_base: 0.02, tx_dist2: 1.2 / (160.0 * 160.0), rx: 0.002 };
+        let energy =
+            EnergyModel { tx_base: 0.02, tx_dist2: 1.2 / (160.0 * 160.0), rx: 0.002, idle: 0.0005 };
         let res = run_lifetime(
             builder,
             energy,

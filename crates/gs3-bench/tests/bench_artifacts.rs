@@ -1,4 +1,5 @@
-//! Regression gate over the committed `BENCH_chaos.json` artifact.
+//! Regression gates over the committed `BENCH_chaos.json` and
+//! `BENCH_dataplane.json` artifacts.
 //!
 //! The chaos sweep's congestion arm is the headline robustness claim of
 //! the contention layer: at the committed density × offered-load grid,
@@ -38,6 +39,63 @@ fn arm_slices<'d>(doc: &'d str, arm: &str) -> Vec<&'d str> {
         out.push(&rest[..end]);
     }
     out
+}
+
+/// Extract every number (integer or decimal, `-1` sentinels included)
+/// following `"<key>":` inside `doc`.
+fn all_nums(doc: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[test]
+fn committed_dataplane_artifact_compares_arms_and_shows_omega_nc() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dataplane.json");
+    let doc = std::fs::read_to_string(&path).expect("committed BENCH_dataplane.json");
+
+    assert!(doc.contains("\"suite\":\"BENCH_dataplane\""));
+    assert!(doc.contains("\"smoke\":false"), "committed artifact must be the full run");
+    assert!(all_ints(&doc, "nodes")[0] >= 10_000, "the comparison must run at >=10k nodes");
+
+    // All three arms present, each with a live workload and a real energy
+    // bill (raw values drift with tuning; the shape is what's pinned).
+    for arm in ["gs3", "leach", "hop"] {
+        assert!(doc.contains(&format!("\"arm\":\"{arm}\"")), "missing arm {arm}");
+    }
+    let delivered = all_ints(&doc, "reports_delivered");
+    assert_eq!(delivered.len(), 3);
+    assert!(delivered.iter().all(|&r| r > 0), "every arm must deliver reports: {delivered:?}");
+    let energy = all_nums(&doc, "energy_spent");
+    assert_eq!(energy.len(), 3);
+    assert!(energy.iter().all(|&e| e > 0.0), "every arm must dissipate energy");
+    let rpj = all_nums(&doc, "reports_per_joule");
+    assert!(rpj.iter().all(|&r| r > 0.0));
+
+    // The Ω(n_c) claim: the maintained/unmaintained lengthening factor
+    // exists, exceeds 1, and does not shrink as cell population grows.
+    let sweep = &doc[doc.find("\"lifetime_sweep\":").expect("sweep missing")..];
+    let n_c = all_nums(sweep, "mean_cell_population");
+    let lengthening = all_nums(sweep, "lengthening");
+    assert!(n_c.len() >= 2, "sweep needs at least two densities");
+    assert_eq!(n_c.len(), lengthening.len());
+    assert!(n_c.windows(2).all(|w| w[0] < w[1]), "densities must ascend: {n_c:?}");
+    assert!(
+        lengthening.iter().all(|&f| f > 1.0),
+        "maintenance must lengthen life at every density: {lengthening:?}"
+    );
+    assert!(
+        lengthening.windows(2).all(|w| w[1] >= w[0]),
+        "the lengthening factor must grow with n_c (Ω(n_c)): {lengthening:?}"
+    );
 }
 
 #[test]

@@ -48,8 +48,10 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Keys that are boolean flags (take no value).
-const FLAG_KEYS: &[&str] =
-    &["map", "static", "mobile", "quiet", "help", "json", "reliable", "contended", "adaptive"];
+const FLAG_KEYS: &[&str] = &[
+    "map", "static", "mobile", "quiet", "help", "json", "reliable", "contended", "adaptive",
+    "workload",
+];
 
 impl Args {
     /// Parses a token stream (`args[0]` must already be stripped).
@@ -97,6 +99,14 @@ impl Args {
     #[must_use]
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
+    }
+
+    /// Force-sets a boolean flag (for subcommands that imply one, e.g.
+    /// `gs3 dataplane` implying `--workload`). Idempotent.
+    pub fn set_flag(&mut self, key: &str) {
+        if !self.flag(key) {
+            self.flags.push(key.to_string());
+        }
     }
 
     /// The raw value of `--key`, if present.

@@ -7,7 +7,7 @@ use gs3_bench::runner::run_grid;
 use gs3_core::chaos::{Corruption, FaultKind, FaultPlan};
 use gs3_core::harness::{Network, NetworkBuilder, RunOutcome};
 use gs3_core::invariants::{check_all, Strictness};
-use gs3_core::{CongestionConfig, Mode, ReliabilityConfig};
+use gs3_core::{CongestionConfig, DataplaneConfig, Mode, ReliabilityConfig};
 use gs3_geometry::Point;
 use gs3_mc::{Budgets, McStrategy, ModelChecker, Scenario};
 use gs3_sim::faults::{BurstLoss, FaultConfig};
@@ -34,6 +34,9 @@ pub fn help() {
          \x20 mc     exhaustively model-check a pinned small field against a\n\
          \x20        bounded adversary and report verified properties /\n\
          \x20        minimized counterexamples\n\
+         \x20 dataplane  configure with the convergecast data plane on, run\n\
+         \x20        the workload, and report end-to-end delivery (sink\n\
+         \x20        ledger, latency percentiles, queue/credit counters)\n\
          \x20 trace  configure, record the flight recorder for a while, and\n\
          \x20        export the event stream (JSONL or Chrome trace)\n\
          \x20 help   this text\n\
@@ -49,6 +52,10 @@ pub fn help() {
          \x20 --loss P         broadcast loss probability (0)\n\
          \x20 --noise SIGMA    localization noise sigma in meters (0)\n\
          \x20 --traffic SECS   enable the sensing workload at this period\n\
+         \x20 --workload       enable the convergecast data plane (sequenced\n\
+         \x20                  reports, bounded aggregation queues, credit\n\
+         \x20                  backpressure, sink delivery ledger; implies\n\
+         \x20                  --traffic 5 unless given)\n\
          \x20 --reliable       enable the control-plane reliability layer\n\
          \x20                  (acked retransmission, adaptive failure\n\
          \x20                  detection, quarantine mode)\n\
@@ -106,6 +113,10 @@ pub fn help() {
          \x20 --ce-dir DIR     write each counterexample (and its standalone\n\
          \x20                  FaultPlan) into DIR for artifact upload\n\
          \n\
+         dataplane options (implies --workload):\n\
+         \x20 --duration SECS  how long to run the workload (120)\n\
+         \x20 --json           print the data counter block as JSON only\n\
+         \n\
          trace options:\n\
          \x20 --duration SECS  how long to record after configuration (60)\n\
          \x20 --capacity N     flight-recorder ring capacity (200000)\n\
@@ -157,6 +168,14 @@ fn build_seeded(a: &Args, seed: u64) -> Result<Network, Box<dyn std::error::Erro
             expected: "energy units",
         })?;
         b = b.energy(EnergyModel::normalized(2.0 * radius), e);
+    }
+    if a.flag("workload") {
+        // The data plane needs traffic to carry; default the report
+        // period when --traffic wasn't given explicitly.
+        if a.get("traffic").is_none() {
+            b = b.traffic(SimDuration::from_secs(5));
+        }
+        b = b.dataplane(DataplaneConfig::on());
     }
     if a.flag("reliable") {
         b = b.reliability(ReliabilityConfig::on());
@@ -309,6 +328,95 @@ pub fn watch(a: &Args) -> CliResult {
     Ok(())
 }
 
+/// The `data` JSON counter block: every data-plane trace counter plus
+/// the sink ledger (null until a delivery reaches the big node).
+fn data_json(net: &Network) -> String {
+    let tr = net.engine().trace();
+    format!(
+        "{{\"produced\":{},\"delivered\":{},\"batches_delivered\":{},\"queue_drops\":{},\
+         \"reports_dropped\":{},\"misrouted\":{},\"rerouted_frames\":{},\
+         \"credit_recoveries\":{},\"leaf_gaps\":{},\"leaf_dups\":{},\"flushed\":{},\
+         \"ledger\":{}}}",
+        tr.proto("data_reports_produced"),
+        tr.proto("data_reports_delivered"),
+        tr.proto("data_batches_delivered"),
+        tr.proto("data_queue_drops"),
+        tr.proto("data_reports_dropped"),
+        tr.proto("data_reports_lost_misroute"),
+        tr.proto("data_batches_rerouted"),
+        tr.proto("data_credit_recovered"),
+        tr.proto("data_leaf_gaps"),
+        tr.proto("data_leaf_dups"),
+        tr.proto("reports_flushed"),
+        net.sink_ledger().map_or_else(|| "null".to_string(), |l| l.to_json()),
+    )
+}
+
+/// `gs3 dataplane` — configure with the convergecast data plane enabled,
+/// run the sensing workload for `--duration`, and report end-to-end
+/// delivery: the sink ledger (reports, latency percentiles, dedup) plus
+/// the queue/credit/provenance counters.
+pub fn dataplane(a: &Args) -> CliResult {
+    let duration: f64 = a.num("duration", 120.0)?;
+    let mut forced = a.clone();
+    forced.set_flag("workload");
+    let a = &forced;
+    let mut net = build(a)?;
+    configure(&mut net)?;
+    if !a.flag("json") {
+        println!("configured at {}; running the workload for {duration} s", net.now());
+    }
+    net.run_for(SimDuration::from_secs_f64(duration));
+    if a.flag("json") {
+        println!("{{\"data\":{}}}", data_json(&net));
+        return Ok(());
+    }
+    let tr = net.engine().trace();
+    let produced = tr.proto("data_reports_produced");
+    println!();
+    println!("data plane (convergecast over the head tree):");
+    println!("  produced:          {produced} reports");
+    match net.sink_ledger() {
+        Some(l) => {
+            let pct = if produced > 0 {
+                100.0 * l.reports as f64 / produced as f64
+            } else {
+                0.0
+            };
+            println!(
+                "  delivered:         {} reports in {} sub-batches ({pct:.1}%)",
+                l.reports, l.batches
+            );
+            println!(
+                "  latency:           p50 {:.1} ms / p95 {:.1} ms / max {:.1} ms",
+                l.latency_us.percentile(50.0) as f64 / 1000.0,
+                l.latency_us.percentile(95.0) as f64 / 1000.0,
+                l.latency_us.max() as f64 / 1000.0
+            );
+            println!("  sink duplicates:   {}", l.duplicate_batches);
+        }
+        None => println!("  delivered:         nothing reached the sink"),
+    }
+    println!(
+        "  queue drops:       {} batches ({} reports lost)",
+        tr.proto("data_queue_drops"),
+        tr.proto("data_reports_dropped")
+    );
+    println!(
+        "  misrouted:         {} reports lost, {} sub-batches rerouted via successors",
+        tr.proto("data_reports_lost_misroute"),
+        tr.proto("data_batches_rerouted")
+    );
+    println!("  credit recoveries: {}", tr.proto("data_credit_recovered"));
+    println!(
+        "  leaf provenance:   {} gaps, {} duplicates",
+        tr.proto("data_leaf_gaps"),
+        tr.proto("data_leaf_dups")
+    );
+    report(&net, a);
+    Ok(())
+}
+
 /// `gs3 chaos` — configure, then execute a scheduled fault plan while
 /// polling the invariant suite, and report per-fault healing latencies.
 /// Everything is drawn from the seeded RNG: two runs with the same options
@@ -453,6 +561,13 @@ pub fn chaos(a: &Args) -> CliResult {
         println!(
             "detector/quar:   {} false suspicions, {} quarantine entries, {} exits, {} drops",
             r.false_suspicions, r.quarantine_entries, r.quarantine_exits, r.quarantine_drops
+        );
+    }
+    if a.flag("workload") {
+        let d = &rep.data;
+        println!(
+            "data plane:      {}/{} reports delivered, {} queue-dropped, {} misrouted",
+            d.reports_delivered, d.reports_produced, d.reports_dropped, d.reports_misrouted
         );
     }
     if a.flag("contended") {
@@ -774,7 +889,7 @@ fn with_budget(a: &Args, budget: &str) -> Args {
             tokens.push(v.to_string());
         }
     }
-    for flag in ["map", "static", "mobile", "quiet", "reliable", "contended", "adaptive"] {
+    for flag in ["map", "static", "mobile", "quiet", "reliable", "contended", "adaptive", "workload"] {
         if a.flag(flag) {
             tokens.push(format!("--{flag}"));
         }

@@ -16,6 +16,9 @@
 //!            [--heal-window SECS] [--json] [--out FILE] [--ce-dir DIR]
 //!                    (bounded model checking of the protocol core against a
 //!                     bounded adversary, with replayable counterexamples)
+//! gs3 dataplane ... [--workload] [--duration SECS] [--json]
+//!                  (convergecast workload: sink delivery ledger, latency
+//!                   percentiles, queue/credit/provenance counters)
 //! gs3 trace  ... [--duration SECS] [--capacity N] [--format jsonl|chrome]
 //!                [--out FILE]      (flight-recorder event-stream export)
 //! gs3 help
@@ -42,6 +45,7 @@ fn main() {
         Some("watch") => commands::watch(&parsed),
         Some("chaos") => commands::chaos(&parsed),
         Some("mc") => commands::mc(&parsed),
+        Some("dataplane") => commands::dataplane(&parsed),
         Some("trace") => commands::trace(&parsed),
         Some("help") | None => {
             commands::help();

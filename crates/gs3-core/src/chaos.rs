@@ -620,6 +620,35 @@ pub struct ContentionCounters {
     pub suppressed_broadcasts: u64,
 }
 
+/// Convergecast data-plane counters accumulated during a chaos run
+/// (deltas over the run window, taken from the trace's protocol counters).
+///
+/// All zero when the data plane is disabled — the layer is RNG-inert and
+/// counter-inert off.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataCounters {
+    /// Leaf reports produced (one per sequenced `sensor_report`, plus one
+    /// per head tick for the cell's own observation).
+    pub reports_produced: u64,
+    /// Leaf reports inside batches the sink consumed.
+    pub reports_delivered: u64,
+    /// Batches the sink consumed.
+    pub batches_delivered: u64,
+    /// Aggregation-queue overflows (each evicting one oldest batch).
+    pub queue_drops: u64,
+    /// Leaf reports inside evicted batches.
+    pub reports_dropped: u64,
+    /// Leaf reports inside batches that arrived at a non-head (stale
+    /// parent pointer) and were lost.
+    pub reports_misrouted: u64,
+    /// Stall-recovery firings (a starved head self-restoring one credit).
+    pub credit_recoveries: u64,
+    /// Per-leaf sequence gaps observed by heads (reports lost leaf→head).
+    pub leaf_gaps: u64,
+    /// Per-leaf duplicate reports observed by heads.
+    pub leaf_dups: u64,
+}
+
 /// The structured result of a chaos run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChaosReport {
@@ -652,6 +681,8 @@ pub struct ChaosReport {
     pub reliability: ReliabilityCounters,
     /// Medium-contention counters accumulated during the run.
     pub mac: ContentionCounters,
+    /// Convergecast data-plane counters accumulated during the run.
+    pub data: DataCounters,
     /// Per-message-kind send counts over the run window (deltas vs the
     /// start-of-run trace), sorted by kind; zero-delta kinds are omitted.
     pub sent_by_kind: Vec<(&'static str, u64)>,
@@ -734,6 +765,27 @@ impl ChaosReport {
             ("congestion_stretches", self.mac.congestion_stretches),
             ("congestion_relaxes", self.mac.congestion_relaxes),
             ("suppressed_broadcasts", self.mac.suppressed_broadcasts),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            push_kv(&mut out, key, &v.to_string());
+        }
+        out.push_str("},");
+        out.push_str("\"data\":{");
+        for (i, (key, v)) in [
+            ("reports_produced", self.data.reports_produced),
+            ("reports_delivered", self.data.reports_delivered),
+            ("batches_delivered", self.data.batches_delivered),
+            ("queue_drops", self.data.queue_drops),
+            ("reports_dropped", self.data.reports_dropped),
+            ("reports_misrouted", self.data.reports_misrouted),
+            ("credit_recoveries", self.data.credit_recoveries),
+            ("leaf_gaps", self.data.leaf_gaps),
+            ("leaf_dups", self.data.leaf_dups),
         ]
         .into_iter()
         .enumerate()
@@ -976,6 +1028,17 @@ impl Network {
                 congestion_stretches: delta("congestion_stretch"),
                 congestion_relaxes: delta("congestion_relax"),
                 suppressed_broadcasts: delta("suppressed_broadcast"),
+            },
+            data: DataCounters {
+                reports_produced: delta("data_reports_produced"),
+                reports_delivered: delta("data_reports_delivered"),
+                batches_delivered: delta("data_batches_delivered"),
+                queue_drops: delta("data_queue_drops"),
+                reports_dropped: delta("data_reports_dropped"),
+                reports_misrouted: delta("data_reports_lost_misroute"),
+                credit_recoveries: delta("data_credit_recovered"),
+                leaf_gaps: delta("data_leaf_gaps"),
+                leaf_dups: delta("data_leaf_dups"),
             },
             sent_by_kind,
             episodes,
@@ -1336,6 +1399,7 @@ mod tests {
             delayed: 0,
             reliability: ReliabilityCounters { retransmits: 4, ..ReliabilityCounters::default() },
             mac: ContentionCounters { collisions: 6, ..ContentionCounters::default() },
+            data: DataCounters { reports_delivered: 9, ..DataCounters::default() },
             sent_by_kind: vec![("org", 12), ("org_reply", 3)],
             episodes: Vec::new(),
         };
@@ -1346,6 +1410,8 @@ mod tests {
         assert!(json.contains("\"quarantine_drops\":0}"));
         assert!(json.contains("\"mac\":{\"collisions\":6,"));
         assert!(json.contains("\"suppressed_broadcasts\":0}"));
+        assert!(json.contains("\"data\":{\"reports_produced\":0,\"reports_delivered\":9,"));
+        assert!(json.contains("\"leaf_dups\":0}"));
         assert!(json.contains("\"sent_by_kind\":{\"org\":12,\"org_reply\":3}"));
         assert!(json.contains("\"heal_latency_us\":null"));
         assert!(json.contains("\"episode\":null"));

@@ -30,6 +30,7 @@
 //! measure healing latency growing by whole heartbeat periods, never
 //! diverging.
 
+use gs3_dataplane::DataplaneConfig;
 use gs3_geometry::{angular_slack, coordination_radius, head_spacing, Angle};
 use gs3_sim::SimDuration;
 
@@ -288,6 +289,10 @@ pub struct Gs3Config {
     /// Congestion-adaptive graceful degradation (default: disabled /
     /// RNG-inert).
     pub congestion: CongestionConfig,
+    /// Convergecast data plane (default: disabled / inert — see
+    /// [`DataplaneConfig`]). Requires a non-zero [`Gs3Config::report_period`]
+    /// to actually move traffic.
+    pub dataplane: DataplaneConfig,
 }
 
 /// Configuration validation failures.
@@ -356,6 +361,7 @@ impl Gs3Config {
             channel_reservation: true,
             reliability: ReliabilityConfig::disabled(),
             congestion: CongestionConfig::disabled(),
+            dataplane: DataplaneConfig::disabled(),
         })
     }
 

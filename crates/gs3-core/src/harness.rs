@@ -55,6 +55,7 @@ pub struct NetworkBuilder {
     reliability: Option<ReliabilityConfig>,
     contention: Option<ContentionConfig>,
     congestion: Option<CongestionConfig>,
+    dataplane: Option<gs3_dataplane::DataplaneConfig>,
     flight_recorder: Option<usize>,
     explicit_nodes: Vec<Point>,
 }
@@ -81,6 +82,7 @@ impl Default for NetworkBuilder {
             reliability: None,
             contention: None,
             congestion: None,
+            dataplane: None,
             flight_recorder: None,
             explicit_nodes: Vec::new(),
         }
@@ -273,6 +275,18 @@ impl NetworkBuilder {
         self
     }
 
+    /// Configures the convergecast data plane (sequenced batches, bounded
+    /// per-head queues, credit-based backpressure, sink-side delivery
+    /// ledger) riding on the sensing workload — requires `traffic` to
+    /// produce anything. Applied on top of `config` overrides; the
+    /// default is the inert [`gs3_dataplane::DataplaneConfig::disabled`],
+    /// under which runs are byte-identical to a build without the layer.
+    #[must_use]
+    pub fn dataplane(mut self, dc: gs3_dataplane::DataplaneConfig) -> Self {
+        self.dataplane = Some(dc);
+        self
+    }
+
     /// Enables the full flight recorder with a ring of `capacity` events
     /// (see [`gs3_sim::telemetry::FlightRecorder`]). Recording is pure
     /// observation: scheduled-delivery digests are bit-identical with the
@@ -313,6 +327,9 @@ impl NetworkBuilder {
         }
         if let Some(cc) = self.congestion {
             cfg.congestion = cc;
+        }
+        if let Some(dc) = self.dataplane {
+            cfg.dataplane = dc;
         }
         // With energy accounting on, heads retreat proactively while they
         // can still afford the handover chatter (head shift / cell shift
@@ -745,6 +762,13 @@ impl Network {
     /// Drains a node's battery to `energy` (predictable-death lever).
     pub fn set_energy(&mut self, id: NodeId, energy: f64) {
         let _ = self.eng.set_energy(id, energy);
+    }
+
+    /// The sink-side data-plane delivery ledger on the primary big node
+    /// (None until the first delivery, or when the data plane is off).
+    #[must_use]
+    pub fn sink_ledger(&self) -> Option<&gs3_dataplane::SinkLedger> {
+        self.eng.node(self.big).ok().and_then(|n| n.sink_ledger())
     }
 
     // ------------------------------------------------------------------

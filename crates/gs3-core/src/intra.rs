@@ -223,8 +223,12 @@ impl Gs3Node {
         ctx: &mut Ctx<'_>,
     ) {
         if let Role::Head(h) = &mut self.role {
-            h.associates
-                .insert(from, AssociateInfo { pos, energy, last_heard: ctx.now() });
+            // Preserve the data-plane provenance mark across refreshes.
+            let seq = h.associates.get(&from).map_or(0, |i| i.last_report_seq);
+            h.associates.insert(
+                from,
+                AssociateInfo { pos, energy, last_heard: ctx.now(), last_report_seq: seq },
+            );
         }
     }
 
@@ -236,8 +240,16 @@ impl Gs3Node {
         ctx: &mut Ctx<'_>,
     ) {
         if let Role::Head(h) = &mut self.role {
-            h.associates
-                .insert(from, AssociateInfo { pos, energy: f64::INFINITY, last_heard: ctx.now() });
+            let seq = h.associates.get(&from).map_or(0, |i| i.last_report_seq);
+            h.associates.insert(
+                from,
+                AssociateInfo {
+                    pos,
+                    energy: f64::INFINITY,
+                    last_heard: ctx.now(),
+                    last_report_seq: seq,
+                },
+            );
         }
     }
 

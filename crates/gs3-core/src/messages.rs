@@ -31,6 +31,21 @@ pub struct OrgInfo {
     pub root_pos: Point,
 }
 
+/// One origin cell's sub-batch inside a `data_batch` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataItem {
+    /// The originating head's batch sequence number.
+    pub seq: u64,
+    /// Leaf reports summed into the sub-batch.
+    pub count: u32,
+    /// Absolute production time (µs) of the sub-batch's oldest report —
+    /// the sink measures end-to-end latency against this.
+    pub born_us: u64,
+    /// The head that produced the sub-batch (sink-side provenance; the
+    /// relaying sender changes hop by hop, the origin does not).
+    pub origin: NodeId,
+}
+
 /// One head selection in a `⟨HeadSet⟩` broadcast.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HeadAssignment {
@@ -220,12 +235,33 @@ pub enum Msg {
 
     // ------------------------------------------------------- sensing workload
     /// A sensor report from an associate to its cell head.
-    SensorReport,
+    SensorReport {
+        /// The reporting leaf's report sequence number (provenance; the
+        /// head tallies gaps and duplicates per associate). Zero in the
+        /// legacy workload (data plane disabled).
+        seq: u64,
+    },
     /// An aggregated report a head relays to its parent (carries how many
     /// raw reports it folds together, for accounting).
     AggregateReport {
         /// Raw reports aggregated into this message.
         count: u32,
+    },
+    /// A data-plane frame relayed hop-by-hop up the head tree toward the
+    /// sink (credit-gated; see `gs3-dataplane`). Carries one or more
+    /// per-origin sub-batches: relaying heads pack whatever is queued —
+    /// up to the configured MTU — into one frame, the in-network
+    /// aggregation the paper's convergecast traffic assumes.
+    DataBatch {
+        /// The aggregated sub-batches (at least one; bounded by
+        /// `DataplaneConfig::max_frame_items`).
+        items: Vec<DataItem>,
+    },
+    /// A flow-control credit grant from a parent (or the sink) back to
+    /// the child whose batch it just dequeued.
+    DataCredit {
+        /// Credits granted (capped at the receiver's window).
+        grant: u32,
     },
 
     // -------------------------------------------------------- big-node mobility
@@ -278,8 +314,10 @@ impl Payload for Msg {
             Msg::BootupProbe { .. } => "bootup_probe",
             Msg::HeadJoinResp { .. } => "head_join_resp",
             Msg::AssociateJoinResp { .. } => "associate_join_resp",
-            Msg::SensorReport => "sensor_report",
+            Msg::SensorReport { .. } => "sensor_report",
             Msg::AggregateReport { .. } => "aggregate_report",
+            Msg::DataBatch { .. } => "data_batch",
+            Msg::DataCredit { .. } => "data_credit",
             Msg::ProxyAssign => "proxy_assign",
             Msg::ProxyRelease => "proxy_release",
             Msg::Reliable { .. } => "reliable",
@@ -318,6 +356,10 @@ impl Payload for Msg {
             Msg::HeadJoinResp { .. } => 3 * WORD,
             Msg::AssociateJoinResp { .. } => 2 * WORD,
             Msg::AggregateReport { .. } => WORD,
+            Msg::SensorReport { .. } => 2 * WORD,
+            // Frame header, plus seq + count + born_us + origin per item.
+            Msg::DataBatch { items } => WORD + 4 * WORD * items.len() as u64,
+            Msg::DataCredit { .. } => WORD,
             Msg::Reliable { inner, .. } => WORD + inner.wire_bits(),
             Msg::DeliveryAck { .. } => WORD,
             // Bare signals cost one word.
@@ -328,7 +370,6 @@ impl Payload for Msg {
             | Msg::SanityCheckReq
             | Msg::SanityCheckValid
             | Msg::HeadRetreatCorrupted
-            | Msg::SensorReport
             | Msg::ProxyAssign
             | Msg::ProxyRelease => WORD,
         }

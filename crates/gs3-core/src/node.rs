@@ -19,7 +19,7 @@ use gs3_sim::{Context, NodeId, SimDuration};
 use crate::config::{Gs3Config, Mode};
 use crate::messages::{CellInfo, Msg};
 use crate::reliable::ReliableState;
-use crate::state::{AssocState, BigAwayState, HeadState, Role};
+use crate::state::{AssocState, BigAwayState, DataState, HeadState, Role};
 use crate::timers::Timer;
 
 /// Shorthand for the simulator context type GS³ nodes use.
@@ -38,6 +38,9 @@ pub struct Gs3Node {
     /// Congestion-adaptation state (observation baseline and stretch
     /// exponent) — also role-independent.
     pub(crate) cong: crate::congestion::CongestionState,
+    /// Convergecast data-plane state (queues, credits, sequence spaces) —
+    /// role-independent and inert while `cfg.dataplane` is disabled.
+    pub(crate) data: DataState,
 }
 
 impl Gs3Node {
@@ -50,6 +53,7 @@ impl Gs3Node {
             role: Role::bootup(),
             rel: ReliableState::default(),
             cong: Default::default(),
+            data: DataState::default(),
         }
     }
 
@@ -62,6 +66,7 @@ impl Gs3Node {
             role: Role::bootup(),
             rel: ReliableState::default(),
             cong: Default::default(),
+            data: DataState::default(),
         }
     }
 
@@ -324,8 +329,10 @@ impl gs3_sim::Node for Gs3Node {
                 self.on_associate_join_resp(from, pos, head, ctx);
             }
             // sensing workload
-            Msg::SensorReport => self.on_sensor_report(from, ctx),
+            Msg::SensorReport { seq } => self.on_sensor_report(from, seq, ctx),
             Msg::AggregateReport { count } => self.on_aggregate_report(from, count, ctx),
+            Msg::DataBatch { items } => self.on_data_batch(from, items, ctx),
+            Msg::DataCredit { grant } => self.on_data_credit(from, grant, ctx),
             // big-node mobility
             Msg::ProxyAssign => self.on_proxy_assign(from, ctx),
             Msg::ProxyRelease => self.on_proxy_release(from, ctx),

@@ -174,6 +174,12 @@ pub(crate) fn note_seek_failed(h: &mut HeadState, cfg: &ReliabilityConfig, ctx: 
 /// adopted a better parent, or heard its silent parent again): reset the
 /// seek bookkeeping and, when leaving quarantine, drain the buffered
 /// aggregates to the new parent as one summed report.
+///
+/// With the data plane enabled the quarantine buffer is the head's
+/// aggregation queue instead (`quarantine_buf` stays empty, so the summed
+/// drain below is a no-op): the queued batches replay through the
+/// ordinary credit-gated drain at the next report tick, and the sink's
+/// `(origin, seq)` dedup keeps any overlap from double-counting.
 pub(crate) fn head_reattached(h: &mut HeadState, ctx: &mut Ctx<'_>) {
     h.failed_seeks = 0;
     h.pending_seek = None;

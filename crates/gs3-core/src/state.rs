@@ -101,6 +101,10 @@ pub struct AssociateInfo {
     pub energy: f64,
     /// When we last heard from it.
     pub last_heard: SimTime,
+    /// Highest sensor-report sequence seen from this associate (0 until
+    /// the first sequenced report; data-plane provenance for gap/duplicate
+    /// accounting).
+    pub last_report_seq: u64,
 }
 
 /// A small node's `org_reply`: `(node, position, current head and its
@@ -322,6 +326,36 @@ impl BigAwayState {
     }
 }
 
+/// Per-node convergecast data-plane state (see `gs3-dataplane`).
+///
+/// Lives *outside* [`Role`] so it survives role transitions (a head that
+/// retreats and is re-elected keeps its batch sequence space, which the
+/// sink's dedup depends on). Default-empty and untouched while the data
+/// plane is disabled, so the legacy workload stays byte-identical.
+#[derive(Debug, Clone, Default)]
+pub struct DataState {
+    /// As a leaf: sequence of the last sensor report sent.
+    pub leaf_seq: u64,
+    /// As a head: sequence of the last batch produced from the own cell.
+    pub next_seq: u64,
+    /// Production time of the oldest report accumulated since the last
+    /// tick (batch latency is measured from here).
+    pub accum_born: Option<SimTime>,
+    /// As a head: the bounded aggregation queue (doubles as the quarantine
+    /// buffer while partitioned — quarantine just stops the drain).
+    pub queue: gs3_dataplane::AggQueue,
+    /// As a head: credits held against the parent.
+    pub gate: gs3_dataplane::CreditGate,
+    /// The parent the gate's credits were issued by. Checked lazily at
+    /// drain time: a mismatch means the head re-parented since, so the
+    /// gate resets to a full window (the old parent's unreturned credits
+    /// die with the old attachment).
+    pub gate_parent: Option<NodeId>,
+    /// On the big node only: the sink-side delivery ledger (boxed so the
+    /// histogram never multiplies across a million-node arena).
+    pub ledger: Option<Box<gs3_dataplane::SinkLedger>>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,7 +383,7 @@ mod tests {
         let add = |h: &mut HeadState, id: u64, pos: Point| {
             h.associates.insert(
                 NodeId::new(id),
-                AssociateInfo { pos, energy: 1.0, last_heard: SimTime::ZERO },
+                AssociateInfo { pos, energy: 1.0, last_heard: SimTime::ZERO, last_report_seq: 0 },
             );
         };
         add(&mut h, 1, Point::new(5.0, 0.0)); // candidate, d=5

@@ -1,0 +1,74 @@
+//! Data-plane configuration.
+
+/// Parameters of the convergecast data plane.
+///
+/// Disabled by default: the protocol falls back to the legacy one-line
+/// report tick (un-sequenced `SensorReport`s, instant `AggregateReport`
+/// relay, no queues, no credits, no ledger) and the layer is *inert* — no
+/// extra state, messages, timers, RNG draws, or counters, so runs are
+/// byte-identical to a build without the layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataplaneConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Bound of each head's aggregation queue, in batches. Overflow drops
+    /// the oldest batch (with its reports accounted as lost).
+    pub queue_capacity: usize,
+    /// Credits a head holds against its parent when freshly attached —
+    /// the maximum number of its batches in flight or queued upstream.
+    pub credit_window: u32,
+    /// Consecutive report ticks a head may sit starved (zero credits,
+    /// non-empty queue) before the stall-recovery escape hatch restores a
+    /// single credit.
+    pub stall_recovery_ticks: u32,
+    /// In-network aggregation bound: the most sub-batches a relaying head
+    /// packs into one `data_batch` frame (its MTU, in batch items). This
+    /// is what makes convergecast scale — without it every origin cell
+    /// costs the inner rings one whole frame per period, and the funnel's
+    /// transmit budget (not its queue) becomes the lifetime bottleneck.
+    /// The round-model baselines assume perfect aggregation (one frame
+    /// per cluster per round, any load); a bounded MTU is the honest
+    /// event-level counterpart.
+    pub max_frame_items: usize,
+}
+
+impl DataplaneConfig {
+    /// The inert default (see the type docs).
+    #[must_use]
+    pub fn disabled() -> Self {
+        DataplaneConfig {
+            enabled: false,
+            queue_capacity: 32,
+            credit_window: 4,
+            stall_recovery_ticks: 4,
+            max_frame_items: 32,
+        }
+    }
+
+    /// The data plane with default tuning.
+    #[must_use]
+    pub fn on() -> Self {
+        DataplaneConfig { enabled: true, ..DataplaneConfig::disabled() }
+    }
+}
+
+impl Default for DataplaneConfig {
+    fn default() -> Self {
+        DataplaneConfig::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        assert!(!DataplaneConfig::default().enabled);
+        assert!(DataplaneConfig::on().enabled);
+        assert_eq!(
+            DataplaneConfig { enabled: true, ..DataplaneConfig::disabled() },
+            DataplaneConfig::on()
+        );
+    }
+}

@@ -117,12 +117,16 @@ pub fn check_d2(rel: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
 }
 
 /// Files forming the simulator's per-event hot path; `a1` keeps their
-/// storage dense.
-const HOT_PATHS: [&str; 4] = [
+/// storage dense. The data-plane pair runs once per queued batch and
+/// per drained frame, which at a 10k-node convergecast funnel is the
+/// same per-event cadence as the engine itself.
+const HOT_PATHS: [&str; 6] = [
     "crates/gs3-sim/src/engine.rs",
     "crates/gs3-sim/src/queue.rs",
     "crates/gs3-sim/src/spatial.rs",
     "crates/gs3-sim/src/channel.rs",
+    "crates/gs3-dataplane/src/queue.rs",
+    "crates/gs3-core/src/workload.rs",
 ];
 
 /// `a1`: heap indirection in hot-path storage. The engine's scaling
@@ -464,6 +468,14 @@ mod tests {
         // Cold-path files in the same crate keep their ordered maps.
         let mut f = Vec::new();
         check_a1("crates/gs3-sim/src/trace.rs", &lex(src).toks, &mut f);
+        assert!(f.is_empty());
+        // The data-plane per-batch path is held to the same standard...
+        let mut f = Vec::new();
+        check_a1("crates/gs3-core/src/workload.rs", &lex(src).toks, &mut f);
+        assert_eq!(f.len(), 3);
+        // ...but the sink ledger's sparse-keyed replay map is cold-path.
+        let mut f = Vec::new();
+        check_a1("crates/gs3-dataplane/src/ledger.rs", &lex(src).toks, &mut f);
         assert!(f.is_empty());
     }
 

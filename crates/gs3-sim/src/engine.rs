@@ -274,6 +274,11 @@ struct Arena<N: Node> {
     /// drops, corrupted frames) — the local congestion signal surfaced via
     /// [`Context::mac_events`]. All zero while contention is disabled.
     mac_events: Vec<u64>,
+    /// Hot while idle drain is on: when each node's idle-listening drain
+    /// was last settled (lazy accounting — see
+    /// [`EnergyModel::idle`](crate::radio::EnergyModel)). Untouched when
+    /// `idle == 0.0`.
+    energy_settled: Vec<SimTime>,
 }
 
 impl<N: Node> Arena<N> {
@@ -285,6 +290,7 @@ impl<N: Node> Arena<N> {
             energy: Vec::new(),
             pending_timers: Vec::new(),
             mac_events: Vec::new(),
+            energy_settled: Vec::new(),
         }
     }
 
@@ -293,7 +299,7 @@ impl<N: Node> Arena<N> {
     }
 
     /// Appends one node's row across every column; returns its index.
-    fn push(&mut self, node: N, position: Point, energy: f64) -> usize {
+    fn push(&mut self, node: N, position: Point, energy: f64, now: SimTime) -> usize {
         let idx = self.nodes.len();
         self.nodes.push(node);
         self.positions.push(position);
@@ -301,6 +307,7 @@ impl<N: Node> Arena<N> {
         self.energy.push(energy);
         self.pending_timers.push(Vec::new());
         self.mac_events.push(0);
+        self.energy_settled.push(now);
         idx
     }
 }
@@ -572,7 +579,7 @@ impl<N: Node> Engine<N> {
         let idx = self.arena.len();
         let id = NodeId::from_index(idx);
         self.grid.insert(idx, position);
-        self.arena.push(node, position, energy.unwrap_or(UNLIMITED_ENERGY));
+        self.arena.push(node, position, energy.unwrap_or(UNLIMITED_ENERGY), self.now);
         self.queue.schedule(
             at,
             PendingEvent { to: id, kind: EventKind::Start, tag: NO_TAG, tx: TxWindow::NONE },
@@ -648,9 +655,12 @@ impl<N: Node> Engine<N> {
     }
 
     /// Overwrites a node's remaining energy (harness-level perturbation).
+    /// Also resets the idle-drain settlement clock so the new budget is
+    /// not retroactively drained for time already lived.
     pub fn set_energy(&mut self, id: NodeId, energy: f64) -> Result<(), EngineError> {
         let idx = self.check(id)?;
         self.arena.energy[idx] = energy;
+        self.arena.energy_settled[idx] = self.now;
         Ok(())
     }
 
@@ -876,6 +886,13 @@ impl<N: Node> Engine<N> {
         if !self.arena.alive.get(idx).copied().unwrap_or(false) {
             return;
         }
+        // Settle the idle-listening drain accrued since this node last
+        // handled an event; a node whose battery ran dry while idle dies
+        // here and never sees the event. No-op (and no column touch) when
+        // the model has no idle term, so idle-free runs stay byte-equal.
+        if self.settle_idle(ev.to) {
+            return;
+        }
         match ev.kind {
             EventKind::Start => self.with_ctx(ev.to, |node, ctx| node.on_start(ctx)),
             EventKind::Deliver { from, msg, directed } => {
@@ -970,6 +987,23 @@ impl<N: Node> Engine<N> {
                 self.try_broadcast(ev.to, radius, msg, attempt);
             }
         }
+    }
+
+    /// Applies the idle-listening drain accrued by `id` since its last
+    /// settlement (lazy accounting: exact at every event boundary, and the
+    /// gap between events is bounded by the node's own timer cadence).
+    /// Returns `true` when the drain exhausted the battery.
+    fn settle_idle(&mut self, id: NodeId) -> bool {
+        if self.energy_model.idle == 0.0 {
+            return false;
+        }
+        let idx = id.index();
+        let since = self.now.saturating_since(self.arena.energy_settled[idx]);
+        if since.is_zero() {
+            return false;
+        }
+        self.arena.energy_settled[idx] = self.now;
+        self.charge(id, self.energy_model.idle_cost(since.as_secs_f64()))
     }
 
     /// Charges `cost` to a node; returns `true` when the node died of
@@ -1634,7 +1668,7 @@ mod tests {
     fn energy_exhaustion_kills() {
         let mut eng = Engine::new(
             RadioModel::ideal(100.0),
-            EnergyModel { tx_base: 1.0, tx_dist2: 0.0, rx: 0.0 },
+            EnergyModel { tx_base: 1.0, tx_dist2: 0.0, rx: 0.0, idle: 0.0 },
             1,
         );
         let id = eng.spawn_at(Flood::default(), Point::ORIGIN, SimTime::ZERO, Some(0.5));
@@ -1642,6 +1676,49 @@ mod tests {
         // Node 0's single broadcast cost 1.0 > 0.5 budget → dead.
         assert!(!eng.is_alive(id).unwrap());
         assert_eq!(eng.energy(id).unwrap(), 0.0);
+    }
+
+    /// A node that only ever re-arms a periodic timer — it spends nothing
+    /// on tx/rx, so any death must come from the idle drain.
+    #[derive(Debug, Default)]
+    struct Idler {
+        ticks: u32,
+    }
+    impl Node for Idler {
+        type Msg = Hop;
+        type Timer = T;
+        fn on_start(&mut self, ctx: &mut Context<'_, Hop, T>) {
+            ctx.set_timer(SimDuration::from_secs(1), T::Tick);
+        }
+        fn on_message(&mut self, _: NodeId, _: Hop, _: &mut Context<'_, Hop, T>) {}
+        fn on_timer(&mut self, _: T, ctx: &mut Context<'_, Hop, T>) {
+            self.ticks += 1;
+            ctx.set_timer(SimDuration::from_secs(1), T::Tick);
+        }
+    }
+
+    #[test]
+    fn idle_drain_kills_quiet_node_on_schedule() {
+        let model = EnergyModel { tx_base: 0.0, tx_dist2: 0.0, rx: 0.0, idle: 0.1 };
+        let mut eng = Engine::new(RadioModel::ideal(100.0), model, 1);
+        // 1.05 units at 0.1/s: dies settling the drain at the 11th tick
+        // (10.5 s owed > 1.05 budget at t = 11 s), having run ~10 ticks.
+        let id = eng.spawn_at(Idler::default(), Point::ORIGIN, SimTime::ZERO, Some(1.05));
+        eng.run_until(SimTime::from_micros(60_000_000));
+        assert!(!eng.is_alive(id).unwrap(), "idle drain must kill the quiet node");
+        assert_eq!(eng.energy(id).unwrap(), 0.0);
+        let ticks = eng.node(id).unwrap().ticks;
+        assert!((9..=11).contains(&ticks), "died around t=10.5s, got {ticks} ticks");
+    }
+
+    #[test]
+    fn zero_idle_term_costs_nothing() {
+        let model = EnergyModel { tx_base: 1.0, tx_dist2: 0.0, rx: 0.0, idle: 0.0 };
+        let mut eng = Engine::new(RadioModel::ideal(100.0), model, 1);
+        let id = eng.spawn_at(Idler::default(), Point::ORIGIN, SimTime::ZERO, Some(1.0));
+        eng.run_until(SimTime::from_micros(60_000_000));
+        assert!(eng.is_alive(id).unwrap());
+        assert_eq!(eng.energy(id).unwrap(), 1.0, "no tx/rx and no idle term: budget untouched");
     }
 
     #[test]

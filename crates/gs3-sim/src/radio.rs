@@ -98,6 +98,12 @@ pub struct EnergyModel {
     pub tx_dist2: f64,
     /// Cost charged to each receiver per delivered message.
     pub rx: f64,
+    /// Idle/listen drain per second of simulated time. Applied lazily by
+    /// the engine at each event dispatch (a node's drain is settled before
+    /// it handles an event), so a node with no events is not drained until
+    /// its next event — in practice every active node runs periodic
+    /// timers, keeping the error within one heartbeat.
+    pub idle: f64,
 }
 
 impl EnergyModel {
@@ -105,14 +111,16 @@ impl EnergyModel {
     /// for correctness-oriented experiments.
     #[must_use]
     pub fn disabled() -> Self {
-        EnergyModel { tx_base: 0.0, tx_dist2: 0.0, rx: 0.0 }
+        EnergyModel { tx_base: 0.0, tx_dist2: 0.0, rx: 0.0, idle: 0.0 }
     }
 
     /// A first-order model normalized so that one maximum-range
-    /// transmission at `range` costs 1 unit.
+    /// transmission at `range` costs 1 unit. Idle listening drains 0.005
+    /// units per second — two orders below a transmission, but enough
+    /// that quiet nodes are no longer over-credited in lifetime runs.
     #[must_use]
     pub fn normalized(range: f64) -> Self {
-        EnergyModel { tx_base: 0.2, tx_dist2: 0.8 / (range * range), rx: 0.05 }
+        EnergyModel { tx_base: 0.2, tx_dist2: 0.8 / (range * range), rx: 0.05, idle: 0.005 }
     }
 
     /// Cost of one transmission at `range` meters.
@@ -121,10 +129,16 @@ impl EnergyModel {
         self.tx_base + self.tx_dist2 * range * range
     }
 
+    /// Cost of idling for `secs` seconds of simulated time.
+    #[must_use]
+    pub fn idle_cost(&self, secs: f64) -> f64 {
+        self.idle * secs
+    }
+
     /// True when all coefficients are zero (no accounting).
     #[must_use]
     pub fn is_disabled(&self) -> bool {
-        self.tx_base == 0.0 && self.tx_dist2 == 0.0 && self.rx == 0.0
+        self.tx_base == 0.0 && self.tx_dist2 == 0.0 && self.rx == 0.0 && self.idle == 0.0
     }
 }
 
@@ -201,6 +215,19 @@ mod tests {
         assert!(EnergyModel::disabled().is_disabled());
         assert!(!EnergyModel::normalized(10.0).is_disabled());
         assert_eq!(EnergyModel::default(), EnergyModel::disabled());
+        // An idle-only model still counts as accounting-enabled.
+        let idle_only = EnergyModel { idle: 0.1, ..EnergyModel::disabled() };
+        assert!(!idle_only.is_disabled());
+    }
+
+    #[test]
+    fn idle_cost_scales_with_time() {
+        let e = EnergyModel::normalized(100.0);
+        assert!((e.idle_cost(10.0) - 10.0 * e.idle).abs() < 1e-12);
+        assert_eq!(EnergyModel::disabled().idle_cost(1e9), 0.0);
+        // Idle drain stays far below active costs: a full heartbeat of
+        // idling costs less than a single max-range transmission.
+        assert!(e.idle_cost(3.0) < e.tx_cost(100.0));
     }
 
     #[test]
