@@ -748,6 +748,7 @@ fn connectivity_mask(snap: &Snapshot, idx: &SnapshotIndex) -> Vec<bool> {
     // same-cell adjacency unless the edge was clamped (degenerate tiny
     // ranges), in which case fall back to checked pairs.
     let wholesale = idx.alive.cell_edge() * std::f64::consts::SQRT_2 <= range;
+    // gs3-lint: allow(d5) -- union-find edge insertion is order-independent: unions commute and only the final partition is consumed (see connectivity_mask_is_iteration_order_independent)
     idx.alive.for_each_cell(|_, members| {
         if wholesale {
             for &m in &members[1..] {
@@ -782,6 +783,7 @@ fn connectivity_mask(snap: &Snapshot, idx: &SnapshotIndex) -> Vec<bool> {
         (2, 1),
         (2, 2),
     ];
+    // gs3-lint: allow(d5) -- same union-find argument as pass 1: the early-skip shortcuts only elide redundant unions, so any cell order yields the same partition
     idx.alive.for_each_cell(|key, members| {
         for (dx, dy) in OFFSETS {
             let Some(other) = idx.alive.cell((key.0 + dx, key.1 + dy)) else {
@@ -1213,6 +1215,66 @@ mod tests {
         assert!(r.contains(&NodeId::new(1)));
         assert!(r.contains(&NodeId::new(2)), "two-hop reachability");
         assert!(!r.contains(&NodeId::new(3)));
+    }
+
+    // Cited by the `gs3-lint: allow(d5)` justifications inside
+    // `connectivity_mask`: the union-find passes iterate the spatial
+    // grid's FxHashMap cells in insertion order, which tracks node
+    // order. Unions commute, so the resulting partition — and hence the
+    // reachability mask — must be identical under any node ordering.
+    #[test]
+    fn connectivity_mask_is_iteration_order_independent() {
+        // Logical layout: 0 = big at the origin, 1..=7 a connected
+        // component (chain + an off-axis member sharing grid cells),
+        // 8..=9 a mutually-connected far island, 10 a lone stray, 11 a
+        // dead node adjacent to the chain.
+        let pos = [
+            Point::ORIGIN,
+            Point::new(300.0, 0.0),
+            Point::new(600.0, 0.0),
+            Point::new(900.0, 0.0),
+            Point::new(1200.0, 0.0),
+            Point::new(1200.0, 300.0),
+            Point::new(900.0, 300.0),
+            Point::new(150.0, 100.0),
+            Point::new(10_000.0, 0.0),
+            Point::new(10_300.0, 0.0),
+            Point::new(-8_000.0, 500.0),
+            Point::new(300.0, 50.0),
+        ];
+        let reachable_logical = |order: &[usize]| -> BTreeSet<usize> {
+            let mut nodes = Vec::new();
+            for (k, &l) in order.iter().enumerate() {
+                let mut n = assoc(k as u64, pos[l], 0);
+                if l == 11 {
+                    n.alive = false;
+                }
+                nodes.push(n);
+            }
+            let mut s = snap(nodes);
+            s.big = NodeId::new(order.iter().position(|&l| l == 0).unwrap() as u64);
+            physically_connected_to_big(&s)
+                .into_iter()
+                .map(|id| order[id.raw() as usize])
+                .collect()
+        };
+
+        let n = pos.len();
+        let identity: Vec<usize> = (0..n).collect();
+        let reversed: Vec<usize> = (0..n).rev().collect();
+        // Interleave evens and odds: a third, structurally different
+        // insertion order for the grid's hash maps.
+        let mut interleaved: Vec<usize> = (0..n).step_by(2).collect();
+        interleaved.extend((1..n).step_by(2));
+
+        let want: BTreeSet<usize> = (0..=7).collect();
+        for order in [&identity, &reversed, &interleaved] {
+            assert_eq!(
+                reachable_logical(order),
+                want,
+                "connectivity differs under node order {order:?}"
+            );
+        }
     }
 
     #[test]

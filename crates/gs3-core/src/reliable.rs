@@ -268,6 +268,13 @@ impl Gs3Node {
     /// past `max_retries` — give up and run the protocol-level fallback
     /// for the abandoned message.
     pub(crate) fn on_retransmit(&mut self, seq: u64, ctx: &mut Ctx<'_>) {
+        // Retransmit timers are only armed on enabled-layer paths, but the
+        // gate must be explicit: with reliability disabled this handler has
+        // to stay RNG-inert even if a stale timer fires, or the shared
+        // seeded stream shifts and every digest changes.
+        if !self.cfg.reliability.enabled {
+            return;
+        }
         let max_retries = self.cfg.reliability.max_retries;
         let Some(p) = self.rel.pending.get_mut(&seq) else { return };
         p.attempt += 1;
@@ -464,6 +471,44 @@ mod tests {
         assert!(!w.admit(101, 2));
         assert!(w.admit(102, 2));
         assert!(!w.admit(100, 2), "still rejected after more traffic");
+    }
+
+    // Regression for the `d4` lint finding on `on_retransmit`: with the
+    // reliability layer disabled (the digest-pinned default), a stale
+    // Retransmit deadline must return before touching the shared seeded
+    // RNG — otherwise one forged timer shifts the stream and every
+    // subsequent draw (hence every digest) diverges. Compare a run with
+    // an injected stale timer against an untouched control run.
+    #[test]
+    fn stale_retransmit_is_rng_inert_when_disabled() {
+        use crate::harness::NetworkBuilder;
+
+        let run = |inject: bool| {
+            let mut net = NetworkBuilder::new()
+                .area_radius(200.0)
+                .expected_nodes(120)
+                .seed(11)
+                .build()
+                .unwrap();
+            net.run_for(SimDuration::from_secs(30));
+            assert!(
+                !net.config().reliability.enabled,
+                "control premise: reliability defaults to disabled"
+            );
+            if inject {
+                let big = net.big_id();
+                net.engine_mut()
+                    .inject_timer(big, Timer::Retransmit { seq: 9_999 }, SimDuration::from_millis(1))
+                    .unwrap();
+            }
+            net.run_for(SimDuration::from_secs(5));
+            (net.engine().rng_state(), net.engine().trace().digest())
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "a stale Retransmit timer perturbed the RNG stream or traffic digest"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 struct Slots {
     nodes: Vec<Box<Node>>,
     timers: BTreeMap<u32, u64>,
-    owner: Rc<Cell>,
+    owner: Rc<CellRec>,
     cache: HashMap<u32, u64>, // also d1: unordered std hash in gs3-sim
 }
 

@@ -1,0 +1,17 @@
+// pretend: crates/gs3-sim/src/queue.rs
+// A2 green: owned state passed explicitly, constants instead of statics,
+// and `&'static str` lifetimes (invisible to the lexer) don't trip.
+const LANES: usize = 4;
+
+struct Queue {
+    items: Vec<Event>,
+    cursor: usize,
+}
+
+fn name(q: &Queue) -> &'static str {
+    "queue"
+}
+
+fn drain(q: &mut Queue) -> Option<Event> {
+    q.items.pop()
+}

@@ -1,0 +1,12 @@
+// pretend: crates/gs3-sim/src/queue.rs
+// A2: interior mutability and ambient globals in the engine hot path.
+static mut DRAINED: u64 = 0;
+
+struct Queue {
+    items: RefCell<Vec<Event>>,
+    lock: Mutex<()>,
+}
+
+fn bump() {
+    thread_local!(static LOCAL: u64 = 0);
+}

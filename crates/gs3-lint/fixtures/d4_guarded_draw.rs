@@ -1,0 +1,19 @@
+// pretend: crates/gs3-core/src/reliable.rs
+// D4 green: the draw fn reads no guard itself, but every call path into
+// it is dominated by the subsystem's enabled flag.
+impl Gs3Node {
+    fn retransmit_after(&self, ctx: &mut Ctx) -> u64 {
+        ctx.rng().gen_range(0..100)
+    }
+    fn on_message(&mut self, ctx: &mut Ctx) {
+        if self.cfg.reliability.enabled {
+            let _rto = self.retransmit_after(ctx);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx) {
+        if !self.cfg.reliability.enabled {
+            return;
+        }
+        let _rto = self.retransmit_after(ctx);
+    }
+}

@@ -1,0 +1,15 @@
+// pretend: crates/gs3-core/src/reliable.rs
+// D4: a draw in a config-gated subsystem with one unguarded call path.
+impl Gs3Node {
+    fn retransmit_after(&self, ctx: &mut Ctx) -> u64 {
+        ctx.rng().gen_range(0..100)
+    }
+    fn on_message(&mut self, ctx: &mut Ctx) {
+        if self.cfg.reliability.enabled {
+            let _rto = self.retransmit_after(ctx);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx) {
+        let _rto = self.retransmit_after(ctx); // no guard on this path
+    }
+}

@@ -1,0 +1,13 @@
+// pretend: crates/gs3-sim/src/metrics.rs
+// D5: hash-ordered iteration leaking into a digest.
+struct Metrics {
+    counts: FxHashMap<u32, u64>,
+}
+
+impl Metrics {
+    fn digest(&self, d: &mut Digest) {
+        for (k, v) in self.counts.iter() {
+            d.push(*k, *v);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+// pretend: crates/gs3-sim/src/metrics.rs
+// D5 green: sorted keys and order-commutative reductions are exempt.
+struct Metrics {
+    counts: FxHashMap<u32, u64>,
+}
+
+impl Metrics {
+    fn digest(&self, d: &mut Digest) {
+        let mut keys: Vec<u32> = self.counts.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            d.push(k, self.counts[&k]);
+        }
+    }
+    fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}

@@ -14,3 +14,9 @@ fn kind(msg: &Msg) -> &'static str {
         Msg::Data { .. } => "data",
     }
 }
+
+fn send_all(&mut self, ctx: &mut Ctx) {
+    // Constructions keeping t3 quiet: this fixture is about t1 totality.
+    ctx.emit(Msg::Ping(1));
+    ctx.emit(Msg::Data { x: 0.0 });
+}

@@ -1,0 +1,18 @@
+// pretend: crates/gs3-core/src/handlers.rs
+// T3: Msg::Data is constructed but never dispatched, and Msg::Stop is
+// dispatched but never constructed (dead protocol arm).
+fn on_message(&mut self, msg: Msg, ctx: &mut Ctx) {
+    match msg {
+        Msg::Ping(n) => ctx.reply(Msg::Ping(n)),
+    }
+}
+
+fn on_control(&mut self, msg: Msg) {
+    match msg {
+        Msg::Stop => self.halt(),
+    }
+}
+
+fn announce(&mut self, ctx: &mut Ctx) {
+    ctx.emit(Msg::Data { x: 0.5 });
+}

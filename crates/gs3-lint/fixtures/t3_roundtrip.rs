@@ -1,0 +1,14 @@
+// pretend: crates/gs3-core/src/handlers.rs
+// T3 green: every constructed variant is dispatched and vice versa.
+fn on_message(&mut self, msg: Msg, ctx: &mut Ctx) {
+    match msg {
+        Msg::Ping(n) => ctx.reply(Msg::Data { x: 1.0 }),
+        Msg::Data { x } => self.absorb(x),
+        Msg::Stop => self.halt(),
+    }
+}
+
+fn kick(&mut self, ctx: &mut Ctx) {
+    ctx.emit(Msg::Ping(1));
+    ctx.emit(Msg::Stop);
+}

@@ -1,0 +1,9 @@
+// pretend: crates/gs3-core/src/messages.rs
+// W1: the wire enum drifted from the committed schema — Ping's payload
+// widened and a variant was appended without regenerating the pin.
+pub enum Msg {
+    Ping(u64),
+    Data { x: f64 },
+    Stop,
+    Probe,
+}

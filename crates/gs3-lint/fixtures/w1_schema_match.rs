@@ -1,0 +1,7 @@
+// pretend: crates/gs3-core/src/messages.rs
+// W1 green: layout byte-identical to the committed schema pin.
+pub enum Msg {
+    Ping(u32),
+    Data { x: f64 },
+    Stop,
+}

@@ -1,0 +1,251 @@
+//! A name-resolved workspace call graph over extracted `fn` items.
+//!
+//! Resolution is *name-based*: a call `foo(..)` or `recv.foo(..)` edges
+//! to **every** function named `foo` in the workspace, and `T::foo(..)`
+//! prefers functions inside an `impl` block for `T` (falling back to all
+//! `foo`s when `T` defines none). With no type inference this
+//! over-approximates — two unrelated methods sharing a name are merged —
+//! which is the conservative direction for every client: reachability
+//! and draws-randomness sets only grow, so rules may flag a borderline
+//! site but never silently miss one. The limits are pinned by tests in
+//! `tests/syntax_callgraph.rs`.
+//!
+//! Test functions (`#[test]`, `#[cfg(test)]` modules, `tests/` trees) are
+//! excluded from the graph entirely: the protocol rules reason about
+//! simulation executions, and a test calling into a gated subsystem must
+//! not make that subsystem look reachable from the protocol.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::Tok;
+use crate::syntax::{calls_in, extract_fns, CallSite, FnItem};
+
+/// One function node of the graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// The extracted item.
+    pub item: FnItem,
+    /// Workspace-relative path of the defining file.
+    pub rel: String,
+    /// Calls made from this function's body (nested fns excluded).
+    pub calls: Vec<CallSite>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All non-test functions, in file order. Indices are node ids.
+    pub nodes: Vec<FnNode>,
+    /// Function ids by name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Resolved edges: `edges[f]` lists `(callee_id, call_tok_idx)`.
+    pub edges: Vec<Vec<(usize, usize)>>,
+    /// Reverse edges: `callers[f]` lists `(caller_id, call_tok_idx)`.
+    pub callers: Vec<Vec<(usize, usize)>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from lexed workspace files.
+    #[must_use]
+    pub fn build<'a, I>(files: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, &'a [Tok])>,
+    {
+        let mut g = CallGraph::default();
+        for (rel, toks) in files {
+            let items = extract_fns(rel, toks);
+            let bodies: Vec<(usize, usize)> = items.iter().filter_map(|f| f.body).collect();
+            for item in items {
+                if item.is_test {
+                    continue;
+                }
+                let calls = item.body.map_or_else(Vec::new, |range| {
+                    // Nested fn bodies are separate items; exclude every
+                    // *other* body range strictly inside this one.
+                    let inner: Vec<(usize, usize)> = bodies
+                        .iter()
+                        .copied()
+                        .filter(|&(a, b)| a > range.0 && b < range.1)
+                        .collect();
+                    calls_in(toks, (range.0 + 1, range.1), &inner)
+                });
+                g.by_name.entry(item.name.clone()).or_default().push(g.nodes.len());
+                g.nodes.push(FnNode { item, rel: rel.to_string(), calls });
+            }
+        }
+        g.edges = vec![Vec::new(); g.nodes.len()];
+        g.callers = vec![Vec::new(); g.nodes.len()];
+        for f in 0..g.nodes.len() {
+            for c in &g.nodes[f].calls {
+                for callee in g.resolve(c) {
+                    g.edges[f].push((callee, c.idx));
+                    g.callers[callee].push((f, c.idx));
+                }
+            }
+        }
+        g
+    }
+
+    /// Resolves one call site to candidate function ids (empty for names
+    /// defined nowhere in the workspace, e.g. std functions).
+    #[must_use]
+    pub fn resolve(&self, call: &CallSite) -> Vec<usize> {
+        let Some(candidates) = self.by_name.get(&call.callee) else {
+            return Vec::new();
+        };
+        if let Some(q) = &call.qualifier {
+            let qualified: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&id| self.nodes[id].item.owner.as_deref() == Some(q.as_str()))
+                .collect();
+            if !qualified.is_empty() {
+                return qualified;
+            }
+        }
+        candidates.clone()
+    }
+
+    /// Ids of functions matching `pred`.
+    #[must_use]
+    pub fn ids_where<P: Fn(&FnNode) -> bool>(&self, pred: P) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| pred(&self.nodes[i])).collect()
+    }
+
+    /// The set of functions reachable from `roots` (roots included).
+    /// Plain BFS; cycles are harmless.
+    #[must_use]
+    pub fn reachable_from(&self, roots: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if !seen[r] {
+                seen[r] = true;
+                queue.push(r);
+            }
+        }
+        while let Some(f) = queue.pop() {
+            for &(callee, _) in &self.edges[f] {
+                if !seen[callee] {
+                    seen[callee] = true;
+                    queue.push(callee);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The set of functions that can *reach* any seed (seeds included):
+    /// the transitive closure over reverse edges. Used for the
+    /// draws-randomness set — every function from which a seeded-RNG draw
+    /// is dynamically possible.
+    #[must_use]
+    pub fn reaching(&self, seeds: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &s in seeds {
+            if !seen[s] {
+                seen[s] = true;
+                queue.push(s);
+            }
+        }
+        while let Some(f) = queue.pop() {
+            for &(caller, _) in &self.callers[f] {
+                if !seen[caller] {
+                    seen[caller] = true;
+                    queue.push(caller);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn graph(srcs: &[(&str, &str)]) -> (CallGraph, Vec<crate::lexer::Lexed>) {
+        let lexed: Vec<_> = srcs.iter().map(|(_, s)| lex(s)).collect();
+        let g = CallGraph::build(
+            srcs.iter()
+                .zip(&lexed)
+                .map(|((rel, _), l)| (*rel, l.toks.as_slice())),
+        );
+        (g, lexed)
+    }
+
+    fn id(g: &CallGraph, name: &str) -> usize {
+        g.by_name[name][0]
+    }
+
+    #[test]
+    fn direct_and_transitive_reachability() {
+        let (g, _l) = graph(&[("crates/a/src/x.rs", "fn a() { b(); } fn b() { c(); } fn c() {} fn island() {}")]);
+        let r = g.reachable_from(&[id(&g, "a")]);
+        assert!(r[id(&g, "a")] && r[id(&g, "b")] && r[id(&g, "c")]);
+        assert!(!r[id(&g, "island")]);
+    }
+
+    #[test]
+    fn cycles_terminate_both_directions() {
+        let (g, _l) = graph(&[(
+            "crates/a/src/x.rs",
+            "fn a() { b(); } fn b() { a(); c(); } fn c() {}",
+        )]);
+        let fwd = g.reachable_from(&[id(&g, "a")]);
+        assert!(fwd.iter().all(|&x| x));
+        let back = g.reaching(&[id(&g, "c")]);
+        assert!(back[id(&g, "a")] && back[id(&g, "b")] && back[id(&g, "c")]);
+    }
+
+    #[test]
+    fn qualified_calls_prefer_owner() {
+        let (g, _l) = graph(&[(
+            "crates/a/src/x.rs",
+            "impl Foo { fn make() {} } impl Bar { fn make() {} } fn f() { Foo::make(); }",
+        )]);
+        let f = id(&g, "f");
+        assert_eq!(g.edges[f].len(), 1);
+        let (callee, _) = g.edges[f][0];
+        assert_eq!(g.nodes[callee].item.owner.as_deref(), Some("Foo"));
+    }
+
+    #[test]
+    fn method_calls_merge_same_name() {
+        // Documented limitation: without type inference, `x.make()` edges
+        // to every fn named `make`.
+        let (g, _l) = graph(&[(
+            "crates/a/src/x.rs",
+            "impl Foo { fn make(&self) {} } impl Bar { fn make(&self) {} } fn f(x: Foo) { x.make(); }",
+        )]);
+        assert_eq!(g.edges[id(&g, "f")].len(), 2);
+    }
+
+    #[test]
+    fn test_fns_are_excluded() {
+        let (g, _l) = graph(&[(
+            "crates/a/src/x.rs",
+            "fn gated() {} #[cfg(test)] mod tests { use super::*; #[test] fn t() { gated(); } }",
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+        assert!(g.callers[id(&g, "gated")].is_empty(), "test call must not create an edge");
+    }
+
+    #[test]
+    fn cross_file_resolution() {
+        let (g, _l) = graph(&[
+            ("crates/a/src/x.rs", "pub fn helper() {}"),
+            ("crates/b/src/y.rs", "fn driver() { helper(); }"),
+        ]);
+        let r = g.reachable_from(&[id(&g, "driver")]);
+        assert!(r[id(&g, "helper")]);
+    }
+
+    #[test]
+    fn unresolved_std_calls_make_no_edges() {
+        let (g, _l) = graph(&[("crates/a/src/x.rs", "fn f() { Vec::new(); format(); }")]);
+        assert!(g.edges[id(&g, "f")].is_empty());
+    }
+}

@@ -3,8 +3,14 @@
 use crate::lexer::{Lexed, RawDirective};
 
 /// Rule identifiers accepted by `allow(...)` directives.
-pub const RULES: [&str; 7] =
-    ["d1", "d2", "d3", "t1", "t2", "allow-syntax", "allow-unused"];
+pub const RULES: [&str; 13] = [
+    "d1", "d2", "d3", "d4", "d5", "t1", "t2", "t3", "w1", "a1", "a2", "allow-syntax",
+    "allow-unused",
+];
+
+/// Version of the `--json` report format. Bumped to 2 when the report
+/// gained this field, rule-major ordering, and the `schema_version` key.
+pub const JSON_SCHEMA_VERSION: u32 = 2;
 
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone)]
@@ -155,9 +161,16 @@ pub fn render_text(findings: &[Finding]) -> String {
 }
 
 /// Renders findings as a machine-readable JSON report.
+///
+/// The report carries a `schema_version` so downstream consumers (CI
+/// artifact uploads, dashboards) can detect format changes, and findings
+/// are emitted in a stable rule-major order (`rule`, then path, then
+/// line) independent of the text report's path-major order.
 #[must_use]
 pub fn render_json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\"findings\":[");
+    let mut findings: Vec<&Finding> = findings.iter().collect();
+    findings.sort_by(|a, b| (a.rule, &a.rel, a.line).cmp(&(b.rule, &b.rel, b.line)));
+    let mut out = format!("{{\"schema_version\":{JSON_SCHEMA_VERSION},\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -270,5 +283,25 @@ let b = 2;\n";
         let json = render_json(&findings);
         assert!(json.contains("\\\"b.rs"));
         assert!(json.contains("\"errors\":1"));
+    }
+
+    #[test]
+    fn json_report_is_versioned_and_rule_sorted() {
+        let mk = |rule: &'static str, rel: &str, line: u32| Finding {
+            rule,
+            rel: rel.into(),
+            line,
+            msg: String::new(),
+            allowed: None,
+        };
+        // Path-major input order (what `analyze` returns) must come out
+        // rule-major in the JSON report.
+        let findings =
+            vec![mk("t1", "a.rs", 1), mk("d1", "z.rs", 9), mk("d1", "a.rs", 5)];
+        let json = render_json(&findings);
+        assert!(json.starts_with("{\"schema_version\":2,"));
+        let pos = |needle: &str| json.find(needle).unwrap();
+        assert!(pos("\"line\":5") < pos("\"line\":9"));
+        assert!(pos("\"line\":9") < pos("\"rule\":\"t1\""));
     }
 }

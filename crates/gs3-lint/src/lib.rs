@@ -13,10 +13,13 @@
 //! exits non-zero when any finding lacks a justified allow directive. See
 //! DESIGN.md §"Static analysis" for the rule table.
 
+pub mod callgraph;
 pub mod diag;
 pub mod lexer;
 pub mod model;
 pub mod rules;
+pub mod schema;
+pub mod syntax;
 
 use std::path::{Path, PathBuf};
 
@@ -38,26 +41,56 @@ impl SourceFile {
     }
 }
 
-/// Runs every rule over the files and resolves allow directives.
+/// What the `w1` wire-schema rule checks against.
+#[derive(Clone, Copy)]
+pub enum SchemaCheck<'a> {
+    /// Skip `w1` entirely — unit contexts with no schema notion.
+    Skip,
+    /// Check against the committed `protocol.schema.json` content;
+    /// `None` means the file is missing, which is itself a finding.
+    Committed(Option<&'a str>),
+}
+
+/// Runs every rule over the files and resolves allow directives, with
+/// the `w1` wire-schema drift check skipped (no schema in scope).
 ///
 /// Returned findings include allowlisted ones (with their justification);
 /// callers decide the exit status from the unallowed count.
 #[must_use]
 pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
+    analyze_with(files, SchemaCheck::Skip)
+}
+
+/// Runs every rule over the files and resolves allow directives. The CLI
+/// and the workspace gate pass `SchemaCheck::Committed` with whatever
+/// [`load_committed_schema`] found on disk.
+#[must_use]
+pub fn analyze_with(files: &[SourceFile], schema_check: SchemaCheck<'_>) -> Vec<Finding> {
     let model = ProtocolModel::extract(
         files.iter().map(|f| (f.rel.as_str(), f.lexed.toks.as_slice())),
     );
     let mut findings = Vec::new();
     let toks_by_file: Vec<(String, Vec<lexer::Tok>)> =
         files.iter().map(|f| (f.rel.clone(), f.lexed.toks.clone())).collect();
+    // One call graph serves every cross-procedural rule.
+    let graph = callgraph::CallGraph::build(
+        files.iter().map(|f| (f.rel.as_str(), f.lexed.toks.as_slice())),
+    );
     for f in files {
         rules::check_d1(&f.rel, &f.lexed.toks, &mut findings);
         rules::check_d2(&f.rel, &f.lexed.toks, &mut findings);
         rules::check_d3(&f.rel, &f.lexed.toks, &mut findings);
+        rules::check_d5(&f.rel, &f.lexed.toks, &mut findings);
         rules::check_a1(&f.rel, &f.lexed.toks, &mut findings);
+        rules::check_a2(&f.rel, &f.lexed.toks, &mut findings);
         rules::check_t1(&f.rel, &f.lexed.toks, &model, &mut findings);
     }
     rules::check_t2(&toks_by_file, &model, &mut findings);
+    rules::check_d4(&toks_by_file, &graph, &mut findings);
+    rules::check_t3(&toks_by_file, &graph, &model, &mut findings);
+    if let SchemaCheck::Committed(committed) = schema_check {
+        schema::check_w1(&model.layouts, committed, &mut findings);
+    }
     // Resolve allowlists per file (directives only ever cover findings in
     // their own file).
     for f in files {
@@ -67,6 +100,15 @@ pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
     }
     findings.sort_by(|a, b| (&a.rel, a.line, a.rule).cmp(&(&b.rel, b.line, b.rule)));
     findings
+}
+
+/// Workspace-relative location of the committed wire schema.
+pub const SCHEMA_REL: &str = "crates/gs3-lint/protocol.schema.json";
+
+/// Reads the committed `protocol.schema.json`, `None` when absent.
+#[must_use]
+pub fn load_committed_schema(root: &Path) -> Option<String> {
+    std::fs::read_to_string(root.join(SCHEMA_REL)).ok()
 }
 
 /// Directories under the workspace root that hold first-party sources.

@@ -4,6 +4,7 @@
 //! cargo run -p gs3-lint                # human-readable report, exit 1 on findings
 //! cargo run -p gs3-lint -- --json r.json   # also write a machine-readable report
 //! cargo run -p gs3-lint -- --root PATH     # lint a different checkout
+//! cargo run -p gs3-lint -- --write-schema  # regenerate protocol.schema.json
 //! ```
 
 use std::path::PathBuf;
@@ -12,13 +13,15 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut write_schema = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--json" => json_out = args.next().map(PathBuf::from),
+            "--write-schema" => write_schema = true,
             "--help" | "-h" => {
-                eprintln!("usage: gs3-lint [--root DIR] [--json FILE]");
+                eprintln!("usage: gs3-lint [--root DIR] [--json FILE] [--write-schema]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -35,7 +38,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let findings = gs3_lint::analyze(&files);
+    if write_schema {
+        // The only sanctioned way to change the pinned wire schema: an
+        // explicit regeneration whose diff gets reviewed and committed.
+        let model = gs3_lint::model::ProtocolModel::extract(
+            files.iter().map(|f| (f.rel.as_str(), f.lexed.toks.as_slice())),
+        );
+        let path = root.join(gs3_lint::SCHEMA_REL);
+        let text = gs3_lint::schema::render(&model.layouts);
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("gs3-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "gs3-lint: wrote {} ({} enums, fingerprint {:#018x})",
+            path.display(),
+            model.layouts.len(),
+            gs3_lint::schema::fingerprint(&model.layouts)
+        );
+        return ExitCode::SUCCESS;
+    }
+    let committed = gs3_lint::load_committed_schema(&root);
+    let findings =
+        gs3_lint::analyze_with(&files, gs3_lint::SchemaCheck::Committed(committed.as_deref()));
     print!("{}", gs3_lint::diag::render_text(&findings));
     if let Some(path) = json_out {
         let json = gs3_lint::diag::render_json(&findings);

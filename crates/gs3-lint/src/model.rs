@@ -1,17 +1,51 @@
 //! The protocol model lint rules check against: the `Msg` and `Timer`
-//! enum variant sets, and a bracket-aware `match` expression parser.
+//! enum variant sets, full enum *layouts* (ordered variants with payload
+//! shapes, pinned by the `w1` wire-schema rule), and a bracket-aware
+//! `match` expression parser.
 
 use std::collections::BTreeSet;
 
 use crate::lexer::{Tok, TokKind};
 
+/// One enum variant with its payload shape: the variant's tokens after
+/// the name, normalized to a single-space-joined string (`( OrgInfo )`,
+/// `{ seq : u64 , inner : Box < Msg > }`, or empty for unit variants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantLayout {
+    pub name: String,
+    pub payload: String,
+}
+
+/// The full source-order layout of one wire enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumLayout {
+    pub name: String,
+    /// Line of the `enum` keyword in its defining file.
+    pub line: u32,
+    /// Workspace-relative path of the defining file.
+    pub rel: String,
+    /// Variants in *source order* — reorders change the layout.
+    pub variants: Vec<VariantLayout>,
+}
+
 /// Variant sets extracted from `gs3-core/src/messages.rs` and
-/// `gs3-core/src/timers.rs`.
+/// `gs3-core/src/timers.rs`, plus the pinned wire-enum layouts
+/// (`Msg`, `Timer`, `FaultKind`).
 #[derive(Debug, Default)]
 pub struct ProtocolModel {
     pub msg_variants: BTreeSet<String>,
     pub timer_variants: BTreeSet<String>,
+    /// Layouts of the wire enums, in pin order (Msg, Timer, FaultKind);
+    /// an enum whose source file is absent is simply missing here.
+    pub layouts: Vec<EnumLayout>,
 }
+
+/// `(enum name, defining file suffix)` of every wire enum `w1` pins.
+pub const WIRE_ENUMS: [(&str, &str); 3] = [
+    ("Msg", "gs3-core/src/messages.rs"),
+    ("Timer", "gs3-core/src/timers.rs"),
+    ("FaultKind", "gs3-core/src/chaos.rs"),
+];
 
 impl ProtocolModel {
     /// Extracts variant sets from the lexed workspace files.
@@ -22,15 +56,91 @@ impl ProtocolModel {
         I: IntoIterator<Item = (&'a str, &'a [Tok])>,
     {
         let mut model = ProtocolModel::default();
+        let mut found: Vec<Option<EnumLayout>> = vec![None; WIRE_ENUMS.len()];
         for (rel, toks) in files {
             if rel.ends_with("gs3-core/src/messages.rs") {
                 model.msg_variants = enum_variants(toks, "Msg");
             } else if rel.ends_with("gs3-core/src/timers.rs") {
                 model.timer_variants = enum_variants(toks, "Timer");
             }
+            for (slot, (name, suffix)) in WIRE_ENUMS.iter().enumerate() {
+                if rel.ends_with(suffix) {
+                    if let Some(l) = enum_layout(rel, toks, name) {
+                        found[slot] = Some(l);
+                    }
+                }
+            }
         }
+        model.layouts = found.into_iter().flatten().collect();
         model
     }
+}
+
+/// Extracts the source-order layout of `enum <name>` from a token stream,
+/// or `None` when the file does not define it.
+#[must_use]
+pub fn enum_layout(rel: &str, toks: &[Tok], name: &str) -> Option<EnumLayout> {
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].text == "enum" && toks[i + 1].text == name && toks[i + 2].text == "{" {
+            let mut layout = EnumLayout {
+                name: name.to_string(),
+                line: toks[i].line,
+                rel: rel.to_string(),
+                variants: Vec::new(),
+            };
+            let mut depth = 1u32;
+            let mut j = i + 3;
+            let mut current: Option<VariantLayout> = None;
+            while j < toks.len() && depth > 0 {
+                let t = &toks[j];
+                // Skip `#[...]` attributes wholesale at variant level.
+                if depth == 1 && t.text == "#" && toks.get(j + 1).is_some_and(|n| n.text == "[")
+                {
+                    let mut d = 0i32;
+                    let mut k = j + 1;
+                    while k < toks.len() {
+                        match toks[k].text.as_str() {
+                            "[" | "(" | "{" => d += 1,
+                            "]" | ")" | "}" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    j = k + 1;
+                    continue;
+                }
+                match t.text.as_str() {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => depth -= 1,
+                    _ => {}
+                }
+                if depth == 0 {
+                    break;
+                }
+                if depth == 1 && t.text == "," {
+                    layout.variants.extend(current.take());
+                } else if let Some(v) = &mut current {
+                    if !v.payload.is_empty() {
+                        v.payload.push(' ');
+                    }
+                    v.payload.push_str(&t.text);
+                } else if t.kind == TokKind::Ident {
+                    current = Some(VariantLayout { name: t.text.clone(), payload: String::new() });
+                }
+                j += 1;
+            }
+            layout.variants.extend(current.take());
+            return Some(layout);
+        }
+        i += 1;
+    }
+    None
 }
 
 /// Collects the variant names of `enum <name> { … }` from a token stream.
@@ -70,8 +180,13 @@ pub fn enum_variants(toks: &[Tok], name: &str) -> BTreeSet<String> {
 pub struct MatchExpr {
     /// Line of the `match` keyword.
     pub line: u32,
+    /// Token index of the `match` keyword.
+    pub idx: usize,
     /// `Enum::Variant` pairs found in arm *patterns* (never bodies).
     pub pattern_variants: Vec<(String, String, u32)>,
+    /// Token ranges `[start, end)` of every arm pattern (guard included),
+    /// so construction-site scans can exclude pattern positions.
+    pub pattern_ranges: Vec<(usize, usize)>,
     /// Line of a top-level `_ =>` wildcard arm, if present.
     pub wildcard: Option<u32>,
 }
@@ -113,7 +228,13 @@ pub fn find_matches(toks: &[Tok]) -> Vec<MatchExpr> {
 
 /// Parses one match body whose `{` is at index `open`.
 fn parse_match_body(toks: &[Tok], match_idx: usize, open: usize) -> MatchExpr {
-    let mut m = MatchExpr { line: toks[match_idx].line, pattern_variants: Vec::new(), wildcard: None };
+    let mut m = MatchExpr {
+        line: toks[match_idx].line,
+        idx: match_idx,
+        pattern_variants: Vec::new(),
+        pattern_ranges: Vec::new(),
+        wildcard: None,
+    };
     let mut depth = 1i32;
     let mut j = open + 1;
     let mut in_pattern = true;
@@ -150,6 +271,7 @@ fn parse_match_body(toks: &[Tok], match_idx: usize, open: usize) -> MatchExpr {
 /// Scans one arm pattern `toks[start..end]` for `Enum::Variant` pairs and
 /// top-level wildcards (`end` is the `=>` index).
 fn scan_pattern(toks: &[Tok], start: usize, end: usize, m: &mut MatchExpr) {
+    m.pattern_ranges.push((start, end));
     // Guards (`if …`) can mention enum paths without matching them; stop
     // pattern scanning at a top-level `if`.
     let mut limit = end;

@@ -12,7 +12,8 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use gs3_lint::{analyze, SourceFile};
+use gs3_lint::model::ProtocolModel;
+use gs3_lint::{analyze_with, SchemaCheck, SourceFile};
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
@@ -37,6 +38,16 @@ fn model_files() -> Vec<SourceFile> {
     ]
 }
 
+/// The wire schema pinned to the `_model_*.rs` stand-ins: a fixture that
+/// redefines a wire enum differently drifts from this and trips `w1`.
+fn model_schema() -> String {
+    let files = model_files();
+    let model = ProtocolModel::extract(
+        files.iter().map(|f| (f.rel.as_str(), f.lexed.toks.as_slice())),
+    );
+    gs3_lint::schema::render(&model.layouts)
+}
+
 /// Runs one fixture and returns the actual diagnostic set on its path.
 fn run_fixture(name: &str) -> BTreeSet<String> {
     let dir = fixtures_dir();
@@ -44,7 +55,8 @@ fn run_fixture(name: &str) -> BTreeSet<String> {
     let rel = pretend_path(&src);
     let mut files = model_files();
     files.push(SourceFile::new(&rel, &src));
-    analyze(&files)
+    let schema = model_schema();
+    analyze_with(&files, SchemaCheck::Committed(Some(&schema)))
         .into_iter()
         .filter(|f| f.rel == rel)
         .map(|f| {
@@ -105,6 +117,56 @@ fn t2_unhandled_timer() {
 }
 
 #[test]
+fn d4_unguarded_draw() {
+    check("d4_unguarded_draw");
+}
+
+#[test]
+fn d4_guarded_draw() {
+    check("d4_guarded_draw");
+}
+
+#[test]
+fn d5_hash_iteration() {
+    check("d5_hash_iteration");
+}
+
+#[test]
+fn d5_sorted_iteration() {
+    check("d5_sorted_iteration");
+}
+
+#[test]
+fn w1_schema_drift() {
+    check("w1_schema_drift");
+}
+
+#[test]
+fn w1_schema_match() {
+    check("w1_schema_match");
+}
+
+#[test]
+fn t3_dead_arm() {
+    check("t3_dead_arm");
+}
+
+#[test]
+fn t3_roundtrip() {
+    check("t3_roundtrip");
+}
+
+#[test]
+fn a2_shared_state() {
+    check("a2_shared_state");
+}
+
+#[test]
+fn a2_owned_state() {
+    check("a2_owned_state");
+}
+
+#[test]
 fn allow_justified_is_green() {
     check("allow_justified");
     // The allowlisted finding must carry its justification text.
@@ -113,7 +175,8 @@ fn allow_justified_is_green() {
     let rel = pretend_path(&src);
     let mut files = model_files();
     files.push(SourceFile::new(&rel, &src));
-    let findings = analyze(&files);
+    let schema = model_schema();
+    let findings = analyze_with(&files, SchemaCheck::Committed(Some(&schema)));
     let f = findings.iter().find(|f| f.rel == rel).unwrap();
     assert!(f.allowed.as_deref().unwrap().contains("wall-clock measurement"));
 }
@@ -144,14 +207,24 @@ fn every_fixture_has_a_test() {
     stems.sort();
     let wired = [
         "a1_hot_path_alloc",
+        "a2_owned_state",
+        "a2_shared_state",
         "allow_justified",
         "allow_missing_justification",
         "allow_unused",
         "d1_std_hash",
         "d2_wall_clock",
         "d3_float_eq",
+        "d4_guarded_draw",
+        "d4_unguarded_draw",
+        "d5_hash_iteration",
+        "d5_sorted_iteration",
         "t1_wildcard_dispatch",
         "t2_unhandled_timer",
+        "t3_dead_arm",
+        "t3_roundtrip",
+        "w1_schema_drift",
+        "w1_schema_match",
     ];
     assert_eq!(stems, wired, "update tests/fixtures.rs for new fixtures");
 }

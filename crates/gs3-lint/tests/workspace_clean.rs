@@ -3,7 +3,7 @@
 //! regression fails the ordinary test suite even before CI runs the
 //! dedicated `lint` job.
 
-use gs3_lint::{analyze, load_workspace};
+use gs3_lint::{analyze_with, load_workspace, SchemaCheck};
 
 #[test]
 fn workspace_has_no_unjustified_findings() {
@@ -14,7 +14,8 @@ fn workspace_has_no_unjustified_findings() {
         "workspace walk looks truncated: {} files",
         files.len()
     );
-    let findings = analyze(&files);
+    let committed = gs3_lint::load_committed_schema(&root);
+    let findings = analyze_with(&files, SchemaCheck::Committed(committed.as_deref()));
     let errors: Vec<String> = findings
         .iter()
         .filter(|f| f.allowed.is_none())
@@ -40,4 +41,31 @@ fn protocol_model_is_extracted_from_real_sources() {
     assert!(model.timer_variants.len() >= 12, "Timer variants: {:?}", model.timer_variants);
     assert!(model.msg_variants.contains("HeadInterAlive"));
     assert!(model.timer_variants.contains("Retransmit"));
+}
+
+#[test]
+fn committed_wire_schema_matches_sources() {
+    // The byte-level drift gate: regenerating the schema from today's
+    // sources must reproduce the committed file exactly. CI enforces the
+    // same property via `--write-schema` + `git diff --exit-code`; this
+    // test catches it at `cargo test` time with a pointable message.
+    let root = gs3_lint::find_workspace_root();
+    let files = load_workspace(&root).expect("workspace readable");
+    let model = gs3_lint::model::ProtocolModel::extract(
+        files.iter().map(|f| (f.rel.as_str(), f.lexed.toks.as_slice())),
+    );
+    assert_eq!(
+        model.layouts.len(),
+        gs3_lint::model::WIRE_ENUMS.len(),
+        "a pinned wire enum was not found in its source file"
+    );
+    let committed = gs3_lint::load_committed_schema(&root)
+        .expect("protocol.schema.json missing — run `cargo run -p gs3-lint -- --write-schema`");
+    let generated = gs3_lint::schema::render(&model.layouts);
+    assert!(
+        committed == generated,
+        "wire schema drifted from crates/gs3-lint/protocol.schema.json — if the \
+         protocol change is intentional, regenerate with \
+         `cargo run -p gs3-lint -- --write-schema` and commit the diff"
+    );
 }

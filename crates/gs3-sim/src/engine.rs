@@ -634,6 +634,32 @@ impl<N: Node> Engine<N> {
         Ok(())
     }
 
+    /// Schedules a crafted timer to fire on `to` after `after`, as if the
+    /// node had armed it itself. Harness-level utility for testing handler
+    /// robustness against stale or forged deadlines (e.g. a retransmission
+    /// timer surviving a config that never arms one).
+    pub fn inject_timer(
+        &mut self,
+        to: NodeId,
+        timer: N::Timer,
+        after: SimDuration,
+    ) -> Result<(), EngineError> {
+        let idx = self.check(to)?;
+        let timer_id = self.next_timer_id;
+        self.next_timer_id += 1;
+        self.arena.pending_timers[idx].push((timer_id, timer.clone()));
+        self.queue.schedule(
+            self.now + after,
+            PendingEvent {
+                to,
+                kind: EventKind::Timer { timer_id, timer },
+                tag: NO_TAG,
+                tx: TxWindow::NONE,
+            },
+        );
+        Ok(())
+    }
+
     /// Teleports a node (mobility is modeled as a sequence of such steps
     /// driven by the harness).
     pub fn set_position(&mut self, id: NodeId, position: Point) -> Result<(), EngineError> {
